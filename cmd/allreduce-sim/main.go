@@ -1,0 +1,103 @@
+// allreduce-sim runs cycle-accurate in-network Allreduce simulations on
+// PolarFly and compares the embeddings against the analytic model and the
+// host-based baselines.
+//
+// Usage:
+//
+//	allreduce-sim -q 7 -m 4096                 # compare all embeddings
+//	allreduce-sim -q 7 -m 4096 -hosts          # include host-based MPI-style baselines
+//	allreduce-sim -q 7 -m 64 -latency 20       # latency-bound regime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polarfly/internal/core"
+	"polarfly/internal/netsim"
+)
+
+func main() {
+	q := flag.Int("q", 7, "prime power order")
+	m := flag.Int("m", 4096, "vector elements")
+	latency := flag.Int("latency", 10, "link latency in cycles")
+	vc := flag.Int("vc", 10, "virtual channel depth in flits")
+	hosts := flag.Bool("hosts", false, "also run host-based baselines")
+	alpha := flag.Float64("alpha", 500, "host-based per-round software overhead (cycles)")
+	seed := flag.Int64("seed", core.DefaultSeed, "workload seed")
+	sweep := flag.Bool("sweep", false, "sweep vector sizes geometrically up to -m and report the latency/bandwidth crossover")
+	flag.Parse()
+
+	if *sweep {
+		runSweep(*q, *m, *latency, *vc, *seed)
+		return
+	}
+
+	cfg := netsim.Config{LinkLatency: *latency, VCDepth: *vc}
+	rows, err := core.SimulationComparison(*q, *m, cfg, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allreduce-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("PolarFly q=%d (N=%d, radix=%d), m=%d elements, link latency=%d, VC depth=%d\n",
+		*q, (*q)*(*q)+(*q)+1, *q+1, *m, *latency, *vc)
+	fmt.Printf("%-12s %8s %10s %10s %8s %6s %6s %9s\n",
+		"embedding", "trees", "model B", "meas. B", "cycles", "depth", "cong", "speedup")
+	for _, r := range rows {
+		trees := 1
+		switch r.Kind {
+		case core.LowDepth:
+			trees = *q
+		case core.Hamiltonian:
+			trees = (*q + 1) / 2
+		}
+		fmt.Printf("%-12v %8d %10.3f %10.3f %8d %6d %6d %8.2fx\n",
+			r.Kind, trees, r.ModelBW, r.MeasuredBW, r.Cycles, r.MaxDepth, r.MaxCongestion, r.SpeedupVsOne)
+	}
+
+	if *hosts {
+		hrows, err := core.HostComparison(*q, *m, *alpha, float64(*latency), 1.0, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "allreduce-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nhost-based baselines (α=%.0f cycles/round):\n", *alpha)
+		fmt.Printf("%-20s %10s %7s\n", "algorithm", "cycles", "rounds")
+		for _, r := range hrows {
+			fmt.Printf("%-20s %10.0f %7d\n", r.Algorithm, r.Time, r.Rounds)
+		}
+	}
+}
+
+// runSweep prints per-embedding cycle counts over a geometric vector-size
+// sweep, marking the winner at each point — the latency/bandwidth
+// crossover study of Figure 5's discussion.
+func runSweep(q, maxM, latency, vc int, seed int64) {
+	cfg := netsim.Config{LinkLatency: latency, VCDepth: vc}
+	fmt.Printf("vector-size sweep, PolarFly q=%d, link latency=%d\n", q, latency)
+	fmt.Printf("%8s %12s %12s %12s %10s\n", "m", "single", "low-depth", "hamiltonian", "winner")
+	for m := 8; m <= maxM; m *= 4 {
+		rows, err := core.SimulationComparison(q, m, cfg, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "allreduce-sim:", err)
+			os.Exit(1)
+		}
+		cycles := map[core.EmbeddingKind]int{}
+		for _, r := range rows {
+			cycles[r.Kind] = r.Cycles
+		}
+		winner, best := core.SingleTree, 1<<30
+		for kind, c := range cycles {
+			if c < best {
+				winner, best = kind, c
+			}
+		}
+		low := "-"
+		if c, ok := cycles[core.LowDepth]; ok {
+			low = fmt.Sprintf("%d", c)
+		}
+		fmt.Printf("%8d %12d %12s %12d %10v\n",
+			m, cycles[core.SingleTree], low, cycles[core.Hamiltonian], winner)
+	}
+}

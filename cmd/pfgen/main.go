@@ -1,0 +1,76 @@
+// pfgen generates and inspects PolarFly topologies.
+//
+// Usage:
+//
+//	pfgen -q 11            # summary statistics for ER_11
+//	pfgen -q 11 -edges     # print the edge list (u v per line)
+//	pfgen -q 11 -layout    # print the Algorithm 2 cluster layout
+//	pfgen -q 11 -classes   # print the W/V1/V2 class of every router
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polarfly/internal/core"
+)
+
+func main() {
+	q := flag.Int("q", 7, "prime power order (radix = q+1)")
+	edges := flag.Bool("edges", false, "print the edge list")
+	layout := flag.Bool("layout", false, "print the PolarFly cluster layout (odd q)")
+	classes := flag.Bool("classes", false, "print vertex classes")
+	dot := flag.Bool("dot", false, "emit the topology as Graphviz DOT (vertex classes coloured)")
+	flag.Parse()
+
+	inst, err := core.NewInstance(*q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfgen:", err)
+		os.Exit(1)
+	}
+	pg := inst.ER
+
+	if *dot {
+		fmt.Printf("graph ER_%d {\n  layout=circo;\n", *q)
+		colors := map[string]string{"W": "tomato", "V1": "palegreen", "V2": "lightblue"}
+		for v := 0; v < inst.N(); v++ {
+			fmt.Printf("  %d [style=filled fillcolor=%s];\n", v, colors[pg.Type(v).String()])
+		}
+		for _, e := range pg.G.Edges() {
+			fmt.Printf("  %d -- %d;\n", e.U, e.V)
+		}
+		fmt.Println("}")
+		return
+	}
+
+	fmt.Printf("PolarFly ER_%d: N=%d routers, radix=%d, links=%d, diameter=%d\n",
+		*q, inst.N(), inst.Radix(), pg.G.M(), pg.G.Diameter())
+	w, v1, v2 := pg.CountByType()
+	fmt.Printf("vertex classes: |W|=%d |V1|=%d |V2|=%d (Table 1)\n", w, v1, v2)
+	fmt.Printf("Singer difference set: %v\n", inst.Singer.D)
+
+	if *edges {
+		for _, e := range pg.G.Edges() {
+			fmt.Printf("%d %d\n", e.U, e.V)
+		}
+	}
+	if *classes {
+		for v := 0; v < inst.N(); v++ {
+			fmt.Printf("%d %s %v\n", v, pg.Type(v), pg.Vecs[v])
+		}
+	}
+	if *layout {
+		if inst.Layout == nil {
+			fmt.Fprintln(os.Stderr, "pfgen: layout requires odd q")
+			os.Exit(1)
+		}
+		l := inst.Layout
+		fmt.Printf("starter quadric: %d\n", l.Starter)
+		fmt.Printf("quadric cluster W: %v\n", pg.Quadrics())
+		for ci, cluster := range l.Clusters {
+			fmt.Printf("C_%d center=%d quadric=%d members=%v\n",
+				ci, l.Centers[ci], l.QuadricOfCenter[ci], cluster)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// treegen derives the Allreduce spanning-tree sets of the paper and
+// reports their verified properties.
+//
+// Usage:
+//
+//	treegen -q 11 -method lowdepth      # Algorithm 3: q depth-3 trees
+//	treegen -q 11 -method hamiltonian   # ⌊(q+1)/2⌋ edge-disjoint paths
+//	treegen -q 11 -method single        # BFS baseline
+//	treegen -q 11 -method lowdepth -print  # dump parent arrays
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"polarfly/internal/core"
+	"polarfly/internal/routercfg"
+	"polarfly/internal/serialize"
+	"polarfly/internal/trees"
+)
+
+func main() {
+	q := flag.Int("q", 7, "prime power order")
+	method := flag.String("method", "lowdepth", "lowdepth | hamiltonian | single | depthtwo")
+	print := flag.Bool("print", false, "print tree parent arrays")
+	jsonOut := flag.Bool("json", false, "emit the forest as JSON (machine-readable)")
+	cfgOut := flag.Bool("routercfg", false, "print per-router port/VC configuration summary")
+	cfgJSON := flag.Bool("routercfg-json", false, "emit the full per-router configuration set as JSON")
+	tries := flag.Int("tries", core.DefaultMISTries, "random MIS instances for the Hamiltonian search")
+	seed := flag.Int64("seed", core.DefaultSeed, "random seed")
+	flag.Parse()
+
+	var kind core.EmbeddingKind
+	switch *method {
+	case "lowdepth":
+		kind = core.LowDepth
+	case "hamiltonian":
+		kind = core.Hamiltonian
+	case "single":
+		kind = core.SingleTree
+	case "depthtwo":
+		kind = core.DepthTwo
+	default:
+		fmt.Fprintf(os.Stderr, "treegen: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	inst, err := core.NewInstance(*q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treegen:", err)
+		os.Exit(1)
+	}
+	e, err := inst.EmbedSeeded(kind, *tries, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treegen:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		if err := serialize.EncodeForest(os.Stdout, e.Forest, e.Kind.String(), *q); err != nil {
+			fmt.Fprintln(os.Stderr, "treegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *cfgJSON {
+		cfgs, err := routercfg.Build(e.Topology, e.Forest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "treegen:", err)
+			os.Exit(1)
+		}
+		if err := serialize.EncodeRouterConfigs(os.Stdout, cfgs, e.Kind.String(), *q); err != nil {
+			fmt.Fprintln(os.Stderr, "treegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *cfgOut {
+		cfgs, err := routercfg.Build(e.Topology, e.Forest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "treegen:", err)
+			os.Exit(1)
+		}
+		if err := routercfg.Validate(e.Topology, e.Forest, cfgs); err != nil {
+			fmt.Fprintln(os.Stderr, "treegen: config validation:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("router configurations for %v on ER_%d: %d routers, %d VC(s) per (direction, class)\n",
+			e.Kind, *q, len(cfgs), routercfg.MaxVCs(cfgs))
+		for _, c := range cfgs[:min(4, len(cfgs))] {
+			fmt.Printf("router %d (%d ports):\n", c.Router, len(c.Ports))
+			for _, tc := range c.Trees {
+				fmt.Printf("  tree %d %-8v reduce-in=%d ports, bcast-out=%d ports\n",
+					tc.Tree, tc.Role, len(tc.ReduceIn), len(tc.BcastOut))
+			}
+		}
+		fmt.Println("(first 4 routers shown; all validated)")
+		return
+	}
+
+	fmt.Printf("method=%v q=%d N=%d trees=%d\n", e.Kind, *q, inst.N(), len(e.Forest))
+	fmt.Printf("max depth=%d  max congestion=%d  edge-disjoint=%v\n",
+		e.MaxDepth, e.Model.MaxCongestion, trees.EdgeDisjoint(e.Forest))
+	fmt.Printf("aggregate bandwidth=%.3f B (optimal %.1f B)\n",
+		e.Model.Aggregate, float64(*q+1)/2)
+	for i, t := range e.Forest {
+		if err := t.ValidateSpanning(e.Topology); err != nil {
+			fmt.Fprintf(os.Stderr, "treegen: tree %d invalid: %v\n", i, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  T_%d root=%d depth=%d levels=%v bandwidth=%.3f\n", i, t.Root, t.MaxDepth(), t.LevelSizes(), e.Model.PerTree[i])
+		if *print {
+			fmt.Print(indent(t.Render(2), "    "))
+		}
+	}
+	if kind == core.LowDepth {
+		if err := trees.OpposedReductionFlows(e.Forest); err != nil {
+			fmt.Fprintln(os.Stderr, "treegen: Lemma 7.8 violated:", err)
+			os.Exit(1)
+		}
+		fmt.Println("Lemma 7.8 verified: reduction flows on shared links are opposed")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// indent prefixes every line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,278 @@
+package polarfly
+
+import (
+	"testing"
+
+	"polarfly/internal/workload"
+)
+
+func TestReduceSingleTree(t *testing.T) {
+	s := sys(t, 3)
+	inputs := workload.Vectors(s.Nodes(), 64, 100, 21)
+	want := Reduce(inputs)
+	p, err := s.Plan(SingleTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, stats, err := s.Reduce(p, inputs, Options{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].Offset != 0 || len(segs[0].Sum) != 64 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	for k := range want {
+		if segs[0].Sum[k] != want[k] {
+			t.Fatalf("element %d = %d, want %d", k, segs[0].Sum[k], want[k])
+		}
+	}
+	if stats.Cycles <= 0 {
+		t.Error("no cycles recorded")
+	}
+}
+
+func TestReduceMultiTreeIsReduceScatter(t *testing.T) {
+	s := sys(t, 5)
+	inputs := workload.Vectors(s.Nodes(), 90, 100, 22)
+	want := Reduce(inputs)
+	p, err := s.Plan(Hamiltonian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := s.Reduce(p, inputs, Options{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("%d segments", len(segs))
+	}
+	covered := 0
+	for _, seg := range segs {
+		for k, v := range seg.Sum {
+			if v != want[seg.Offset+k] {
+				t.Fatalf("segment at root %d wrong", seg.Root)
+			}
+		}
+		covered += len(seg.Sum)
+	}
+	if covered != 90 {
+		t.Errorf("segments cover %d of 90 elements", covered)
+	}
+}
+
+func TestBroadcastAllTrees(t *testing.T) {
+	s := sys(t, 5)
+	source := make([]int64, 256)
+	for i := range source {
+		source[i] = int64(3*i - 17)
+	}
+	for _, m := range []Method{SingleTree, LowDepth, Hamiltonian} {
+		p, err := s.Plan(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := s.Broadcast(p, source, Options{LinkLatency: 2, VCDepth: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if stats.Cycles <= 0 {
+			t.Errorf("%v: no cycles", m)
+		}
+	}
+	// Multi-tree broadcast beats single-tree (bandwidth aggregation).
+	single, _ := s.Plan(SingleTree)
+	low, _ := s.Plan(LowDepth)
+	big := make([]int64, 2048)
+	for i := range big {
+		big[i] = int64(i)
+	}
+	sStats, err := s.Broadcast(single, big, Options{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lStats, err := s.Broadcast(low, big, Options{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lStats.Cycles >= sStats.Cycles {
+		t.Errorf("multi-tree broadcast (%d) not faster than single (%d)", lStats.Cycles, sStats.Cycles)
+	}
+}
+
+func TestWithoutLinksDegradation(t *testing.T) {
+	s := sys(t, 5)
+	ham, err := s.Plan(Hamiltonian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail one link of the first tree: plan survives with one fewer tree.
+	var failed [2]int
+	tr := ham.Trees[0]
+	for v, p := range tr.Parent {
+		if p >= 0 {
+			failed = [2]int{v, p}
+			break
+		}
+	}
+	deg, err := ham.WithoutLinks([][2]int{failed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deg.Trees) != len(ham.Trees)-1 {
+		t.Errorf("degraded to %d trees, want %d", len(deg.Trees), len(ham.Trees)-1)
+	}
+	if deg.AggregateBandwidth >= ham.AggregateBandwidth {
+		t.Error("degraded bandwidth did not drop")
+	}
+	// Degraded plan still executes correctly.
+	inputs := workload.Vectors(s.Nodes(), 64, 50, 23)
+	out, _, err := s.Allreduce(deg, inputs, Options{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reduce(inputs)
+	for k := range want {
+		if out[k] != want[k] {
+			t.Fatal("degraded allreduce wrong")
+		}
+	}
+	// Single-tree plan cannot survive its own link failing.
+	single, _ := s.Plan(SingleTree)
+	str := single.Trees[0]
+	for v, p := range str.Parent {
+		if p >= 0 {
+			if _, err := single.WithoutLinks([][2]int{{v, p}}); err == nil {
+				t.Error("single-tree plan survived its only tree's failure")
+			}
+			break
+		}
+	}
+}
+
+func TestPlanSubset(t *testing.T) {
+	s := sys(t, 9) // 5 disjoint Hamiltonian trees
+	ham, err := s.Plan(Hamiltonian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := ham.Subset([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Trees) != 2 || sub.AggregateBandwidth != 2.0 {
+		t.Errorf("subset plan: %d trees, %.1f B", len(sub.Trees), sub.AggregateBandwidth)
+	}
+	// Subset plans still execute correctly.
+	inputs := workload.Vectors(s.Nodes(), 64, 50, 31)
+	out, _, err := s.Allreduce(sub, inputs, Options{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reduce(inputs)
+	for k := range want {
+		if out[k] != want[k] {
+			t.Fatal("subset allreduce wrong")
+		}
+	}
+	// Errors.
+	if _, err := ham.Subset(nil); err == nil {
+		t.Error("empty subset accepted")
+	}
+	if _, err := ham.Subset([]int{0, 0}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if _, err := ham.Subset([]int{9}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestPredictWithLinkCapacities(t *testing.T) {
+	s := sys(t, 5)
+	ham, err := s.Plan(Hamiltonian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform fabric matches the plan's own model.
+	per, agg := ham.PredictWithLinkCapacities(nil)
+	if agg != ham.AggregateBandwidth {
+		t.Errorf("uniform aggregate %f vs plan %f", agg, ham.AggregateBandwidth)
+	}
+	for i := range per {
+		if per[i] != ham.PerTreeBandwidth[i] {
+			t.Errorf("per-tree mismatch at %d", i)
+		}
+	}
+	// Degrade one link of tree 0 to quarter speed: only tree 0 suffers
+	// (edge-disjointness localises the damage).
+	tr := ham.Trees[0]
+	var link [2]int
+	for v, p := range tr.Parent {
+		if p >= 0 {
+			link = [2]int{v, p}
+			break
+		}
+	}
+	per, agg = ham.PredictWithLinkCapacities(map[[2]int]float64{link: 0.25})
+	if per[0] != 0.25 {
+		t.Errorf("degraded tree bandwidth %f, want 0.25", per[0])
+	}
+	for i := 1; i < len(per); i++ {
+		if per[i] != 1.0 {
+			t.Errorf("tree %d affected by another tree's link: %f", i, per[i])
+		}
+	}
+	if agg != ham.AggregateBandwidth-0.75 {
+		t.Errorf("aggregate %f", agg)
+	}
+}
+
+func TestTopologyQueryAPI(t *testing.T) {
+	s := sys(t, 5)
+	// Neighbors are consistent with Links.
+	nbr := s.Neighbors(0)
+	if len(nbr) != s.Degree(0) {
+		t.Errorf("Neighbors(0) has %d entries, degree %d", len(nbr), s.Degree(0))
+	}
+	// Paths: adjacent pair → 2 vertices, non-adjacent → 3 via the unique
+	// common neighbor (Theorem 6.1).
+	for u := 0; u < s.Nodes(); u++ {
+		for v := 0; v < s.Nodes(); v++ {
+			if u == v {
+				continue
+			}
+			p := s.Path(u, v)
+			if p[0] != u || p[len(p)-1] != v {
+				t.Fatalf("Path(%d,%d) = %v", u, v, p)
+			}
+			if len(p) > 3 {
+				t.Fatalf("Path(%d,%d) has %d hops on a diameter-2 graph", u, v, len(p)-1)
+			}
+		}
+	}
+	// Quadric classification: q+1 quadrics of degree q.
+	quadrics := 0
+	for v := 0; v < s.Nodes(); v++ {
+		if s.IsQuadric(v) {
+			quadrics++
+			if s.Degree(v) != 5 {
+				t.Errorf("quadric %d degree %d", v, s.Degree(v))
+			}
+		}
+	}
+	if quadrics != 6 {
+		t.Errorf("%d quadrics, want 6", quadrics)
+	}
+}
+
+func TestCrossSystemGuards(t *testing.T) {
+	a := sys(t, 3)
+	b := sys(t, 3)
+	p, _ := a.Plan(SingleTree)
+	inputs := workload.Vectors(b.Nodes(), 4, 10, 1)
+	if _, _, err := b.Reduce(p, inputs, DefaultOptions()); err == nil {
+		t.Error("cross-system Reduce accepted")
+	}
+	if _, err := b.Broadcast(p, []int64{1, 2}, DefaultOptions()); err == nil {
+		t.Error("cross-system Broadcast accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package polarfly
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"polarfly/internal/workload"
+)
+
+func TestRouterConfigs(t *testing.T) {
+	s := sys(t, 5)
+	for _, m := range []Method{SingleTree, LowDepth, Hamiltonian} {
+		p, err := s.Plan(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs, err := s.RouterConfigs(p)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(cfgs) != s.Nodes() {
+			t.Fatalf("%v: %d configs", m, len(cfgs))
+		}
+		roots := 0
+		for _, c := range cfgs {
+			if len(c.Trees) != len(p.Trees) {
+				t.Fatalf("%v: router %d has %d tree configs", m, c.Router, len(c.Trees))
+			}
+			for ti, tc := range c.Trees {
+				switch tc.Tree {
+				case "root":
+					roots++
+					if tc.ReduceOut != nil || tc.BcastIn != nil {
+						t.Fatalf("%v: root with upstream", m)
+					}
+				case "leaf", "internal":
+					if tc.ReduceOut == nil || tc.BcastIn == nil {
+						t.Fatalf("%v: non-root missing upstream", m)
+					}
+					// Upstream port resolves to the tree parent.
+					if got := c.Ports[tc.ReduceOut.Port]; got != p.Trees[ti].Parent[c.Router] {
+						t.Fatalf("%v: router %d tree %d upstream port → %d, want %d",
+							m, c.Router, ti, got, p.Trees[ti].Parent[c.Router])
+					}
+				default:
+					t.Fatalf("%v: unknown role %q", m, tc.Tree)
+				}
+			}
+		}
+		if roots != len(p.Trees) {
+			t.Errorf("%v: %d roots for %d trees", m, roots, len(p.Trees))
+		}
+	}
+	// Cross-system guard.
+	other := sys(t, 5)
+	p, _ := other.Plan(SingleTree)
+	if _, err := s.RouterConfigs(p); err == nil {
+		t.Error("cross-system plan accepted")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	s := sys(t, 5)
+	for _, m := range []Method{LowDepth, Hamiltonian} {
+		p, err := s.Plan(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.ExportPlan(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		ts, kind, err := s.ImportForest(&buf)
+		if err != nil {
+			t.Fatalf("%v: import: %v", m, err)
+		}
+		if kind != m.String() || len(ts) != len(p.Trees) {
+			t.Fatalf("%v: kind=%q trees=%d", m, kind, len(ts))
+		}
+		// Rebuild a plan from the imported trees and run it.
+		p2, err := s.PlanFromTrees(m, ts)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if p2.AggregateBandwidth != p.AggregateBandwidth {
+			t.Errorf("%v: bandwidth changed %f → %f", m, p.AggregateBandwidth, p2.AggregateBandwidth)
+		}
+		inputs := workload.Vectors(s.Nodes(), 48, 50, 41)
+		out, _, err := s.Allreduce(p2, inputs, Options{LinkLatency: 2, VCDepth: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		want := Reduce(inputs)
+		for k := range want {
+			if out[k] != want[k] {
+				t.Fatalf("%v: rebuilt plan computes wrong sums", m)
+			}
+		}
+	}
+}
+
+func TestExportPlanCrossSystemRejected(t *testing.T) {
+	a := sys(t, 3)
+	b := sys(t, 3)
+	p, _ := a.Plan(SingleTree)
+	var buf bytes.Buffer
+	if err := b.ExportPlan(&buf, p); err == nil {
+		t.Error("cross-system export accepted")
+	}
+}
+
+func TestExportTopology(t *testing.T) {
+	s := sys(t, 3)
+	var buf bytes.Buffer
+	if err := s.ExportTopology(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"q": 3`) {
+		t.Errorf("export missing q: %s", buf.String()[:80])
+	}
+}
+
+func TestPlanFromTreesRejectsGarbage(t *testing.T) {
+	s := sys(t, 3)
+	if _, err := s.PlanFromTrees(SingleTree, nil); err == nil {
+		t.Error("empty forest accepted")
+	}
+	bad := []Tree{{Root: 0, Parent: make([]int, s.Nodes())}}
+	bad[0].Parent[0] = -1
+	for v := 1; v < s.Nodes(); v++ {
+		bad[0].Parent[v] = 0 // star — vertex 0 is not adjacent to everyone
+	}
+	if _, err := s.PlanFromTrees(SingleTree, bad); err == nil {
+		t.Error("non-spanning star accepted")
+	}
+}
+
+func TestImportForestRejectsWrongSize(t *testing.T) {
+	s := sys(t, 3)
+	doc := `{"version":1,"kind":"x","trees":[{"root":0,"parent":[-1,0]}]}`
+	if _, _, err := s.ImportForest(strings.NewReader(doc)); err == nil {
+		t.Error("wrong-size forest accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package polarfly_test
+
+import (
+	"fmt"
+
+	"polarfly"
+)
+
+// Example builds the smallest PolarFly, plans the optimal edge-disjoint
+// embedding and runs a verified Allreduce.
+func Example() {
+	sys, err := polarfly.New(3) // 13 routers, radix 4
+	if err != nil {
+		panic(err)
+	}
+	plan, err := sys.Plan(polarfly.Hamiltonian)
+	if err != nil {
+		panic(err)
+	}
+	// Every router contributes the vector [router id, 1].
+	inputs := make([][]int64, sys.Nodes())
+	for v := range inputs {
+		inputs[v] = []int64{int64(v), 1}
+	}
+	out, _, err := sys.Allreduce(plan, inputs, polarfly.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out[0], out[1]) // Σ ids = 78, Σ 1 = 13
+	// Output: 78 13
+}
+
+// ExampleSystem_Plan compares the two multi-tree plans on one instance.
+func ExampleSystem_Plan() {
+	sys, _ := polarfly.New(5)
+	low, _ := sys.Plan(polarfly.LowDepth)
+	ham, _ := sys.Plan(polarfly.Hamiltonian)
+	fmt.Printf("low-depth: %d trees, depth %d, %.1f of %.1f B\n",
+		len(low.Trees), low.MaxDepth, low.AggregateBandwidth, low.OptimalBandwidth)
+	fmt.Printf("hamiltonian: %d trees, depth %d, %.1f of %.1f B\n",
+		len(ham.Trees), ham.MaxDepth, ham.AggregateBandwidth, ham.OptimalBandwidth)
+	// Output:
+	// low-depth: 5 trees, depth 3, 2.5 of 3.0 B
+	// hamiltonian: 3 trees, depth 15, 3.0 of 3.0 B
+}
+
+// ExampleSystem_DifferenceSet reproduces the paper's Figure 2a.
+func ExampleSystem_DifferenceSet() {
+	sys, _ := polarfly.New(3)
+	fmt.Println(sys.DifferenceSet())
+	// Output: [0 1 3 9]
+}
+
+// ExampleSystem_HamiltonianPath materialises the alternating-sum path of
+// colours (0, 1) over S_3.
+func ExampleSystem_HamiltonianPath() {
+	sys, _ := polarfly.New(3)
+	fmt.Println(sys.HamiltonianPath(0, 1))
+	// Output: [7 6 8 5 9 4 10 3 11 2 12 1 0]
+}
+
+// ExampleFeasibleRadixes enumerates buildable design points.
+func ExampleFeasibleRadixes() {
+	fmt.Println(polarfly.FeasibleRadixes(3, 15))
+	// Output: [3 4 5 6 8 9 10 12 14]
+}

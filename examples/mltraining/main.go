@@ -1,0 +1,69 @@
+// mltraining simulates the paper's motivating workload (§1): data-parallel
+// training where every step ends with a large gradient Allreduce. It runs
+// several optimisation steps over a synthetic integer-quantised gradient
+// and reports the end-to-end Allreduce throughput of each embedding —
+// demonstrating why the bandwidth-bound ML regime wants the multi-tree
+// solutions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"polarfly"
+)
+
+const (
+	q        = 9     // 91 workers, radix 10
+	gradLen  = 16384 // gradient elements per step
+	numSteps = 3     // training steps to simulate
+)
+
+func gradients(n, m, step int) [][]int64 {
+	out := make([][]int64, n)
+	for w := range out {
+		rng := rand.New(rand.NewSource(int64(step)*1e6 + int64(w)))
+		out[w] = make([]int64, m)
+		for k := range out[w] {
+			out[w][k] = int64(rng.NormFloat64() * 1000) // quantised gradient
+		}
+	}
+	return out
+}
+
+func main() {
+	sys, err := polarfly.New(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed training on PolarFly q=%d: %d workers, %d-element gradients\n\n",
+		q, sys.Nodes(), gradLen)
+
+	opts := polarfly.Options{LinkLatency: 10, VCDepth: 10}
+	for _, method := range []polarfly.Method{polarfly.SingleTree, polarfly.LowDepth, polarfly.Hamiltonian} {
+		plan, err := sys.Plan(method)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalCycles := 0
+		var finalSum int64
+		for step := 0; step < numSteps; step++ {
+			grads := gradients(sys.Nodes(), gradLen, step)
+			out, stats, err := sys.Allreduce(plan, grads, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			totalCycles += stats.Cycles
+			finalSum = out[0]
+		}
+		perStep := totalCycles / numSteps
+		fmt.Printf("%-12v %2d trees  %7d cycles/step  %6.2f elem/cycle  (last grad[0] sum %d)\n",
+			method, len(plan.Trees), perStep,
+			float64(gradLen)/float64(perStep), finalSum)
+	}
+
+	fmt.Println("\nThe multi-tree embeddings sustain ~q/2 and (q+1)/2 link bandwidths,")
+	fmt.Println("cutting per-step gradient synchronisation time by ~5x at radix 10 —")
+	fmt.Println("and the factor grows linearly with the radix (Corollary 7.1).")
+}

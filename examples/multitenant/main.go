@@ -1,0 +1,64 @@
+// multitenant demonstrates performance isolation from edge-disjoint trees:
+// the Hamiltonian forest is split across two tenants with Plan.Subset, and
+// each tenant's Allreduce runs at exactly the bandwidth of its own trees —
+// the trees share no physical link, so neither job can interfere with the
+// other. A congested embedding cannot make this guarantee.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"polarfly"
+)
+
+func main() {
+	sys, err := polarfly.New(9) // 91 routers, 5 edge-disjoint trees
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := sys.Plan(polarfly.Hamiltonian)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PolarFly q=9: %d edge-disjoint Hamiltonian trees, %.1f B total\n\n",
+		len(full.Trees), full.AggregateBandwidth)
+
+	// Tenant A gets trees {0,1,2}; tenant B gets {3,4}.
+	a, err := full.Subset([]int{0, 1, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := full.Subset([]int{3, 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const m = 6000
+	rng := rand.New(rand.NewSource(1))
+	inputs := func() [][]int64 {
+		in := make([][]int64, sys.Nodes())
+		for v := range in {
+			in[v] = make([]int64, m)
+			for k := range in[v] {
+				in[v][k] = int64(rng.Intn(100))
+			}
+		}
+		return in
+	}
+
+	opts := polarfly.Options{LinkLatency: 5, VCDepth: 10}
+	for name, plan := range map[string]*polarfly.Plan{"tenant A (3 trees)": a, "tenant B (2 trees)": b} {
+		_, stats, err := sys.Allreduce(plan, inputs(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %.1f B model, %6d cycles, %.2f elem/cycle\n",
+			name, plan.AggregateBandwidth, stats.Cycles, stats.EffectiveBandwidth)
+	}
+
+	fmt.Println("\nEach tenant sustains its own trees' bandwidth; because the trees")
+	fmt.Println("are edge-disjoint, running both jobs concurrently changes neither")
+	fmt.Println("number (see TestTenantIsolationMatchesSoloRun for the concurrent run).")
+}

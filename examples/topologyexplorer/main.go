@@ -1,0 +1,55 @@
+// topologyexplorer walks through the mathematics behind the library using
+// the public API: vertex classes, Singer difference sets, alternating-sum
+// Hamiltonian paths, and how the two Allreduce plans use them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"polarfly"
+)
+
+func main() {
+	sys, err := polarfly.New(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PolarFly q=3: N=%d routers of radix ≤ %d\n\n", sys.Nodes(), sys.Radix())
+
+	// Vertex classes (Table 1 of the paper).
+	counts := map[string]int{}
+	for v := 0; v < sys.Nodes(); v++ {
+		counts[sys.VertexClass(v)]++
+	}
+	fmt.Printf("vertex classes: W=%d quadrics (degree q), V1=%d, V2=%d\n",
+		counts["W"], counts["V1"], counts["V2"])
+
+	// The Singer difference set D: the edge (i,j) exists iff (i+j) mod N ∈ D.
+	d := sys.DifferenceSet()
+	fmt.Printf("Singer difference set over Z_%d: %v\n", sys.Nodes(), d)
+	fmt.Println("(Figure 2a of the paper: {0,1,3,9} with reflection points {0,7,8,11})")
+
+	// Every pair of difference elements with gcd(d0−d1, N)=1 generates an
+	// alternating-sum Hamiltonian path (Corollary 7.15).
+	pairs := sys.HamiltonianPairs()
+	fmt.Printf("\n%d Hamiltonian pair(s) = φ(N)/2; the paths of the first two:\n", len(pairs))
+	for _, p := range pairs[:2] {
+		fmt.Printf("  colours (%d,%d): %v\n", p[0], p[1], sys.HamiltonianPath(p[0], p[1]))
+	}
+
+	// The two Allreduce plans.
+	for _, method := range []polarfly.Method{polarfly.LowDepth, polarfly.Hamiltonian} {
+		plan, err := sys.Plan(method)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%v plan: %d spanning trees, depth %d, congestion %d\n",
+			method, len(plan.Trees), plan.MaxDepth, plan.MaxCongestion)
+		fmt.Printf("  aggregate bandwidth %.1f of optimal %.1f link bandwidths\n",
+			plan.AggregateBandwidth, plan.OptimalBandwidth)
+		for i, t := range plan.Trees {
+			fmt.Printf("  T_%d rooted at router %d\n", i, t.Root)
+		}
+	}
+}

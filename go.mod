@@ -1,0 +1,3 @@
+module polarfly
+
+go 1.22

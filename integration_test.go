@@ -1,0 +1,126 @@
+package polarfly
+
+import (
+	"math"
+	"testing"
+
+	"polarfly/internal/workload"
+)
+
+// TestFullPipelineSweep is the library-level integration test: for every
+// odd prime power in range, derive all four plans, check the paper's
+// guarantees on each, and run a value-verified Allreduce.
+func TestFullPipelineSweep(t *testing.T) {
+	qs := []int{3, 5, 7, 9, 11, 13}
+	if testing.Short() {
+		qs = []int{3, 5}
+	}
+	for _, q := range qs {
+		s := sys(t, q)
+		inputs := workload.Vectors(s.Nodes(), 96, 100, int64(q))
+		want := Reduce(inputs)
+		for _, m := range []Method{SingleTree, LowDepth, Hamiltonian, DepthTwo} {
+			p, err := s.Plan(m)
+			if err != nil {
+				t.Fatalf("q=%d %v: %v", q, m, err)
+			}
+			// Paper guarantees per method.
+			switch m {
+			case SingleTree:
+				if p.AggregateBandwidth != 1.0 {
+					t.Errorf("q=%d single: BW %f", q, p.AggregateBandwidth)
+				}
+			case LowDepth:
+				if p.MaxDepth > 3 || p.MaxCongestion > 2 {
+					t.Errorf("q=%d low-depth: depth %d congestion %d", q, p.MaxDepth, p.MaxCongestion)
+				}
+				if p.AggregateBandwidth < float64(q)/2-1e-9 {
+					t.Errorf("q=%d low-depth: BW %f < q/2 (Cor. 7.7)", q, p.AggregateBandwidth)
+				}
+			case Hamiltonian:
+				if p.MaxCongestion != 1 {
+					t.Errorf("q=%d hamiltonian: congestion %d", q, p.MaxCongestion)
+				}
+				if math.Abs(p.AggregateBandwidth-p.OptimalBandwidth) > 1e-9 {
+					t.Errorf("q=%d hamiltonian: BW %f ≠ optimal %f (Thm. 7.19)",
+						q, p.AggregateBandwidth, p.OptimalBandwidth)
+				}
+				if p.MaxDepth != (s.Nodes()-1)/2 {
+					t.Errorf("q=%d hamiltonian: depth %d (Lemma 7.17)", q, p.MaxDepth)
+				}
+			case DepthTwo:
+				if p.MaxDepth != 2 {
+					t.Errorf("q=%d depth-2: depth %d", q, p.MaxDepth)
+				}
+			}
+			if p.AggregateBandwidth > p.OptimalBandwidth+1e-9 {
+				t.Errorf("q=%d %v: BW %f above optimal (Cor. 7.1)", q, m, p.AggregateBandwidth)
+			}
+			out, stats, err := s.Allreduce(p, inputs, Options{LinkLatency: 2, VCDepth: 4})
+			if err != nil {
+				t.Fatalf("q=%d %v: %v", q, m, err)
+			}
+			for k := range want {
+				if out[k] != want[k] {
+					t.Fatalf("q=%d %v: wrong sum", q, m)
+				}
+			}
+			if stats.Cycles <= 0 {
+				t.Errorf("q=%d %v: no cycles", q, m)
+			}
+		}
+	}
+}
+
+// TestEvenQPipeline covers the even-q path: Hamiltonian and DepthTwo work,
+// LowDepth does not.
+func TestEvenQPipeline(t *testing.T) {
+	for _, q := range []int{2, 4, 8} {
+		s := sys(t, q)
+		if _, err := s.Plan(LowDepth); err == nil {
+			t.Errorf("q=%d: LowDepth should be unavailable", q)
+		}
+		inputs := workload.Vectors(s.Nodes(), 40, 50, int64(q))
+		want := Reduce(inputs)
+		for _, m := range []Method{Hamiltonian, DepthTwo} {
+			p, err := s.Plan(m)
+			if err != nil {
+				t.Fatalf("q=%d %v: %v", q, m, err)
+			}
+			out, _, err := s.Allreduce(p, inputs, Options{LinkLatency: 2, VCDepth: 4})
+			if err != nil {
+				t.Fatalf("q=%d %v: %v", q, m, err)
+			}
+			for k := range want {
+				if out[k] != want[k] {
+					t.Fatalf("q=%d %v: wrong sum", q, m)
+				}
+			}
+		}
+	}
+}
+
+// TestBandwidthOrderingAcrossMethods confirms the Figure 5a ordering under
+// the analytic model: single < depth-2 ≤ low-depth < hamiltonian ≤ optimal
+// for odd q ≥ 5.
+func TestBandwidthOrderingAcrossMethods(t *testing.T) {
+	for _, q := range []int{5, 7, 9, 11} {
+		s := sys(t, q)
+		single, _ := s.Plan(SingleTree)
+		d2, _ := s.Plan(DepthTwo)
+		low, _ := s.Plan(LowDepth)
+		ham, _ := s.Plan(Hamiltonian)
+		if !(single.AggregateBandwidth <= d2.AggregateBandwidth+1e-9) {
+			t.Errorf("q=%d: single %f > depth2 %f", q, single.AggregateBandwidth, d2.AggregateBandwidth)
+		}
+		if !(d2.AggregateBandwidth < low.AggregateBandwidth) {
+			t.Errorf("q=%d: depth2 %f ≥ lowdepth %f", q, d2.AggregateBandwidth, low.AggregateBandwidth)
+		}
+		if !(low.AggregateBandwidth < ham.AggregateBandwidth) {
+			t.Errorf("q=%d: lowdepth %f ≥ hamiltonian %f", q, low.AggregateBandwidth, ham.AggregateBandwidth)
+		}
+		if !(ham.AggregateBandwidth <= ham.OptimalBandwidth+1e-9) {
+			t.Errorf("q=%d: hamiltonian above optimal", q)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package bandwidth
+
+import (
+	"testing"
+
+	"polarfly/internal/er"
+	"polarfly/internal/trees"
+)
+
+func TestRandomForestLosesToCoordinated(t *testing.T) {
+	// §3's argument quantified: k uncoordinated random spanning trees
+	// congest links and lose aggregate bandwidth against Algorithm 3's k
+	// coordinated trees under the Algorithm 1 model.
+	for _, q := range []int{5, 7, 9, 11} {
+		pg, err := er.New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := er.NewLayout(pg, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coordinated, err := trees.LowDepthForest(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		random, err := trees.RandomForest(pg.G, q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coordBW := ForForest(coordinated, 1.0)
+		randBW := ForForest(random, 1.0)
+		if randBW.Aggregate >= coordBW.Aggregate {
+			t.Errorf("q=%d: random forest %.3f ≥ coordinated %.3f", q, randBW.Aggregate, coordBW.Aggregate)
+		}
+		if randBW.MaxCongestion <= coordBW.MaxCongestion {
+			t.Errorf("q=%d: random congestion %d ≤ coordinated %d",
+				q, randBW.MaxCongestion, coordBW.MaxCongestion)
+		}
+	}
+}
+
+func TestTreeCountAblation(t *testing.T) {
+	// Using only k of the q low-depth trees scales bandwidth ≈ linearly
+	// until congestion binds — the data-parallelism knob of §4.3.
+	pg, err := er.New(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := er.NewLayout(pg, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := trees.LowDepthForest(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for k := 1; k <= len(forest); k++ {
+		r := ForForest(forest[:k], 1.0)
+		if r.Aggregate < prev-1e-9 {
+			t.Errorf("aggregate decreased at k=%d: %.3f < %.3f", k, r.Aggregate, prev)
+		}
+		if r.Aggregate > float64(k)+1e-9 {
+			t.Errorf("aggregate %.3f exceeds k=%d link bandwidths", r.Aggregate, k)
+		}
+		prev = r.Aggregate
+	}
+	// All q trees must reach the Corollary 7.7 bound.
+	if prev < 5.5-1e-9 {
+		t.Errorf("full forest aggregate %.3f < 5.5", prev)
+	}
+}

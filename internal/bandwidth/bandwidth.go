@@ -1,0 +1,298 @@
+// Package bandwidth implements the congestion-aware performance model of
+// §5 of the paper: Algorithm 1's waterfilling of link bandwidth across a
+// set of embedded Allreduce trees, the aggregate-bandwidth result of
+// Theorem 5.1, the optimal bound for PolarFly (Corollary 7.1), and the
+// optimal sub-vector split across trees (Equation 2).
+package bandwidth
+
+import (
+	"fmt"
+	"math"
+
+	"polarfly/internal/graph"
+	"polarfly/internal/trees"
+)
+
+// Result reports the outcome of Algorithm 1 for a forest.
+type Result struct {
+	// PerTree[i] is B_i, the bandwidth assigned to tree i, in the same
+	// units as the input link bandwidth.
+	PerTree []float64
+	// Aggregate is ΣB_i, the maximum achievable Allreduce bandwidth
+	// (Theorem 5.1).
+	Aggregate float64
+	// MaxCongestion is the worst-case number of trees sharing one link.
+	MaxCongestion int
+}
+
+// Waterfill runs Algorithm 1 ("Performance under Congestion") on a forest
+// of trees embedded in a network with per-link bandwidth linkB. Each tree
+// is given by its edge list; the network topology itself is implicit (only
+// links used by at least one tree matter, since unused links never
+// constrain anything).
+//
+// The bottleneck link — the one minimising remaining-bandwidth/congestion —
+// fixes the bandwidth of every tree crossing it; those trees' bandwidth is
+// then subtracted from all their links, and the process repeats. The
+// result is independent of tie-breaking order (verified by property tests).
+func Waterfill(forest [][]graph.Edge, linkB float64) Result {
+	if linkB <= 0 {
+		panic("bandwidth: link bandwidth must be positive")
+	}
+	r := Result{PerTree: make([]float64, len(forest))}
+
+	// Initialisation (lines 1-3).
+	avail := make(map[graph.Edge]float64)
+	congestion := make(map[graph.Edge]int)
+	for _, es := range forest {
+		for _, e := range es {
+			avail[e] = linkB
+			congestion[e]++
+		}
+	}
+	for _, c := range congestion {
+		if c > r.MaxCongestion {
+			r.MaxCongestion = c
+		}
+	}
+
+	active := make([]bool, len(forest))
+	remaining := 0
+	for i, es := range forest {
+		if len(es) > 0 {
+			active[i] = true
+			remaining++
+		}
+	}
+
+	// Main loop (lines 4-12).
+	for remaining > 0 {
+		// Line 5: bottleneck link e_min = argmin L(e)/C(e) over links still
+		// carrying at least one active tree.
+		var emin graph.Edge
+		best := math.Inf(1)
+		found := false
+		for e, c := range congestion {
+			if c <= 0 {
+				continue
+			}
+			if share := avail[e] / float64(c); share < best {
+				best = share
+				emin = e
+				found = true
+			}
+		}
+		if !found {
+			panic("bandwidth: active trees remain but no congested link found")
+		}
+		share := avail[emin] / float64(congestion[emin])
+
+		// Lines 6-11: every active tree crossing e_min is assigned the
+		// share and retired.
+		for i, es := range forest {
+			if !active[i] || !containsEdge(es, emin) {
+				continue
+			}
+			r.PerTree[i] = share
+			for _, e := range es {
+				avail[e] -= share
+				congestion[e]--
+			}
+			active[i] = false
+			remaining--
+		}
+		// Line 12: remove e_min from consideration.
+		delete(avail, emin)
+		delete(congestion, emin)
+	}
+
+	for _, b := range r.PerTree {
+		r.Aggregate += b
+	}
+	return r
+}
+
+func containsEdge(es []graph.Edge, e graph.Edge) bool {
+	for _, x := range es {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// WaterfillHeterogeneous runs Algorithm 1 with per-link capacities instead
+// of a uniform bandwidth: caps maps each link to its capacity, and links
+// absent from the map default to defaultB. This models mixed fabrics
+// (trunked spines, degraded optics) that the uniform model cannot.
+func WaterfillHeterogeneous(forest [][]graph.Edge, caps map[graph.Edge]float64, defaultB float64) Result {
+	if defaultB <= 0 {
+		panic("bandwidth: default link bandwidth must be positive")
+	}
+	for e, c := range caps {
+		if c <= 0 {
+			panic(fmt.Sprintf("bandwidth: non-positive capacity for link %v", e))
+		}
+	}
+	r := Result{PerTree: make([]float64, len(forest))}
+	avail := make(map[graph.Edge]float64)
+	congestion := make(map[graph.Edge]int)
+	for _, es := range forest {
+		for _, e := range es {
+			if c, ok := caps[e]; ok {
+				avail[e] = c
+			} else {
+				avail[e] = defaultB
+			}
+			congestion[e]++
+		}
+	}
+	for _, c := range congestion {
+		if c > r.MaxCongestion {
+			r.MaxCongestion = c
+		}
+	}
+	active := make([]bool, len(forest))
+	remaining := 0
+	for i, es := range forest {
+		if len(es) > 0 {
+			active[i] = true
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		var emin graph.Edge
+		best := math.Inf(1)
+		found := false
+		for e, c := range congestion {
+			if c <= 0 {
+				continue
+			}
+			if share := avail[e] / float64(c); share < best {
+				best = share
+				emin = e
+				found = true
+			}
+		}
+		if !found {
+			panic("bandwidth: active trees remain but no congested link found")
+		}
+		share := avail[emin] / float64(congestion[emin])
+		for i, es := range forest {
+			if !active[i] || !containsEdge(es, emin) {
+				continue
+			}
+			r.PerTree[i] = share
+			for _, e := range es {
+				avail[e] -= share
+				congestion[e]--
+			}
+			active[i] = false
+			remaining--
+		}
+		delete(avail, emin)
+		delete(congestion, emin)
+	}
+	for _, b := range r.PerTree {
+		r.Aggregate += b
+	}
+	return r
+}
+
+// ForForest adapts Waterfill to a forest of rooted trees.
+func ForForest(forest []*trees.Tree, linkB float64) Result {
+	es := make([][]graph.Edge, len(forest))
+	for i, t := range forest {
+		es[i] = t.Edges()
+	}
+	return Waterfill(es, linkB)
+}
+
+// Optimal returns the optimal bidirectional in-network Allreduce bandwidth
+// of PolarFly ER_q: (q+1)·B/2 (Corollary 7.1). The bound is the edge-count
+// argument — ER_q has q(q+1)²/2 links and each spanning tree needs q²+q of
+// them, so at most (q+1)/2 unit-bandwidth trees fit.
+func Optimal(q int, linkB float64) float64 {
+	return float64(q+1) * linkB / 2
+}
+
+// LowDepthBound returns the guaranteed aggregate bandwidth of the
+// Algorithm 3 forest: q·B/2 for odd q (Corollary 7.7; q trees at
+// congestion 2). For even q the paper states the conceptually similar
+// layout attains the optimal (q+1)·B/2 (§7.3).
+func LowDepthBound(q int, linkB float64) float64 {
+	if q%2 == 1 {
+		return float64(q) * linkB / 2
+	}
+	return float64(q+1) * linkB / 2
+}
+
+// HamiltonianBound returns the aggregate bandwidth of t edge-disjoint
+// Hamiltonian trees: t·B (Theorem 7.19). With the optimal t = ⌊(q+1)/2⌋
+// this equals ⌊(q+1)/2⌋·B.
+func HamiltonianBound(numTrees int, linkB float64) float64 {
+	return float64(numTrees) * linkB
+}
+
+// SubvectorSplit distributes an m-element Allreduce vector across trees in
+// proportion to their bandwidth, m_i = m·B_i/ΣB_i (Equation 2 of
+// Theorem 5.1), rounded to integers that sum exactly to m (largest-
+// remainder method). Trees with zero bandwidth receive zero elements.
+func SubvectorSplit(m int, perTree []float64) ([]int, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("bandwidth: negative vector size %d", m)
+	}
+	total := 0.0
+	for _, b := range perTree {
+		if b < 0 {
+			return nil, fmt.Errorf("bandwidth: negative tree bandwidth %f", b)
+		}
+		total += b
+	}
+	out := make([]int, len(perTree))
+	if m == 0 {
+		return out, nil
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("bandwidth: all trees have zero bandwidth")
+	}
+	type frac struct {
+		idx int
+		rem float64
+	}
+	assigned := 0
+	fracs := make([]frac, len(perTree))
+	for i, b := range perTree {
+		exact := float64(m) * b / total
+		out[i] = int(exact)
+		assigned += out[i]
+		fracs[i] = frac{i, exact - float64(out[i])}
+	}
+	// Distribute the leftover elements to the largest remainders
+	// (deterministic: ties broken by index).
+	for assigned < m {
+		best := -1
+		for i := range fracs {
+			if perTree[fracs[i].idx] == 0 {
+				continue
+			}
+			if best == -1 || fracs[i].rem > fracs[best].rem {
+				best = i
+			}
+		}
+		out[fracs[best].idx]++
+		fracs[best].rem = -1
+		assigned++
+	}
+	return out, nil
+}
+
+// PredictTime returns the Allreduce completion time for an m-element
+// vector split optimally across the forest: t = L + m/ΣB_i (Equation 3),
+// with L the per-tree latency in time units.
+func PredictTime(m int, latency float64, aggregate float64) float64 {
+	if aggregate <= 0 {
+		panic("bandwidth: non-positive aggregate bandwidth")
+	}
+	return latency + float64(m)/aggregate
+}

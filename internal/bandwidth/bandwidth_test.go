@@ -1,0 +1,381 @@
+package bandwidth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"polarfly/internal/er"
+	"polarfly/internal/graph"
+	"polarfly/internal/singer"
+	"polarfly/internal/trees"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestWaterfillSingleTree(t *testing.T) {
+	// One tree alone gets the full link bandwidth.
+	es := [][]graph.Edge{{{U: 0, V: 1}, {U: 1, V: 2}}}
+	r := Waterfill(es, 4.0)
+	if !almostEq(r.PerTree[0], 4.0) || !almostEq(r.Aggregate, 4.0) {
+		t.Errorf("single tree: %+v", r)
+	}
+	if r.MaxCongestion != 1 {
+		t.Errorf("congestion = %d", r.MaxCongestion)
+	}
+}
+
+func TestWaterfillDisjointTrees(t *testing.T) {
+	es := [][]graph.Edge{
+		{{U: 0, V: 1}, {U: 1, V: 2}},
+		{{U: 0, V: 2}, {U: 2, V: 3}},
+	}
+	r := Waterfill(es, 1.0)
+	if !almostEq(r.Aggregate, 2.0) {
+		t.Errorf("disjoint trees should each get full B: %+v", r)
+	}
+}
+
+func TestWaterfillSharedLink(t *testing.T) {
+	// Two trees sharing one link split it evenly.
+	shared := graph.Edge{U: 0, V: 1}
+	es := [][]graph.Edge{
+		{shared, {U: 1, V: 2}},
+		{shared, {U: 1, V: 3}},
+	}
+	r := Waterfill(es, 1.0)
+	if !almostEq(r.PerTree[0], 0.5) || !almostEq(r.PerTree[1], 0.5) {
+		t.Errorf("shared link not split evenly: %+v", r)
+	}
+	if r.MaxCongestion != 2 {
+		t.Errorf("congestion = %d", r.MaxCongestion)
+	}
+}
+
+func TestWaterfillCascade(t *testing.T) {
+	// Tree 0 and tree 1 share link a; tree 1 and tree 2 share link b.
+	// First a (or b) bottlenecks at 1/2; after tree 0 and 1 retire at 1/2,
+	// tree 2 has 1/2 left on b... order independence means B = (.5,.5,.5).
+	a := graph.Edge{U: 0, V: 1}
+	b := graph.Edge{U: 1, V: 2}
+	es := [][]graph.Edge{
+		{a, {U: 2, V: 3}},
+		{a, b},
+		{b, {U: 3, V: 4}},
+	}
+	r := Waterfill(es, 1.0)
+	for i, want := range []float64{0.5, 0.5, 0.5} {
+		if !almostEq(r.PerTree[i], want) {
+			t.Errorf("tree %d: B=%f, want %f (%+v)", i, r.PerTree[i], want, r)
+		}
+	}
+}
+
+func TestWaterfillAsymmetricCascade(t *testing.T) {
+	// Three trees share link a; one of them also shares link b with a
+	// fourth. a bottlenecks at 1/3 (retiring trees 0,1,2); then b has
+	// 2/3 left for tree 3 alone.
+	a := graph.Edge{U: 0, V: 1}
+	b := graph.Edge{U: 1, V: 2}
+	es := [][]graph.Edge{
+		{a},
+		{a},
+		{a, b},
+		{b},
+	}
+	r := Waterfill(es, 1.0)
+	want := []float64{1. / 3, 1. / 3, 1. / 3, 2. / 3}
+	for i := range want {
+		if !almostEq(r.PerTree[i], want[i]) {
+			t.Errorf("tree %d: B=%f, want %f", i, r.PerTree[i], want[i])
+		}
+	}
+}
+
+func TestWaterfillOrderIndependence(t *testing.T) {
+	// Shuffling tree order must permute, not change, the assignment.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		nTrees := rng.Intn(5) + 2
+		nLinks := rng.Intn(6) + 2
+		links := make([]graph.Edge, nLinks)
+		for i := range links {
+			links[i] = graph.Edge{U: i, V: i + 1}
+		}
+		es := make([][]graph.Edge, nTrees)
+		for i := range es {
+			for _, l := range links {
+				if rng.Float64() < 0.5 {
+					es[i] = append(es[i], l)
+				}
+			}
+			if len(es[i]) == 0 {
+				es[i] = append(es[i], links[0])
+			}
+		}
+		base := Waterfill(es, 1.0)
+		perm := rng.Perm(nTrees)
+		shuffled := make([][]graph.Edge, nTrees)
+		for i, p := range perm {
+			shuffled[i] = es[p]
+		}
+		got := Waterfill(shuffled, 1.0)
+		for i, p := range perm {
+			if !almostEq(got.PerTree[i], base.PerTree[p]) {
+				t.Fatalf("trial %d: tree %d got %f, want %f", trial, i, got.PerTree[i], base.PerTree[p])
+			}
+		}
+		if !almostEq(got.Aggregate, base.Aggregate) {
+			t.Fatalf("trial %d: aggregate changed", trial)
+		}
+	}
+}
+
+func TestWaterfillCapacityInvariants(t *testing.T) {
+	// No link's total assigned bandwidth may exceed linkB, and every
+	// tree's bandwidth is positive.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		nTrees := rng.Intn(6) + 1
+		nLinks := rng.Intn(8) + 1
+		links := make([]graph.Edge, nLinks)
+		for i := range links {
+			links[i] = graph.Edge{U: i, V: i + 1}
+		}
+		es := make([][]graph.Edge, nTrees)
+		for i := range es {
+			es[i] = append(es[i], links[rng.Intn(nLinks)])
+			for _, l := range links {
+				if rng.Float64() < 0.4 && !contains(es[i], l) {
+					es[i] = append(es[i], l)
+				}
+			}
+		}
+		r := Waterfill(es, 1.0)
+		load := make(map[graph.Edge]float64)
+		for i, esi := range es {
+			if r.PerTree[i] <= 0 {
+				t.Fatalf("trial %d: tree %d got non-positive bandwidth %f", trial, i, r.PerTree[i])
+			}
+			for _, e := range esi {
+				load[e] += r.PerTree[i]
+			}
+		}
+		for e, l := range load {
+			if l > 1.0+1e-9 {
+				t.Fatalf("trial %d: link %v overloaded: %f", trial, e, l)
+			}
+		}
+	}
+}
+
+func contains(es []graph.Edge, e graph.Edge) bool {
+	for _, x := range es {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWaterfillPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive link bandwidth should panic")
+		}
+	}()
+	Waterfill(nil, 0)
+}
+
+func TestCorollary77LowDepthForestBandwidth(t *testing.T) {
+	// Algorithm 3 forest achieves at least qB/2 under Algorithm 1.
+	for _, q := range []int{3, 5, 7, 9, 11} {
+		pg, err := er.New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := er.NewLayout(pg, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forest, err := trees.LowDepthForest(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := ForForest(forest, 1.0)
+		if r.MaxCongestion > 2 {
+			t.Errorf("q=%d: congestion %d", q, r.MaxCongestion)
+		}
+		if bound := LowDepthBound(q, 1.0); r.Aggregate < bound-1e-9 {
+			t.Errorf("q=%d: aggregate %.4f < bound %.4f (Cor. 7.7)", q, r.Aggregate, bound)
+		}
+		if opt := Optimal(q, 1.0); r.Aggregate > opt+1e-9 {
+			t.Errorf("q=%d: aggregate %.4f exceeds optimal %.4f", q, r.Aggregate, opt)
+		}
+	}
+}
+
+func TestTheorem719HamiltonianForestBandwidth(t *testing.T) {
+	// Edge-disjoint forest: every tree gets the full link bandwidth; with
+	// ⌊(q+1)/2⌋ trees the aggregate equals the optimal for odd q.
+	for _, q := range []int{3, 4, 5, 7, 8, 9} {
+		s, err := singer.New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forest, err := trees.HamiltonianForest(s, 30, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := ForForest(forest, 1.0)
+		if r.MaxCongestion != 1 {
+			t.Errorf("q=%d: congestion %d, want 1", q, r.MaxCongestion)
+		}
+		want := HamiltonianBound(len(forest), 1.0)
+		if !almostEq(r.Aggregate, want) {
+			t.Errorf("q=%d: aggregate %.4f, want %.4f", q, r.Aggregate, want)
+		}
+		if q%2 == 1 && !almostEq(r.Aggregate, Optimal(q, 1.0)) {
+			t.Errorf("q=%d odd: aggregate %.4f should equal optimal %.4f", q, r.Aggregate, Optimal(q, 1.0))
+		}
+	}
+}
+
+func TestSingleTreeGetsOneLinkBandwidth(t *testing.T) {
+	// The baseline the paper improves on: one tree ⇒ aggregate = B.
+	pg, err := er.New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trees.SingleTreeBaseline(pg.G, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ForForest([]*trees.Tree{tr}, 2.5)
+	if !almostEq(r.Aggregate, 2.5) {
+		t.Errorf("single tree aggregate %.4f, want 2.5", r.Aggregate)
+	}
+}
+
+func TestOptimalFormula(t *testing.T) {
+	if !almostEq(Optimal(11, 1.0), 6.0) {
+		t.Error("Optimal(11, 1) should be 6")
+	}
+	if !almostEq(Optimal(4, 2.0), 5.0) {
+		t.Error("Optimal(4, 2) should be 5")
+	}
+	if !almostEq(LowDepthBound(11, 1.0), 5.5) {
+		t.Error("LowDepthBound(11,1) should be 5.5")
+	}
+	if !almostEq(LowDepthBound(4, 1.0), 2.5) {
+		t.Error("LowDepthBound(4,1) should be 2.5 (even q per §7.3)")
+	}
+	if !almostEq(HamiltonianBound(6, 1.5), 9.0) {
+		t.Error("HamiltonianBound(6,1.5) should be 9")
+	}
+}
+
+func TestSubvectorSplit(t *testing.T) {
+	// Equal bandwidths split evenly.
+	got, err := SubvectorSplit(12, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range got {
+		if m != 4 {
+			t.Fatalf("even split = %v", got)
+		}
+	}
+	// Proportional to bandwidth.
+	got, err = SubvectorSplit(30, []float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 20 || got[1] != 10 {
+		t.Errorf("2:1 split of 30 = %v", got)
+	}
+	// Rounding preserves the total.
+	got, err = SubvectorSplit(10, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, m := range got {
+		sum += m
+	}
+	if sum != 10 {
+		t.Errorf("split of 10 into 3 sums to %d: %v", sum, got)
+	}
+	// Zero-bandwidth trees get nothing.
+	got, err = SubvectorSplit(7, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 7 {
+		t.Errorf("zero-bandwidth split = %v", got)
+	}
+	// Zero-size vector.
+	got, err = SubvectorSplit(0, []float64{1, 2})
+	if err != nil || got[0] != 0 || got[1] != 0 {
+		t.Errorf("zero vector split = %v err=%v", got, err)
+	}
+	// Errors.
+	if _, err := SubvectorSplit(-1, []float64{1}); err == nil {
+		t.Error("negative m accepted")
+	}
+	if _, err := SubvectorSplit(5, []float64{0, 0}); err == nil {
+		t.Error("all-zero bandwidth accepted")
+	}
+	if _, err := SubvectorSplit(5, []float64{-1, 2}); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+}
+
+func TestSubvectorSplitPreservesTotalRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(8) + 1
+		bw := make([]float64, n)
+		nonzero := false
+		for i := range bw {
+			bw[i] = float64(rng.Intn(5))
+			if bw[i] > 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			bw[0] = 1
+		}
+		m := rng.Intn(1000)
+		got, err := SubvectorSplit(m, bw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for i, x := range got {
+			sum += x
+			if bw[i] == 0 && x != 0 {
+				t.Fatalf("zero-bandwidth tree got %d elements", x)
+			}
+			if x < 0 {
+				t.Fatalf("negative share %d", x)
+			}
+		}
+		if sum != m {
+			t.Fatalf("split of %d sums to %d", m, sum)
+		}
+	}
+}
+
+func TestPredictTime(t *testing.T) {
+	// Equation 3: t = L + m/ΣB.
+	if !almostEq(PredictTime(100, 2.0, 4.0), 27.0) {
+		t.Error("PredictTime(100,2,4) should be 27")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero aggregate should panic")
+		}
+	}()
+	PredictTime(1, 0, 0)
+}

@@ -1,0 +1,91 @@
+package bandwidth
+
+import (
+	"math/rand"
+	"testing"
+
+	"polarfly/internal/graph"
+)
+
+// FuzzSubvectorSplit: for any non-negative split request over any
+// bandwidth vector, the result must be a non-negative partition of m that
+// assigns zero to zero-bandwidth trees.
+func FuzzSubvectorSplit(f *testing.F) {
+	f.Add(10, int64(1))
+	f.Add(0, int64(7))
+	f.Add(9999, int64(123))
+	f.Fuzz(func(t *testing.T, m int, seed int64) {
+		if m < 0 || m > 1<<20 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		bw := make([]float64, rng.Intn(9)+1)
+		nonzero := false
+		for i := range bw {
+			bw[i] = float64(rng.Intn(6))
+			if bw[i] > 0 {
+				nonzero = true
+			}
+		}
+		got, err := SubvectorSplit(m, bw)
+		if err != nil {
+			if m > 0 && nonzero {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			return
+		}
+		sum := 0
+		for i, x := range got {
+			if x < 0 {
+				t.Fatal("negative share")
+			}
+			if bw[i] == 0 && x != 0 {
+				t.Fatal("share to zero-bandwidth tree")
+			}
+			sum += x
+		}
+		if sum != m {
+			t.Fatalf("sum %d != m %d", sum, m)
+		}
+	})
+}
+
+// FuzzWaterfill: random forests over a small link universe must never
+// overload a link nor starve a non-empty tree.
+func FuzzWaterfill(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(4))
+	f.Add(int64(99), uint8(6), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, nTreesRaw, nLinksRaw uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		nTrees := int(nTreesRaw)%6 + 1
+		nLinks := int(nLinksRaw)%8 + 1
+		links := make([]graph.Edge, nLinks)
+		for i := range links {
+			links[i] = graph.Edge{U: i, V: i + 1}
+		}
+		forest := make([][]graph.Edge, nTrees)
+		for i := range forest {
+			forest[i] = append(forest[i], links[rng.Intn(nLinks)])
+			for _, l := range links {
+				if rng.Float64() < 0.4 && !containsEdge(forest[i], l) {
+					forest[i] = append(forest[i], l)
+				}
+			}
+		}
+		r := Waterfill(forest, 1.0)
+		load := make(map[graph.Edge]float64)
+		for i, es := range forest {
+			if r.PerTree[i] <= 0 {
+				t.Fatalf("tree %d starved", i)
+			}
+			for _, e := range es {
+				load[e] += r.PerTree[i]
+			}
+		}
+		for e, l := range load {
+			if l > 1.0+1e-9 {
+				t.Fatalf("link %v overloaded: %f", e, l)
+			}
+		}
+	})
+}

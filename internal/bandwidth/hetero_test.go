@@ -1,0 +1,64 @@
+package bandwidth
+
+import (
+	"testing"
+
+	"polarfly/internal/graph"
+)
+
+func TestWaterfillHeterogeneousMatchesUniform(t *testing.T) {
+	shared := graph.Edge{U: 0, V: 1}
+	forest := [][]graph.Edge{
+		{shared, {U: 1, V: 2}},
+		{shared, {U: 1, V: 3}},
+	}
+	uni := Waterfill(forest, 2.0)
+	het := WaterfillHeterogeneous(forest, nil, 2.0)
+	for i := range uni.PerTree {
+		if uni.PerTree[i] != het.PerTree[i] {
+			t.Fatalf("uniform/heterogeneous mismatch: %v vs %v", uni.PerTree, het.PerTree)
+		}
+	}
+}
+
+func TestWaterfillHeterogeneousCapacities(t *testing.T) {
+	shared := graph.Edge{U: 0, V: 1}
+	a := graph.Edge{U: 1, V: 2}
+	b := graph.Edge{U: 1, V: 3}
+	forest := [][]graph.Edge{
+		{shared, a},
+		{shared, b},
+	}
+	// The shared link is a fat trunk (4.0); the private links default 1.0.
+	r := WaterfillHeterogeneous(forest, map[graph.Edge]float64{shared: 4.0}, 1.0)
+	// Bottlenecks move to the private links: each tree gets 1.0.
+	if r.PerTree[0] != 1.0 || r.PerTree[1] != 1.0 {
+		t.Errorf("trunked shared link: %v, want 1.0 each", r.PerTree)
+	}
+	// A degraded private link throttles only its tree.
+	r = WaterfillHeterogeneous(forest, map[graph.Edge]float64{shared: 4.0, a: 0.25}, 1.0)
+	if r.PerTree[0] != 0.25 || r.PerTree[1] != 1.0 {
+		t.Errorf("degraded link: %v, want (0.25, 1.0)", r.PerTree)
+	}
+	if r.Aggregate != 1.25 {
+		t.Errorf("aggregate %f", r.Aggregate)
+	}
+}
+
+func TestWaterfillHeterogeneousPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { WaterfillHeterogeneous(nil, nil, 0) },
+		func() {
+			WaterfillHeterogeneous(nil, map[graph.Edge]float64{{U: 0, V: 1}: -1}, 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,307 @@
+package collectives
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// validate returns the process count and vector length, or an error.
+func (f *Fabric) validate(inputs [][]int64) (p, m int, err error) {
+	p = f.G.N()
+	if len(inputs) != p {
+		return 0, 0, fmt.Errorf("collectives: %d inputs for %d processes", len(inputs), p)
+	}
+	if p == 0 {
+		return 0, 0, fmt.Errorf("collectives: empty fabric")
+	}
+	m = len(inputs[0])
+	for i, in := range inputs {
+		if len(in) != m {
+			return 0, 0, fmt.Errorf("collectives: process %d vector length %d, want %d", i, len(in), m)
+		}
+	}
+	return p, m, nil
+}
+
+// chunkOff returns the start offset of chunk j when an m-element vector is
+// split into p near-equal contiguous chunks.
+func chunkOff(m, p, j int) int { return j * m / p }
+
+// RingAllreduce runs the bandwidth-optimal Ring-Allreduce [Patarasuk &
+// Yuan]: a reduce-scatter of P−1 rounds followed by an allgather of P−1
+// rounds, each moving ~m/P elements per process around the logical ring
+// 0→1→…→P−1→0. On a direct network the ring hops are routed on shortest
+// paths, so the model charges the dilation and contention they incur.
+func (f *Fabric) RingAllreduce(inputs [][]int64) (*Outcome, error) {
+	p, m, err := f.validate(inputs)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newState(f, inputs)
+	if err != nil {
+		return nil, err
+	}
+	if p == 1 {
+		return s.finish(), nil
+	}
+	chunk := func(j int) (off, n int) {
+		j = ((j % p) + p) % p
+		off = chunkOff(m, p, j)
+		return off, chunkOff(m, p, j+1) - off
+	}
+	// Reduce-scatter: in round r, process i sends chunk (i−r) to i+1,
+	// which accumulates it.
+	for r := 0; r < p-1; r++ {
+		ts := make([]transfer, 0, p)
+		for i := 0; i < p; i++ {
+			off, n := chunk(i - r)
+			ts = append(ts, transfer{src: i, dst: (i + 1) % p, srcOff: off, dstOff: off, elems: n, reduce: true})
+		}
+		s.round(ts)
+	}
+	// Allgather: process i forwards its freshest complete chunk (i+1−r).
+	for r := 0; r < p-1; r++ {
+		ts := make([]transfer, 0, p)
+		for i := 0; i < p; i++ {
+			off, n := chunk(i + 1 - r)
+			ts = append(ts, transfer{src: i, dst: (i + 1) % p, srcOff: off, dstOff: off, elems: n})
+		}
+		s.round(ts)
+	}
+	return s.finish(), nil
+}
+
+// pow2Below returns the largest power of two ≤ p.
+func pow2Below(p int) int {
+	if p < 1 {
+		return 0
+	}
+	return 1 << (bits.Len(uint(p)) - 1)
+}
+
+// p2Mapping implements the standard MPICH treatment of non-power-of-two
+// process counts: the first 2·rem processes fold pairwise so that p2 = 2^k
+// processes participate in the core exchange; afterwards results are copied
+// back. realRank maps a participant's new rank to its process id.
+type p2Mapping struct {
+	p, p2, rem int
+}
+
+func newP2Mapping(p int) p2Mapping {
+	p2 := pow2Below(p)
+	return p2Mapping{p: p, p2: p2, rem: p - p2}
+}
+
+func (m p2Mapping) realRank(newRank int) int {
+	if newRank < m.rem {
+		return newRank*2 + 1
+	}
+	return newRank + m.rem
+}
+
+// fold performs the pre-step: even processes below 2·rem send their whole
+// vector to the odd neighbor above them, which reduces it.
+func (m p2Mapping) fold(s *state, vecLen int) {
+	if m.rem == 0 {
+		return
+	}
+	ts := make([]transfer, 0, m.rem)
+	for i := 0; i < 2*m.rem; i += 2 {
+		ts = append(ts, transfer{src: i, dst: i + 1, elems: vecLen, reduce: true})
+	}
+	s.round(ts)
+}
+
+// unfold performs the post-step: odd processes below 2·rem copy the final
+// vector back to their even neighbor.
+func (m p2Mapping) unfold(s *state, vecLen int) {
+	if m.rem == 0 {
+		return
+	}
+	ts := make([]transfer, 0, m.rem)
+	for i := 0; i < 2*m.rem; i += 2 {
+		ts = append(ts, transfer{src: i + 1, dst: i, elems: vecLen})
+	}
+	s.round(ts)
+}
+
+// RecursiveDoubling runs the latency-optimal recursive-doubling Allreduce
+// [MPICH]: ⌈log₂P⌉ rounds of full-vector pairwise exchange. Every round
+// moves the whole vector, so it is preferred for small (latency-bound)
+// reductions (§4.2).
+func (f *Fabric) RecursiveDoubling(inputs [][]int64) (*Outcome, error) {
+	p, m, err := f.validate(inputs)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newState(f, inputs)
+	if err != nil {
+		return nil, err
+	}
+	if p == 1 {
+		return s.finish(), nil
+	}
+	pm := newP2Mapping(p)
+	pm.fold(s, m)
+	for d := 1; d < pm.p2; d <<= 1 {
+		ts := make([]transfer, 0, pm.p2)
+		for nr := 0; nr < pm.p2; nr++ {
+			a, b := pm.realRank(nr), pm.realRank(nr^d)
+			ts = append(ts, transfer{src: a, dst: b, elems: m, reduce: true})
+		}
+		s.round(ts)
+	}
+	pm.unfold(s, m)
+	return s.finish(), nil
+}
+
+// Rabenseifner runs the recursive-halving reduce-scatter followed by a
+// recursive-doubling allgather [Rabenseifner 2004] — bandwidth-optimal for
+// large vectors with only 2·log₂P rounds.
+func (f *Fabric) Rabenseifner(inputs [][]int64) (*Outcome, error) {
+	p, m, err := f.validate(inputs)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newState(f, inputs)
+	if err != nil {
+		return nil, err
+	}
+	if p == 1 {
+		return s.finish(), nil
+	}
+	pm := newP2Mapping(p)
+	pm.fold(s, m)
+	p2 := pm.p2
+
+	if p2 > 1 {
+		// Reduce-scatter by recursive halving. Each participant tracks the
+		// contiguous run of final chunks [clo, chi) it is still reducing;
+		// after all rounds, participant nr owns exactly chunk nr.
+		clo := make([]int, p2)
+		chi := make([]int, p2)
+		for nr := range clo {
+			clo[nr], chi[nr] = 0, p2
+		}
+		elems := func(a, b int) (off, n int) { // chunks [a,b) → element span
+			off = chunkOff(m, p2, a)
+			return off, chunkOff(m, p2, b) - off
+		}
+		for d := p2 / 2; d >= 1; d /= 2 {
+			ts := make([]transfer, 0, p2)
+			newClo := append([]int(nil), clo...)
+			newChi := append([]int(nil), chi...)
+			for nr := 0; nr < p2; nr++ {
+				partner := nr ^ d
+				mid := (clo[nr] + chi[nr]) / 2
+				if nr&d == 0 {
+					// Keep the lower half, ship the upper half to partner.
+					off, n := elems(mid, chi[nr])
+					ts = append(ts, transfer{src: pm.realRank(nr), dst: pm.realRank(partner),
+						srcOff: off, dstOff: off, elems: n, reduce: true})
+					newChi[nr] = mid
+				} else {
+					off, n := elems(clo[nr], mid)
+					ts = append(ts, transfer{src: pm.realRank(nr), dst: pm.realRank(partner),
+						srcOff: off, dstOff: off, elems: n, reduce: true})
+					newClo[nr] = mid
+				}
+			}
+			s.round(ts)
+			clo, chi = newClo, newChi
+		}
+		// Allgather by recursive doubling: owned runs double back up.
+		for d := 1; d < p2; d <<= 1 {
+			ts := make([]transfer, 0, p2)
+			for nr := 0; nr < p2; nr++ {
+				partner := nr ^ d
+				off, n := elems(clo[nr], chi[nr])
+				ts = append(ts, transfer{src: pm.realRank(nr), dst: pm.realRank(partner),
+					srcOff: off, dstOff: off, elems: n})
+			}
+			s.round(ts)
+			// After the exchange both partners own the union of the two
+			// sibling runs.
+			newClo := make([]int, p2)
+			newChi := make([]int, p2)
+			for nr := 0; nr < p2; nr++ {
+				partner := nr ^ d
+				lo, hi := clo[nr], chi[nr]
+				if clo[partner] < lo {
+					lo = clo[partner]
+				}
+				if chi[partner] > hi {
+					hi = chi[partner]
+				}
+				newClo[nr], newChi[nr] = lo, hi
+			}
+			clo, chi = newClo, newChi
+		}
+	}
+	pm.unfold(s, m)
+	return s.finish(), nil
+}
+
+// AnalyticRing returns the textbook α-β cost of Ring-Allreduce on P
+// processes with an m-element vector: 2(P−1)α + 2((P−1)/P)·m/B, before any
+// topology dilation. Useful as a sanity reference for the simulated cost.
+func (f *Fabric) AnalyticRing(p, m int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return 2*float64(p-1)*f.Alpha + 2*float64(p-1)/float64(p)*float64(m)/f.LinkBW
+}
+
+// AnalyticRecursiveDoubling returns ⌈log₂P⌉(α + m/B).
+func (f *Fabric) AnalyticRecursiveDoubling(p, m int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	rounds := bits.Len(uint(p - 1))
+	return float64(rounds) * (f.Alpha + float64(m)/f.LinkBW)
+}
+
+// AnalyticPipelinedRing returns the cost of a segmented (pipelined) Ring
+// Allreduce: the vector is cut into s segments that flow around the ring
+// back-to-back, overlapping the rounds of consecutive segments. With
+// 2(P−1) ring steps and s−1 extra pipeline stages, each moving m/(P·s)
+// elements:
+//
+//	t(s) = (2(P−1) + s − 1) · (α + m / (P·s·B))
+//
+// Larger s amortises bandwidth per stage but pays more α's — the classic
+// pipelining trade-off host-based systems tune (§8's BlueConnect-style
+// optimisations).
+func (f *Fabric) AnalyticPipelinedRing(p, m, segments int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	if segments < 1 {
+		panic("collectives: segments must be ≥ 1")
+	}
+	stages := float64(2*(p-1) + segments - 1)
+	perStage := f.Alpha + float64(m)/(float64(p)*float64(segments)*f.LinkBW)
+	return stages * perStage
+}
+
+// OptimalRingSegments returns the segment count minimising
+// AnalyticPipelinedRing for the given (p, m), by ternary-style scan over
+// the unimodal cost curve (bounded by m/p segments — below one element per
+// stage further splitting is useless).
+func (f *Fabric) OptimalRingSegments(p, m int) int {
+	if p <= 1 || m <= 0 {
+		return 1
+	}
+	maxS := m / p
+	if maxS < 1 {
+		maxS = 1
+	}
+	best, bestCost := 1, f.AnalyticPipelinedRing(p, m, 1)
+	for s := 2; s <= maxS; s++ {
+		c := f.AnalyticPipelinedRing(p, m, s)
+		if c < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	return best
+}

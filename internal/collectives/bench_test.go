@@ -1,0 +1,39 @@
+package collectives
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAlgorithms measures the host-based baselines on a complete
+// 16-process topology with a 4096-element vector.
+func BenchmarkAlgorithms(b *testing.B) {
+	g := completeTopology(16)
+	f := NewFabric(g, 100, 1, 1)
+	in := randInputs(16, 4096, 1)
+	for _, a := range algos {
+		b.Run(a.name, func(b *testing.B) {
+			b.SetBytes(16 * 4096 * 8)
+			for i := 0; i < b.N; i++ {
+				out, err := a.run(f, in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = out
+			}
+		})
+	}
+}
+
+// BenchmarkFabricConstruction measures the routing-table cost dominating
+// fabric setup.
+func BenchmarkFabricConstruction(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		g := completeTopology(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = NewFabric(g, 1, 1, 1)
+			}
+		})
+	}
+}

@@ -1,0 +1,304 @@
+package collectives
+
+import (
+	"math/rand"
+	"testing"
+
+	"polarfly/internal/er"
+	"polarfly/internal/graph"
+	"polarfly/internal/netsim"
+	"polarfly/internal/trees"
+)
+
+func randInputs(n, m int, seed int64) [][]int64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([][]int64, n)
+	for v := range in {
+		in[v] = make([]int64, m)
+		for k := range in[v] {
+			in[v][k] = int64(rng.Intn(200) - 100)
+		}
+	}
+	return in
+}
+
+func ringTopology(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func completeTopology(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func checkAllOutputs(t *testing.T, inputs [][]int64, out *Outcome) {
+	t.Helper()
+	want := netsim.ExpectedOutput(inputs)
+	for v, buf := range out.Outputs {
+		for k := range want {
+			if buf[k] != want[k] {
+				t.Fatalf("process %d element %d: got %d, want %d", v, k, buf[k], want[k])
+			}
+		}
+	}
+}
+
+type algo struct {
+	name string
+	run  func(*Fabric, [][]int64) (*Outcome, error)
+}
+
+var algos = []algo{
+	{"ring", (*Fabric).RingAllreduce},
+	{"recdbl", (*Fabric).RecursiveDoubling},
+	{"rabenseifner", (*Fabric).Rabenseifner},
+}
+
+func TestCorrectnessAcrossSizesAndTopologies(t *testing.T) {
+	// Every algorithm, on power-of-two and odd process counts, on sparse
+	// and dense topologies, for several vector lengths including m < P and
+	// m not divisible by P.
+	for _, a := range algos {
+		for _, n := range []int{2, 3, 4, 5, 7, 8, 12, 16} {
+			for _, m := range []int{1, 3, n - 1, n, 2*n + 1, 64} {
+				if m < 1 {
+					continue
+				}
+				for _, build := range []func(int) *graph.Graph{ringTopology, completeTopology} {
+					g := build(n)
+					f := NewFabric(g, 10, 1, 1)
+					in := randInputs(n, m, int64(n*1000+m))
+					out, err := a.run(f, in)
+					if err != nil {
+						t.Fatalf("%s n=%d m=%d: %v", a.name, n, m, err)
+					}
+					checkAllOutputs(t, in, out)
+				}
+			}
+		}
+	}
+}
+
+func treesLowDepth(l *er.Layout) ([]*trees.Tree, error) { return trees.LowDepthForest(l) }
+
+func evenSplit(m, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = m / k
+	}
+	out[0] += m - (m/k)*k
+	return out
+}
+
+func TestSingleProcessTrivial(t *testing.T) {
+	g := graph.New(1)
+	f := NewFabric(g, 10, 1, 1)
+	in := [][]int64{{5, 6, 7}}
+	for _, a := range algos {
+		out, err := a.run(f, in)
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		if out.Rounds != 0 || out.Time != 0 {
+			t.Errorf("%s: single process should be free, got %+v", a.name, out)
+		}
+		checkAllOutputs(t, in, out)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	g := ringTopology(4)
+	f := NewFabric(g, 1, 1, 1)
+	if _, err := f.RingAllreduce(randInputs(3, 4, 1)); err == nil {
+		t.Error("wrong process count accepted")
+	}
+	bad := randInputs(4, 4, 1)
+	bad[2] = bad[2][:2]
+	if _, err := f.RecursiveDoubling(bad); err == nil {
+		t.Error("ragged inputs accepted")
+	}
+}
+
+func TestRoundCounts(t *testing.T) {
+	n, m := 8, 64
+	g := completeTopology(n)
+	f := NewFabric(g, 10, 1, 1)
+	in := randInputs(n, m, 5)
+
+	ring, _ := f.RingAllreduce(in)
+	if ring.Rounds != 2*(n-1) {
+		t.Errorf("ring rounds = %d, want %d", ring.Rounds, 2*(n-1))
+	}
+	rd, _ := f.RecursiveDoubling(in)
+	if rd.Rounds != 3 { // log2(8)
+		t.Errorf("recursive doubling rounds = %d, want 3", rd.Rounds)
+	}
+	rab, _ := f.Rabenseifner(in)
+	if rab.Rounds != 6 { // 2·log2(8)
+		t.Errorf("rabenseifner rounds = %d, want 6", rab.Rounds)
+	}
+}
+
+func TestNonPowerOfTwoRoundCounts(t *testing.T) {
+	n := 6 // p2 = 4, rem = 2
+	g := completeTopology(n)
+	f := NewFabric(g, 10, 1, 1)
+	in := randInputs(n, 32, 6)
+	rd, _ := f.RecursiveDoubling(in)
+	if rd.Rounds != 2+2 { // fold + log2(4) + unfold
+		t.Errorf("recdbl rounds = %d, want 4", rd.Rounds)
+	}
+	rab, _ := f.Rabenseifner(in)
+	if rab.Rounds != 2+4 { // fold + 2·log2(4) + unfold
+		t.Errorf("rabenseifner rounds = %d, want 6", rab.Rounds)
+	}
+}
+
+func TestLatencyVsBandwidthRegimes(t *testing.T) {
+	// Small vectors: recursive doubling (fewest rounds) beats ring.
+	// Large vectors: ring and rabenseifner (per-process volume 2m(P−1)/P)
+	// beat recursive doubling (volume m·logP... per round full m).
+	n := 16
+	g := completeTopology(n)
+	f := NewFabric(g, 1000, 1, 1) // heavy per-round α
+	small := randInputs(n, 4, 7)
+	rSmall, _ := f.RingAllreduce(small)
+	dSmall, _ := f.RecursiveDoubling(small)
+	if dSmall.Time >= rSmall.Time {
+		t.Errorf("small m: recdbl %.0f should beat ring %.0f", dSmall.Time, rSmall.Time)
+	}
+	f2 := NewFabric(g, 1, 1, 1) // negligible α
+	big := randInputs(n, 4096, 8)
+	rBig, _ := f2.RingAllreduce(big)
+	dBig, _ := f2.RecursiveDoubling(big)
+	rabBig, _ := f2.Rabenseifner(big)
+	if rBig.Time >= dBig.Time {
+		t.Errorf("large m: ring %.0f should beat recdbl %.0f", rBig.Time, dBig.Time)
+	}
+	if rabBig.Time >= dBig.Time {
+		t.Errorf("large m: rabenseifner %.0f should beat recdbl %.0f", rabBig.Time, dBig.Time)
+	}
+}
+
+func TestAnalyticModelsSanity(t *testing.T) {
+	g := completeTopology(8)
+	f := NewFabric(g, 10, 0, 1)
+	// On a complete topology (dilation 1, no contention between distinct
+	// pairs... ring neighbors are distinct links), the simulated ring cost
+	// matches the analytic formula.
+	in := randInputs(8, 800, 9)
+	out, _ := f.RingAllreduce(in)
+	want := f.AnalyticRing(8, 800)
+	if ratio := out.Time / want; ratio < 0.95 || ratio > 1.1 {
+		t.Errorf("ring sim %.1f vs analytic %.1f (ratio %.3f)", out.Time, want, ratio)
+	}
+	rd, _ := f.RecursiveDoubling(in)
+	wantRD := f.AnalyticRecursiveDoubling(8, 800)
+	if ratio := rd.Time / wantRD; ratio < 0.95 || ratio > 1.1 {
+		t.Errorf("recdbl sim %.1f vs analytic %.1f", rd.Time, wantRD)
+	}
+	if f.AnalyticRing(1, 100) != 0 || f.AnalyticRecursiveDoubling(1, 100) != 0 {
+		t.Error("single-process analytic cost should be 0")
+	}
+}
+
+func TestAnalyticPipelinedRing(t *testing.T) {
+	g := completeTopology(8)
+	f := NewFabric(g, 100, 0, 1)
+	// One segment equals the plain analytic ring up to the chunking
+	// convention: (2(P−1))·(α + m/(P·B)).
+	if got, want := f.AnalyticPipelinedRing(8, 800, 1), f.AnalyticRing(8, 800); got != want {
+		t.Errorf("1 segment: %f, want %f", got, want)
+	}
+	// Pipelining helps when α is small relative to m: some s > 1 beats
+	// s = 1 for large m.
+	f2 := NewFabric(g, 10, 0, 1)
+	s := f2.OptimalRingSegments(8, 100000)
+	if s <= 1 {
+		t.Errorf("optimal segments = %d, expected > 1 for huge m", s)
+	}
+	if f2.AnalyticPipelinedRing(8, 100000, s) >= f2.AnalyticPipelinedRing(8, 100000, 1) {
+		t.Error("optimal segmentation not better than none")
+	}
+	// With enormous α, s = 1 is optimal.
+	f3 := NewFabric(g, 1e9, 0, 1)
+	if f3.OptimalRingSegments(8, 1000) != 1 {
+		t.Error("huge α should force one segment")
+	}
+	if f.AnalyticPipelinedRing(1, 100, 4) != 0 {
+		t.Error("single process should be free")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero segments should panic")
+		}
+	}()
+	f.AnalyticPipelinedRing(4, 100, 0)
+}
+
+func TestHostBasedVsInNetworkOnPolarFly(t *testing.T) {
+	// The headline comparison (§1, §8): on ER_5, in-network multi-tree
+	// Allreduce beats every host-based algorithm for large vectors.
+	pg, err := er.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := pg.N()
+	m := 2048
+	in := randInputs(n, m, 11)
+	alpha, perHop, bw := 500.0, 3.0, 1.0
+	f := NewFabric(pg.G, alpha, perHop, bw)
+
+	best := 1e18
+	for _, a := range algos {
+		out, err := a.run(f, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAllOutputs(t, in, out)
+		if out.Time < best {
+			best = out.Time
+		}
+	}
+	// In-network low-depth forest on the same fabric parameters.
+	l, err := er.NewLayout(pg, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := treesLowDepth(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := evenSplit(m, len(forest))
+	res, err := netsim.Run(netsim.Spec{Topology: pg.G, Forest: forest, Split: split, Inputs: in},
+		netsim.Config{LinkLatency: int(perHop), VCDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Cycles) >= best {
+		t.Errorf("in-network %d cycles should beat best host-based %.0f", res.Cycles, best)
+	}
+	t.Logf("in-network=%d cycles, best host-based=%.0f (%.1fx)", res.Cycles, best, best/float64(res.Cycles))
+}
+
+func TestTotalTrafficAccounting(t *testing.T) {
+	n, m := 4, 40
+	g := completeTopology(n)
+	f := NewFabric(g, 0, 0, 1)
+	in := randInputs(n, m, 12)
+	out, _ := f.RingAllreduce(in)
+	// Ring on complete graph: every hop distance 1; total volume =
+	// 2·(P−1)·Σchunks = 2·(P−1)·m.
+	if want := 2 * (n - 1) * m; out.TotalTraffic != want {
+		t.Errorf("ring traffic = %d, want %d", out.TotalTraffic, want)
+	}
+}

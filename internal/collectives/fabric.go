@@ -1,0 +1,163 @@
+// Package collectives implements the classical host-based Allreduce
+// algorithms the paper positions its in-network solutions against (§4.2,
+// §8): Ring-Allreduce (bandwidth-optimal), Recursive Doubling
+// (latency-optimal) and Rabenseifner's recursive halving + doubling. Each
+// algorithm really moves and reduces data, so its output is verified, and
+// its cost is evaluated round-by-round on the actual topology via the
+// routing table — capturing the dilation and link contention a host-based
+// collective pays on a direct network, plus the per-round software α that
+// in-network offload eliminates.
+package collectives
+
+import (
+	"fmt"
+
+	"polarfly/internal/graph"
+	"polarfly/internal/routing"
+)
+
+// Fabric is the cost model for host-based rounds on a topology.
+type Fabric struct {
+	G  *graph.Graph
+	RT *routing.Table
+	// Alpha is the per-round software/protocol startup cost in cycles
+	// (host stack, synchronisation). In-network computing avoids this per
+	// round; hosts pay it every round (§4.2).
+	Alpha float64
+	// PerHop is the per-hop wire latency in cycles.
+	PerHop float64
+	// LinkBW is the link bandwidth in elements/cycle.
+	LinkBW float64
+}
+
+// NewFabric builds a Fabric with the given parameters.
+func NewFabric(g *graph.Graph, alpha, perHop, linkBW float64) *Fabric {
+	if linkBW <= 0 {
+		panic("collectives: link bandwidth must be positive")
+	}
+	return &Fabric{G: g, RT: routing.New(g), Alpha: alpha, PerHop: perHop, LinkBW: linkBW}
+}
+
+// message is one point-to-point transfer within a round.
+type message struct {
+	src, dst int
+	elems    int
+}
+
+// roundTime charges a synchronous communication round: every message is
+// routed on its shortest path; each directed link serialises the elements
+// crossing it; the round completes when the most loaded link drains, after
+// the software startup and the longest path's wire latency.
+func (f *Fabric) roundTime(msgs []message) float64 {
+	if len(msgs) == 0 {
+		return 0
+	}
+	load := make(map[[2]int]int)
+	maxHops := 0
+	for _, m := range msgs {
+		if m.elems == 0 {
+			continue
+		}
+		links := f.RT.Links(m.src, m.dst)
+		if len(links) > maxHops {
+			maxHops = len(links)
+		}
+		for _, l := range links {
+			load[l] += m.elems
+		}
+	}
+	maxLoad := 0
+	for _, l := range load {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	return f.Alpha + f.PerHop*float64(maxHops) + float64(maxLoad)/f.LinkBW
+}
+
+// Outcome reports a completed host-based collective.
+type Outcome struct {
+	// Time is the modelled completion time in cycles.
+	Time float64
+	// Rounds is the number of communication rounds.
+	Rounds int
+	// Outputs[v] is process v's final vector (verified by tests to be the
+	// element-wise sum).
+	Outputs [][]int64
+	// TotalTraffic is the total element·hop volume moved on the wire.
+	TotalTraffic int
+}
+
+// state carries the evolving buffers of all processes during a schedule.
+type state struct {
+	f       *Fabric
+	bufs    [][]int64
+	outcome Outcome
+}
+
+func newState(f *Fabric, inputs [][]int64) (*state, error) {
+	if len(inputs) != f.G.N() {
+		return nil, fmt.Errorf("collectives: %d inputs for %d nodes", len(inputs), f.G.N())
+	}
+	m := len(inputs[0])
+	s := &state{f: f, bufs: make([][]int64, len(inputs))}
+	for i, in := range inputs {
+		if len(in) != m {
+			return nil, fmt.Errorf("collectives: process %d vector length %d, want %d", i, len(in), m)
+		}
+		s.bufs[i] = append([]int64(nil), in...)
+	}
+	return s, nil
+}
+
+// transfer is a staged copy/reduce executed atomically at the end of a
+// round: `elems` values from src's buffer at [srcOff, srcOff+elems) arrive
+// at dst at dstOff, either overwriting (reduce=false) or accumulating
+// (reduce=true).
+type transfer struct {
+	src, dst       int
+	srcOff, dstOff int
+	elems          int
+	reduce         bool
+}
+
+// round executes a set of transfers as one synchronous round, charging its
+// time. All reads happen before all writes (processes send from their
+// pre-round buffers, as real nonblocking exchanges do).
+func (s *state) round(ts []transfer) {
+	var msgs []message
+	staged := make([][]int64, len(ts))
+	for i, t := range ts {
+		if t.elems == 0 {
+			continue
+		}
+		if t.src == t.dst {
+			panic("collectives: self-message")
+		}
+		staged[i] = append([]int64(nil), s.bufs[t.src][t.srcOff:t.srcOff+t.elems]...)
+		msgs = append(msgs, message{src: t.src, dst: t.dst, elems: t.elems})
+		s.outcome.TotalTraffic += t.elems * s.f.RT.Dist(t.src, t.dst)
+	}
+	for i, t := range ts {
+		if t.elems == 0 {
+			continue
+		}
+		dst := s.bufs[t.dst][t.dstOff : t.dstOff+t.elems]
+		if t.reduce {
+			for k, v := range staged[i] {
+				dst[k] += v
+			}
+		} else {
+			copy(dst, staged[i])
+		}
+	}
+	if len(msgs) > 0 {
+		s.outcome.Time += s.f.roundTime(msgs)
+		s.outcome.Rounds++
+	}
+}
+
+func (s *state) finish() *Outcome {
+	s.outcome.Outputs = s.bufs
+	return &s.outcome
+}

@@ -1,0 +1,99 @@
+package core
+
+import "testing"
+
+func TestRandomForestComparison(t *testing.T) {
+	row, err := RandomForestComparison(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.K != 7 {
+		t.Errorf("K = %d", row.K)
+	}
+	if row.RandomBW >= row.CoordinatedBW {
+		t.Errorf("random %.3f ≥ coordinated %.3f", row.RandomBW, row.CoordinatedBW)
+	}
+	if row.RandomCong <= 2 {
+		t.Errorf("random congestion %d ≤ 2", row.RandomCong)
+	}
+	if row.PortStreamsRandom <= 1 {
+		t.Errorf("random port streams %d ≤ 1", row.PortStreamsRandom)
+	}
+	if _, err := RandomForestComparison(4, 1); err == nil {
+		t.Error("even q accepted")
+	}
+}
+
+func TestVCDepthSweepMonotone(t *testing.T) {
+	rows, err := VCDepthSweep(5, 800, 8, []int{1, 2, 4, 8, 16}, LowDepth, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deeper VCs never hurt; VCDepth=1 with latency 8 must be much slower
+	// than VCDepth=16.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Cycles > rows[i-1].Cycles+4 { // tiny arbitration jitter allowed
+			t.Errorf("cycles increased with deeper VCs: %+v", rows)
+		}
+	}
+	if float64(rows[0].Cycles) < 2.0*float64(rows[len(rows)-1].Cycles) {
+		t.Errorf("VCDepth=1 not clearly throttled: %+v", rows)
+	}
+}
+
+func TestEngineRateSweepMonotone(t *testing.T) {
+	rows, err := EngineRateSweep(5, 800, 3, []int{1, 2, 5, 0}, LowDepth, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rate 1 slower than rate 5; rate 5 ≈ unlimited (rate 0, last entry).
+	if rows[0].Cycles <= rows[2].Cycles {
+		t.Errorf("engine rate 1 not throttled: %+v", rows)
+	}
+	unlimited := rows[len(rows)-1].Cycles
+	if float64(rows[2].Cycles) > 1.15*float64(unlimited) {
+		t.Errorf("rate 5 should be near unlimited: %+v", rows)
+	}
+}
+
+func TestResourceComparison(t *testing.T) {
+	rows, err := ResourceComparison(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byKind := map[EmbeddingKind]ResourceRow{}
+	for _, r := range rows {
+		byKind[r.Kind] = r
+	}
+	if byKind[SingleTree].VCsPerLink != 1 || byKind[SingleTree].ReductionsPerPort != 1 {
+		t.Errorf("single tree resources: %+v", byKind[SingleTree])
+	}
+	// Low-depth: congestion 2 → ≤2 VCs, but 1 reduction per port (Lemma 7.8).
+	if byKind[LowDepth].ReductionsPerPort != 1 {
+		t.Errorf("low-depth port streams %d, want 1", byKind[LowDepth].ReductionsPerPort)
+	}
+	if byKind[LowDepth].VCsPerLink > 2 {
+		t.Errorf("low-depth VCs %d > 2", byKind[LowDepth].VCsPerLink)
+	}
+	// Hamiltonian: edge-disjoint → 1 VC, 1 reduction per port.
+	if byKind[Hamiltonian].VCsPerLink != 1 || byKind[Hamiltonian].ReductionsPerPort != 1 {
+		t.Errorf("hamiltonian resources: %+v", byKind[Hamiltonian])
+	}
+	// States: low-depth holds ~q·(children) states at busy routers; the
+	// Hamiltonian path holds at most 2 children per router per tree.
+	if byKind[Hamiltonian].MaxStatesPerRouter > byKind[LowDepth].MaxStatesPerRouter {
+		t.Errorf("hamiltonian states %d > low-depth %d",
+			byKind[Hamiltonian].MaxStatesPerRouter, byKind[LowDepth].MaxStatesPerRouter)
+	}
+	// Even q variant.
+	evenRows, err := ResourceComparison(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evenRows) != 2 {
+		t.Errorf("even q: %d rows", len(evenRows))
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+
+	"polarfly/internal/bandwidth"
+	"polarfly/internal/graph"
+	"polarfly/internal/trees"
+)
+
+// TreesUsingLink returns the indices of forest trees whose edge set
+// contains the undirected link (u, v).
+func TreesUsingLink(forest []*trees.Tree, u, v int) []int {
+	e := graph.NewEdge(u, v)
+	var out []int
+	for i, t := range forest {
+		for _, te := range t.Edges() {
+			if te == e {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Degrade returns a new embedding that survives the failure of the given
+// undirected links, by dropping every tree that crosses a failed link and
+// re-evaluating the bandwidth model on the survivors. This is the graceful-
+// degradation strategy the multi-tree embeddings enable: because the
+// low-depth forest has congestion ≤ 2, one link failure removes at most 2
+// of its q trees; because the Hamiltonian forest is edge-disjoint, one
+// failure removes at most 1 of its ⌊(q+1)/2⌋ trees. A single-tree
+// embedding loses everything.
+//
+// Degrade returns an error if no tree survives.
+func Degrade(e *Embedding, failed [][2]int) (*Embedding, error) {
+	dead := make(map[int]bool)
+	for _, l := range failed {
+		for _, ti := range TreesUsingLink(e.Forest, l[0], l[1]) {
+			dead[ti] = true
+		}
+	}
+	var surviving []*trees.Tree
+	for i, t := range e.Forest {
+		if !dead[i] {
+			surviving = append(surviving, t)
+		}
+	}
+	if len(surviving) == 0 {
+		return nil, fmt.Errorf("core: all %d trees cross a failed link", len(e.Forest))
+	}
+	out := &Embedding{Kind: e.Kind, Forest: surviving, Topology: e.Topology}
+	out.Model = bandwidth.ForForest(surviving, 1.0)
+	for _, t := range surviving {
+		if d := t.MaxDepth(); d > out.MaxDepth {
+			out.MaxDepth = d
+		}
+	}
+	return out, nil
+}
+
+// SubsetEmbedding returns an embedding restricted to the given tree
+// indices, with the model re-evaluated. Indices must be distinct and in
+// range.
+func SubsetEmbedding(e *Embedding, indices []int) (*Embedding, error) {
+	seen := make(map[int]bool)
+	var forest []*trees.Tree
+	for _, i := range indices {
+		if i < 0 || i >= len(e.Forest) {
+			return nil, fmt.Errorf("core: tree index %d out of range [0,%d)", i, len(e.Forest))
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("core: duplicate tree index %d", i)
+		}
+		seen[i] = true
+		forest = append(forest, e.Forest[i])
+	}
+	out := &Embedding{Kind: e.Kind, Forest: forest, Topology: e.Topology}
+	out.Model = bandwidth.ForForest(forest, 1.0)
+	for _, t := range forest {
+		if d := t.MaxDepth(); d > out.MaxDepth {
+			out.MaxDepth = d
+		}
+	}
+	return out, nil
+}
+
+// FailureToleranceRow records how many trees a worst-case single-link
+// failure removes from each embedding — the redundancy argument for
+// multi-tree Allreduce.
+type FailureToleranceRow struct {
+	Kind EmbeddingKind
+	// Trees is the forest size before failure.
+	Trees int
+	// WorstCaseLost is the maximum trees lost to any single link failure.
+	WorstCaseLost int
+	// WorstCaseRemainingBW is the model aggregate after that worst
+	// failure.
+	WorstCaseRemainingBW float64
+}
+
+// FailureTolerance computes the single-link worst case for each available
+// embedding of q.
+func FailureTolerance(q int) ([]FailureToleranceRow, error) {
+	inst, err := NewInstance(q)
+	if err != nil {
+		return nil, err
+	}
+	kinds := []EmbeddingKind{SingleTree, LowDepth, Hamiltonian}
+	if q%2 == 0 {
+		kinds = []EmbeddingKind{SingleTree, Hamiltonian}
+	}
+	var rows []FailureToleranceRow
+	for _, kind := range kinds {
+		e, err := inst.Embed(kind)
+		if err != nil {
+			return nil, err
+		}
+		row := FailureToleranceRow{Kind: kind, Trees: len(e.Forest)}
+		worstLost := 0
+		worstBW := e.Model.Aggregate
+		// Only links used by some tree can hurt.
+		cong := trees.Congestion(e.Forest)
+		for link, c := range cong {
+			if c <= worstLost {
+				continue
+			}
+			deg, err := Degrade(e, [][2]int{{link.U, link.V}})
+			lost := len(e.Forest)
+			bw := 0.0
+			if err == nil {
+				lost = len(e.Forest) - len(deg.Forest)
+				bw = deg.Model.Aggregate
+			}
+			if lost > worstLost || (lost == worstLost && bw < worstBW) {
+				worstLost = lost
+				worstBW = bw
+			}
+		}
+		row.WorstCaseLost = worstLost
+		row.WorstCaseRemainingBW = worstBW
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"polarfly/internal/netsim"
+	"polarfly/internal/workload"
+)
+
+func TestTreesUsingLink(t *testing.T) {
+	in := instance(t, 5)
+	e, err := in.Embed(LowDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every tree edge maps back to its tree.
+	for ti, tr := range e.Forest {
+		edges := tr.Edges()
+		found := false
+		for _, idx := range TreesUsingLink(e.Forest, edges[0].U, edges[0].V) {
+			if idx == ti {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("tree %d not found for its own edge", ti)
+		}
+	}
+	// Theorem 7.6: no link serves more than 2 trees.
+	for _, tr := range e.Forest {
+		for _, edge := range tr.Edges() {
+			if n := len(TreesUsingLink(e.Forest, edge.U, edge.V)); n > 2 {
+				t.Fatalf("link %v used by %d trees", edge, n)
+			}
+		}
+	}
+}
+
+func TestDegradeDropsAffectedTreesOnly(t *testing.T) {
+	in := instance(t, 5)
+	e, err := in.Embed(Hamiltonian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail one edge of tree 0: exactly one tree dies (edge-disjointness).
+	victim := e.Forest[0].Edges()[3]
+	deg, err := Degrade(e, [][2]int{{victim.U, victim.V}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deg.Forest) != len(e.Forest)-1 {
+		t.Errorf("lost %d trees, want 1", len(e.Forest)-len(deg.Forest))
+	}
+	if deg.Model.Aggregate != e.Model.Aggregate-1.0 {
+		t.Errorf("degraded BW %f, want %f", deg.Model.Aggregate, e.Model.Aggregate-1.0)
+	}
+
+	// The degraded embedding still computes correct Allreduces.
+	inputs := workload.Vectors(in.N(), 120, 100, 8)
+	res, err := in.Allreduce(deg, inputs, netsim.Config{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := netsim.ExpectedOutput(inputs)
+	for v := range res.Outputs {
+		for k := range want {
+			if res.Outputs[v][k] != want[k] {
+				t.Fatalf("degraded allreduce wrong at node %d", v)
+			}
+		}
+	}
+
+	// Failing every tree's first edge kills the whole forest.
+	var all [][2]int
+	for _, tr := range e.Forest {
+		edge := tr.Edges()[0]
+		all = append(all, [2]int{edge.U, edge.V})
+	}
+	if _, err := Degrade(e, all); err == nil {
+		t.Error("total failure should error")
+	}
+}
+
+func TestFailureTolerance(t *testing.T) {
+	rows, err := FailureTolerance(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[EmbeddingKind]FailureToleranceRow{}
+	for _, r := range rows {
+		byKind[r.Kind] = r
+	}
+	// Single tree: one failure loses everything.
+	if byKind[SingleTree].WorstCaseLost != 1 || byKind[SingleTree].WorstCaseRemainingBW != 0 {
+		t.Errorf("single tree tolerance: %+v", byKind[SingleTree])
+	}
+	// Low-depth: at most 2 trees lost (Theorem 7.6), ≥ q−2 survive.
+	if byKind[LowDepth].WorstCaseLost > 2 {
+		t.Errorf("low-depth lost %d > 2", byKind[LowDepth].WorstCaseLost)
+	}
+	if byKind[LowDepth].WorstCaseRemainingBW <= 0 {
+		t.Error("low-depth should retain bandwidth after one failure")
+	}
+	// Hamiltonian: at most 1 tree lost (edge-disjoint).
+	if byKind[Hamiltonian].WorstCaseLost > 1 {
+		t.Errorf("hamiltonian lost %d > 1", byKind[Hamiltonian].WorstCaseLost)
+	}
+	if byKind[Hamiltonian].WorstCaseRemainingBW != 2.0 { // 3 trees − 1
+		t.Errorf("hamiltonian remaining BW %f, want 2", byKind[Hamiltonian].WorstCaseRemainingBW)
+	}
+}

@@ -1,0 +1,33 @@
+package core
+
+import "testing"
+
+func TestLogicalTreeComparison(t *testing.T) {
+	rows, err := LogicalTreeComparison(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 3 single shapes + the SHARP two-tree emulation
+		t.Fatalf("%d rows", len(rows))
+	}
+	// SHARP's two-tree cap must still fall below the single physical tree
+	// (cross-tree conflicts eat what the second tree adds), let alone the
+	// paper's q-tree forests.
+	pair := rows[len(rows)-1]
+	if pair.Bandwidth >= 1.0 {
+		t.Errorf("SHARP pair bandwidth %f not below physical single tree", pair.Bandwidth)
+	}
+	for _, r := range rows {
+		// §4.4: every logical shape suffers path conflicts on ER_q and
+		// falls below the single physical tree's bandwidth.
+		if r.MaxLoad <= 1 {
+			t.Errorf("%s: MaxLoad %d, expected conflicts", r.Shape, r.MaxLoad)
+		}
+		if r.Bandwidth >= 1.0 {
+			t.Errorf("%s: bandwidth %f not below physical reference", r.Shape, r.Bandwidth)
+		}
+		if r.PhysicalDepth < 2 {
+			t.Errorf("%s: physical depth %d", r.Shape, r.PhysicalDepth)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"polarfly/internal/netsim"
+)
+
+func TestOverlapStep(t *testing.T) {
+	inst := instance(t, 5)
+	layers := []int{512, 512, 512, 512}
+	cfg := netsim.Config{LinkLatency: 3, VCDepth: 6}
+
+	slow, err := OverlapStep(inst, SingleTree, layers, 100, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := OverlapStep(inst, LowDepth, layers, 100, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.ComputeCycles != 400 || fast.ComputeCycles != 400 {
+		t.Fatalf("compute cycles wrong: %d/%d", slow.ComputeCycles, fast.ComputeCycles)
+	}
+	// Multi-tree Allreduce shrinks the exposed communication tail.
+	if fast.ExposedCommCycles >= slow.ExposedCommCycles {
+		t.Errorf("low-depth exposed comm %d not below single-tree %d",
+			fast.ExposedCommCycles, slow.ExposedCommCycles)
+	}
+	if fast.StepCycles >= slow.StepCycles {
+		t.Errorf("low-depth step %d not below single-tree %d", fast.StepCycles, slow.StepCycles)
+	}
+	// Step time is never below pure compute.
+	if fast.StepCycles < fast.ComputeCycles {
+		t.Error("step time below compute time")
+	}
+	// Per-layer sync times recorded.
+	if len(slow.SyncCycles) != 4 {
+		t.Errorf("sync cycles: %v", slow.SyncCycles)
+	}
+}
+
+func TestOverlapMostlyHidden(t *testing.T) {
+	// With enormous per-layer compute, all but the final gradient's sync
+	// hides behind compute: the exposed tail is exactly the last layer's
+	// Allreduce (which starts only when the backward pass has finished —
+	// no overlap is ever possible for it).
+	inst := instance(t, 3)
+	res, err := OverlapStep(inst, LowDepth, []int{64, 64}, 100000,
+		netsim.Config{LinkLatency: 2, VCDepth: 4}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastSync := res.SyncCycles[len(res.SyncCycles)-1]
+	if res.ExposedCommCycles != lastSync {
+		t.Errorf("exposed comm %d, want final sync %d", res.ExposedCommCycles, lastSync)
+	}
+	if res.StepCycles != res.ComputeCycles+lastSync {
+		t.Errorf("step %d != compute %d + tail %d", res.StepCycles, res.ComputeCycles, lastSync)
+	}
+}
+
+func TestOverlapErrors(t *testing.T) {
+	inst := instance(t, 3)
+	if _, err := OverlapStep(inst, LowDepth, []int{4}, -1, netsim.DefaultConfig(), 1); err == nil {
+		t.Error("negative compute accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"polarfly/internal/netsim"
+)
+
+func TestSteadyStateRecoversModelBandwidth(t *testing.T) {
+	// Once fill time is factored out, the measured rate of every embedding
+	// must sit within 10% of the Algorithm 1 prediction — including the
+	// deep Hamiltonian trees that raw m/cycles penalises.
+	cfg := netsim.Config{LinkLatency: 3, VCDepth: 6}
+	rows, err := SteadyStateComparison(7, 3000, cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		ratio := r.Rate / r.ModelBW
+		if ratio < 0.90 || ratio > 1.05 {
+			t.Errorf("%v: steady-state rate %.3f vs model %.3f (ratio %.3f)",
+				r.Kind, r.Rate, r.ModelBW, ratio)
+		}
+		if r.Fill <= 0 {
+			t.Errorf("%v: non-positive fill %.1f", r.Kind, r.Fill)
+		}
+	}
+	// Fill must reflect depth: Hamiltonian ≫ low-depth.
+	var low, ham SteadyStateRow
+	for _, r := range rows {
+		switch r.Kind {
+		case LowDepth:
+			low = r
+		case Hamiltonian:
+			ham = r
+		}
+	}
+	if ham.Fill <= low.Fill {
+		t.Errorf("hamiltonian fill %.1f should exceed low-depth fill %.1f", ham.Fill, low.Fill)
+	}
+}
+
+func TestSteadyStateErrors(t *testing.T) {
+	inst := instance(t, 3)
+	if _, err := SteadyState(inst, SingleTree, 1, netsim.DefaultConfig(), 1); err == nil {
+		t.Error("m=1 accepted")
+	}
+}

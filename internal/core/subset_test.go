@@ -1,0 +1,41 @@
+package core
+
+import "testing"
+
+func TestSubsetEmbedding(t *testing.T) {
+	in := instance(t, 9)
+	e, err := in.Embed(Hamiltonian) // 5 disjoint trees
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := SubsetEmbedding(e, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Forest) != 2 {
+		t.Fatalf("%d trees", len(sub.Forest))
+	}
+	if sub.Model.Aggregate != 2.0 {
+		t.Errorf("aggregate %f, want 2 (edge-disjoint unit trees)", sub.Model.Aggregate)
+	}
+	if sub.Kind != e.Kind || sub.Topology != e.Topology {
+		t.Error("metadata not preserved")
+	}
+	if sub.MaxDepth != e.MaxDepth {
+		t.Errorf("depth %d, want %d", sub.MaxDepth, e.MaxDepth)
+	}
+	// Trees are shared by reference with the parent embedding.
+	if sub.Forest[0] != e.Forest[1] || sub.Forest[1] != e.Forest[3] {
+		t.Error("wrong trees selected")
+	}
+	// Errors.
+	if _, err := SubsetEmbedding(e, []int{0, 0}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if _, err := SubsetEmbedding(e, []int{-1}); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := SubsetEmbedding(e, []int{5}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}

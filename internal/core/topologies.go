@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"polarfly/internal/torus"
+)
+
+// TopologyRow compares a PolarFly design point against tori of similar
+// scale — the §1.2/§1.3 positioning: both families scale Allreduce
+// bandwidth with radix, but PolarFly reaches high radix at N = q²+q+1
+// nodes and diameter 2, while a torus must either grow its diameter
+// (larger k) or its radix budget (more dimensions).
+type TopologyRow struct {
+	Name string
+	// N is the node count, Radix the links per node, Diameter the
+	// worst-case hop count (Allreduce latency scales with the embedded
+	// tree depth, which is at least the diameter for a single instance).
+	N, Radix, Diameter int
+	// AllreduceBW is the aggregate in-network Allreduce bandwidth at unit
+	// link bandwidth: the constructed forest's Algorithm 1 value for
+	// PolarFly, the multi-ported ring bound for tori.
+	AllreduceBW float64
+	// BWPerRadix normalises the aggregate by radix — the efficiency of
+	// the design point (0.5 is the §5 optimum for tree-based Allreduce).
+	BWPerRadix float64
+}
+
+// TopologyComparison builds the PolarFly q instance and tori with node
+// counts within `slack` (fractional) of PolarFly's N, and reports their
+// Allreduce capabilities.
+func TopologyComparison(q int, slack float64) ([]TopologyRow, error) {
+	inst, err := NewInstance(q)
+	if err != nil {
+		return nil, err
+	}
+	ham, err := inst.Embed(Hamiltonian)
+	if err != nil {
+		return nil, err
+	}
+	rows := []TopologyRow{{
+		Name:        fmt.Sprintf("PolarFly q=%d", q),
+		N:           inst.N(),
+		Radix:       inst.Radix(),
+		Diameter:    2,
+		AllreduceBW: ham.Model.Aggregate,
+		BWPerRadix:  ham.Model.Aggregate / float64(inst.Radix()),
+	}}
+	if q%2 == 1 {
+		low, err := inst.Embed(LowDepth)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TopologyRow{
+			Name:        fmt.Sprintf("PolarFly q=%d (low-depth)", q),
+			N:           inst.N(),
+			Radix:       inst.Radix(),
+			Diameter:    2,
+			AllreduceBW: low.Model.Aggregate,
+			BWPerRadix:  low.Model.Aggregate / float64(inst.Radix()),
+		})
+	}
+
+	target := float64(inst.N())
+	for dims := 2; dims <= 4; dims++ {
+		// Pick k so k^dims is closest to PolarFly's N.
+		k := int(math.Round(math.Pow(target, 1/float64(dims))))
+		if k < 2 {
+			continue
+		}
+		tr, err := torus.New(k, dims)
+		if err != nil {
+			continue
+		}
+		if math.Abs(float64(tr.N())-target) > slack*target {
+			continue
+		}
+		// The multi-ported bucket bound is host-based; the in-network
+		// analogue with edge-disjoint embedded structures is bounded by
+		// the same edge-count argument as Cor. 7.1: M/(N−1) unit trees.
+		_, upper := tr.G.TreePackingBounds()
+		bw := math.Min(tr.MultiPortAllreduceBandwidth(1.0)/2, float64(upper))
+		rows = append(rows, TopologyRow{
+			Name:        fmt.Sprintf("%d-ary %d-cube", k, dims),
+			N:           tr.N(),
+			Radix:       tr.Radix(),
+			Diameter:    tr.Diameter(),
+			AllreduceBW: bw,
+			BWPerRadix:  bw / float64(tr.Radix()),
+		})
+	}
+	return rows, nil
+}

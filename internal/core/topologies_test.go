@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTopologyComparison(t *testing.T) {
+	rows, err := TopologyComparison(11, 0.5) // N=133; 12² = 144, 5³ = 125 etc.
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("only %d rows: %+v", len(rows), rows)
+	}
+	var pf TopologyRow
+	torusSeen := false
+	for _, r := range rows {
+		if r.N <= 0 || r.Radix <= 0 || r.AllreduceBW <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		if strings.HasPrefix(r.Name, "PolarFly q=11") && !strings.Contains(r.Name, "low-depth") {
+			pf = r
+		}
+		if strings.Contains(r.Name, "cube") {
+			torusSeen = true
+			// The paper's positioning: at similar node counts the torus
+			// has a much larger diameter and a much smaller radix (hence
+			// less Allreduce bandwidth) than PolarFly.
+			if r.Diameter <= 2 {
+				t.Errorf("torus %s diameter %d suspicious", r.Name, r.Diameter)
+			}
+		}
+	}
+	if !torusSeen {
+		t.Fatal("no torus row generated")
+	}
+	if pf.Diameter != 2 || pf.AllreduceBW != 6.0 {
+		t.Errorf("PolarFly row %+v", pf)
+	}
+	// PolarFly beats every comparable torus on aggregate bandwidth.
+	for _, r := range rows {
+		if strings.Contains(r.Name, "cube") && r.AllreduceBW >= pf.AllreduceBW {
+			t.Errorf("torus %s bandwidth %.1f not below PolarFly's %.1f", r.Name, r.AllreduceBW, pf.AllreduceBW)
+		}
+	}
+}
+
+func TestTopologyComparisonEvenQ(t *testing.T) {
+	rows, err := TopologyComparison(8, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if strings.Contains(r.Name, "low-depth") {
+			t.Error("even q should not produce a low-depth row")
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package er
+
+import "testing"
+
+// TestEdgeConnectivityAndTreePacking brackets the paper's tree-packing
+// result with classical graph theory: ER_q has edge connectivity λ = q
+// (its minimum degree, attained at quadrics), so Nash-Williams–Tutte
+// guarantees ⌊q/2⌋ edge-disjoint spanning trees, while the edge count
+// caps packing at ⌊m/(n−1)⌋ = ⌊(q+1)/2⌋ (Lemma 7.18). The Singer
+// construction (§7.2) achieves the upper bound — strictly beating the
+// generic guarantee for odd q.
+func TestEdgeConnectivityAndTreePacking(t *testing.T) {
+	qs := []int{2, 3, 4, 5, 7}
+	if testing.Short() {
+		qs = []int{2, 3}
+	}
+	for _, q := range qs {
+		pg := build(t, q)
+		lambda := pg.G.EdgeConnectivity()
+		if lambda != q {
+			t.Errorf("q=%d: λ(ER_q) = %d, want %d", q, lambda, q)
+		}
+		lower, upper := pg.G.TreePackingBounds()
+		if lower != q/2 {
+			t.Errorf("q=%d: Nash-Williams lower bound %d, want %d", q, lower, q/2)
+		}
+		if upper != (q+1)/2 {
+			t.Errorf("q=%d: edge-count upper bound %d, want %d (Lemma 7.18)", q, upper, (q+1)/2)
+		}
+	}
+}

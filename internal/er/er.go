@@ -1,0 +1,205 @@
+// Package er builds the Erdős–Rényi polarity graph ER_q — the PolarFly
+// topology — from its projective-geometry construction (§6.1 of the paper),
+// classifies vertices into quadrics W(q), quadric-adjacent V1(q) and the
+// rest V2(q) (Table 1), and computes the modular PolarFly layout of
+// Algorithm 2 with its structural Properties 1–3, which underpin the
+// low-depth Allreduce trees of §7.1.
+package er
+
+import (
+	"fmt"
+
+	"polarfly/internal/ff"
+	"polarfly/internal/graph"
+)
+
+// Vector is a 3-dimensional vector over F_q with coordinates stored as
+// field-element indices. ER_q vertices are the left-normalised vectors:
+// the leftmost non-zero coordinate is 1.
+type Vector [3]int
+
+// VertexType partitions ER_q vertices per §6.1.
+type VertexType int
+
+const (
+	// Quadric vertices are self-orthogonal (W(q) in the paper).
+	Quadric VertexType = iota
+	// V1 vertices are adjacent to at least one quadric.
+	V1
+	// V2 vertices are adjacent to no quadric.
+	V2
+)
+
+func (t VertexType) String() string {
+	switch t {
+	case Quadric:
+		return "W"
+	case V1:
+		return "V1"
+	case V2:
+		return "V2"
+	}
+	return fmt.Sprintf("VertexType(%d)", int(t))
+}
+
+// Graph is the Erdős–Rényi polarity graph ER_q together with the algebraic
+// data of its projective construction.
+type Graph struct {
+	// Q is the prime power order of the underlying field.
+	Q int
+	// F is the field F_q used for dot products.
+	F ff.Field
+	// G is the topology: N = q²+q+1 vertices, edges between orthogonal
+	// vector pairs. Self-loops on quadrics are omitted, as in PolarFly.
+	G *graph.Graph
+	// Vecs maps vertex index to its left-normalised vector.
+	Vecs []Vector
+
+	index map[Vector]int
+	types []VertexType
+	// quadrics is the sorted list of quadric vertices (|W(q)| = q+1).
+	quadrics []int
+}
+
+// New constructs ER_q. q must be a prime power.
+func New(q int) (*Graph, error) {
+	f, err := ff.New(q)
+	if err != nil {
+		return nil, fmt.Errorf("er: %w", err)
+	}
+	n := q*q + q + 1
+	pg := &Graph{
+		Q:     q,
+		F:     f,
+		G:     graph.New(n),
+		Vecs:  make([]Vector, 0, n),
+		index: make(map[Vector]int, n),
+	}
+
+	// Enumerate left-normalised vectors: [1,y,z], then [0,1,z], then
+	// [0,0,1]. This fixed order makes vertex indices deterministic.
+	add := func(v Vector) {
+		pg.index[v] = len(pg.Vecs)
+		pg.Vecs = append(pg.Vecs, v)
+	}
+	for y := 0; y < q; y++ {
+		for z := 0; z < q; z++ {
+			add(Vector{1, y, z})
+		}
+	}
+	for z := 0; z < q; z++ {
+		add(Vector{0, 1, z})
+	}
+	add(Vector{0, 0, 1})
+
+	// Edges: (u,v) iff u·v = 0 in F_q. Quadrics (u·u = 0) get no self-loop.
+	for i := 0; i < n; i++ {
+		if pg.Dot(pg.Vecs[i], pg.Vecs[i]) == 0 {
+			pg.quadrics = append(pg.quadrics, i)
+		}
+		for j := i + 1; j < n; j++ {
+			if pg.Dot(pg.Vecs[i], pg.Vecs[j]) == 0 {
+				pg.G.AddEdge(i, j)
+			}
+		}
+	}
+
+	// Classify vertices.
+	pg.types = make([]VertexType, n)
+	isQuadric := make([]bool, n)
+	for _, w := range pg.quadrics {
+		pg.types[w] = Quadric
+		isQuadric[w] = true
+	}
+	for v := 0; v < n; v++ {
+		if isQuadric[v] {
+			continue
+		}
+		pg.types[v] = V2
+		for _, u := range pg.G.Neighbors(v) {
+			if isQuadric[u] {
+				pg.types[v] = V1
+				break
+			}
+		}
+	}
+	return pg, nil
+}
+
+// N returns the number of vertices, q²+q+1.
+func (pg *Graph) N() int { return pg.G.N() }
+
+// Dot returns the F_q dot product u·v.
+func (pg *Graph) Dot(u, v Vector) int {
+	f := pg.F
+	s := f.Mul(u[0], v[0])
+	s = f.Add(s, f.Mul(u[1], v[1]))
+	return f.Add(s, f.Mul(u[2], v[2]))
+}
+
+// IndexOf returns the vertex index of a left-normalised vector, or -1 if v
+// is not a vertex of ER_q.
+func (pg *Graph) IndexOf(v Vector) int {
+	if i, ok := pg.index[v]; ok {
+		return i
+	}
+	return -1
+}
+
+// Normalize returns the left-normalised representative of a non-zero
+// vector: the scalar multiple whose leftmost non-zero coordinate is 1.
+func (pg *Graph) Normalize(v Vector) Vector {
+	for i := 0; i < 3; i++ {
+		if v[i] != 0 {
+			inv := pg.F.Inv(v[i])
+			return Vector{pg.F.Mul(v[0], inv), pg.F.Mul(v[1], inv), pg.F.Mul(v[2], inv)}
+		}
+	}
+	panic("er: cannot normalise the zero vector")
+}
+
+// Type returns the W/V1/V2 classification of vertex v.
+func (pg *Graph) Type(v int) VertexType { return pg.types[v] }
+
+// Quadrics returns the sorted quadric vertices; |W(q)| = q+1.
+func (pg *Graph) Quadrics() []int {
+	out := make([]int, len(pg.quadrics))
+	copy(out, pg.quadrics)
+	return out
+}
+
+// CountByType returns the number of vertices of each type, in the order
+// (W, V1, V2). Table 1 predicts (q+1, q(q+1)/2, q(q−1)/2) for odd q.
+func (pg *Graph) CountByType() (w, v1, v2 int) {
+	for _, t := range pg.types {
+		switch t {
+		case Quadric:
+			w++
+		case V1:
+			v1++
+		case V2:
+			v2++
+		}
+	}
+	return
+}
+
+// NeighborTypeCounts returns how many neighbors of v fall in each type, in
+// the order (W, V1, V2). Table 1 predicts, for odd q:
+//
+//	v ∈ W:  (0, q, 0)
+//	v ∈ V1: (2, (q−1)/2, (q−1)/2)
+//	v ∈ V2: (0, (q+1)/2, (q+1)/2)
+func (pg *Graph) NeighborTypeCounts(v int) (w, v1, v2 int) {
+	for _, u := range pg.G.Neighbors(v) {
+		switch pg.types[u] {
+		case Quadric:
+			w++
+		case V1:
+			v1++
+		case V2:
+			v2++
+		}
+	}
+	return
+}

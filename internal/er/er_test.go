@@ -1,0 +1,201 @@
+package er
+
+import (
+	"testing"
+
+	"polarfly/internal/numtheory"
+)
+
+// oddQs are the odd prime powers exercised in structural tests; evenQs the
+// even ones (the graph itself exists for all prime powers, the layout only
+// for odd q).
+var (
+	oddQs  = []int{3, 5, 7, 9, 11, 13, 17, 19, 23, 25, 27}
+	evenQs = []int{2, 4, 8, 16}
+)
+
+func build(t *testing.T, q int) *Graph {
+	t.Helper()
+	pg, err := New(q)
+	if err != nil {
+		t.Fatalf("New(%d): %v", q, err)
+	}
+	return pg
+}
+
+func TestNewRejectsNonPrimePower(t *testing.T) {
+	for _, q := range []int{1, 6, 10, 12} {
+		if _, err := New(q); err == nil {
+			t.Errorf("New(%d) should fail", q)
+		}
+	}
+}
+
+func TestOrderAndEdgeCount(t *testing.T) {
+	for _, q := range append(append([]int{}, oddQs...), evenQs...) {
+		pg := build(t, q)
+		n := q*q + q + 1
+		if pg.N() != n {
+			t.Errorf("q=%d: N=%d, want %d", q, pg.N(), n)
+		}
+		// Cor. 7.1's edge count: q+1 quadrics of degree q, q² non-quadrics
+		// of degree q+1 → q(q+1)²/2 edges.
+		if want := q * (q + 1) * (q + 1) / 2; pg.G.M() != want {
+			t.Errorf("q=%d: M=%d, want %d", q, pg.G.M(), want)
+		}
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	for _, q := range append(append([]int{}, oddQs...), evenQs...) {
+		pg := build(t, q)
+		for v := 0; v < pg.N(); v++ {
+			want := q + 1
+			if pg.Type(v) == Quadric {
+				want = q // self-loop dropped
+			}
+			if d := pg.G.Degree(v); d != want {
+				t.Errorf("q=%d: deg(%d)=%d, want %d (type %v)", q, v, d, want, pg.Type(v))
+			}
+		}
+	}
+}
+
+func TestDiameter2AndUnique2Paths(t *testing.T) {
+	// Theorem 6.1 for a representative subset (O(N²·q) work per graph).
+	for _, q := range []int{2, 3, 4, 5, 7, 8, 9, 11} {
+		pg := build(t, q)
+		if d := pg.G.Diameter(); d != 2 {
+			t.Errorf("q=%d: diameter=%d, want 2", q, d)
+		}
+		if !pg.G.HasUniqueTwoPaths() {
+			t.Errorf("q=%d: found a vertex pair with two distinct 2-paths", q)
+		}
+	}
+}
+
+func TestTable1GlobalCounts(t *testing.T) {
+	for _, q := range oddQs {
+		pg := build(t, q)
+		w, v1, v2 := pg.CountByType()
+		if w != q+1 {
+			t.Errorf("q=%d: |W|=%d, want %d", q, w, q+1)
+		}
+		if want := q * (q + 1) / 2; v1 != want {
+			t.Errorf("q=%d: |V1|=%d, want %d", q, v1, want)
+		}
+		if want := q * (q - 1) / 2; v2 != want {
+			t.Errorf("q=%d: |V2|=%d, want %d", q, v2, want)
+		}
+	}
+}
+
+func TestTable1NeighborhoodCounts(t *testing.T) {
+	for _, q := range oddQs {
+		pg := build(t, q)
+		for v := 0; v < pg.N(); v++ {
+			w, v1, v2 := pg.NeighborTypeCounts(v)
+			switch pg.Type(v) {
+			case Quadric:
+				if w != 0 || v1 != q || v2 != 0 {
+					t.Errorf("q=%d v=%d∈W: neighbors (%d,%d,%d), want (0,%d,0)", q, v, w, v1, v2, q)
+				}
+			case V1:
+				if w != 2 || v1 != (q-1)/2 || v2 != (q-1)/2 {
+					t.Errorf("q=%d v=%d∈V1: neighbors (%d,%d,%d), want (2,%d,%d)", q, v, w, v1, v2, (q-1)/2, (q-1)/2)
+				}
+			case V2:
+				if w != 0 || v1 != (q+1)/2 || v2 != (q+1)/2 {
+					t.Errorf("q=%d v=%d∈V2: neighbors (%d,%d,%d), want (0,%d,%d)", q, v, w, v1, v2, (q+1)/2, (q+1)/2)
+				}
+			}
+		}
+	}
+}
+
+func TestNoEdgesBetweenQuadrics(t *testing.T) {
+	// Property 1(2), odd q.
+	for _, q := range oddQs {
+		pg := build(t, q)
+		qs := pg.Quadrics()
+		if len(qs) != q+1 {
+			t.Fatalf("q=%d: %d quadrics", q, len(qs))
+		}
+		for i := 0; i < len(qs); i++ {
+			for j := i + 1; j < len(qs); j++ {
+				if pg.G.HasEdge(qs[i], qs[j]) {
+					t.Errorf("q=%d: quadrics %d,%d adjacent", q, qs[i], qs[j])
+				}
+			}
+		}
+	}
+}
+
+func TestOrthogonalityDefinesEdges(t *testing.T) {
+	pg := build(t, 5)
+	for i := 0; i < pg.N(); i++ {
+		for j := i + 1; j < pg.N(); j++ {
+			orth := pg.Dot(pg.Vecs[i], pg.Vecs[j]) == 0
+			if orth != pg.G.HasEdge(i, j) {
+				t.Fatalf("edge/orthogonality mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestQuadricsAreSelfOrthogonal(t *testing.T) {
+	for _, q := range []int{3, 4, 5, 8, 9} {
+		pg := build(t, q)
+		for v := 0; v < pg.N(); v++ {
+			selfOrth := pg.Dot(pg.Vecs[v], pg.Vecs[v]) == 0
+			if selfOrth != (pg.Type(v) == Quadric) {
+				t.Errorf("q=%d v=%d: self-orthogonal=%v but type=%v", q, v, selfOrth, pg.Type(v))
+			}
+		}
+	}
+}
+
+func TestNormalizeAndIndexOf(t *testing.T) {
+	pg := build(t, 7)
+	f := pg.F
+	// Any scalar multiple of a vertex vector must normalise back to it.
+	for v := 0; v < pg.N(); v++ {
+		vec := pg.Vecs[v]
+		for c := 1; c < 7; c++ {
+			scaled := Vector{f.Mul(c, vec[0]), f.Mul(c, vec[1]), f.Mul(c, vec[2])}
+			if got := pg.Normalize(scaled); got != vec {
+				t.Fatalf("Normalize(%v) = %v, want %v", scaled, got, vec)
+			}
+		}
+		if pg.IndexOf(vec) != v {
+			t.Fatalf("IndexOf(%v) = %d, want %d", vec, pg.IndexOf(vec), v)
+		}
+	}
+	if pg.IndexOf(Vector{2, 0, 0}) != -1 {
+		t.Error("non-normalised vector should not be found")
+	}
+}
+
+func TestVertexTypeString(t *testing.T) {
+	if Quadric.String() != "W" || V1.String() != "V1" || V2.String() != "V2" {
+		t.Error("VertexType.String broken")
+	}
+	if VertexType(9).String() == "" {
+		t.Error("unknown type should still render")
+	}
+}
+
+func TestAllFeasibleRadixesConstruct(t *testing.T) {
+	// Every prime power q in the paper's sweep range must construct; keep
+	// the bound modest in short mode.
+	hi := 49
+	if testing.Short() {
+		hi = 13
+	}
+	for _, q := range numtheory.PrimePowersUpTo(2, hi) {
+		pg := build(t, q)
+		if !pg.G.IsConnected() {
+			t.Errorf("q=%d: ER_q disconnected", q)
+		}
+	}
+}

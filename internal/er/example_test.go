@@ -1,0 +1,30 @@
+package er_test
+
+import (
+	"fmt"
+
+	"polarfly/internal/er"
+)
+
+// ExampleNew builds the smallest PolarFly and reports its Table 1 class
+// sizes.
+func ExampleNew() {
+	pg, err := er.New(3)
+	if err != nil {
+		panic(err)
+	}
+	w, v1, v2 := pg.CountByType()
+	fmt.Println(pg.N(), pg.G.M(), w, v1, v2)
+	// Output: 13 24 4 6 3
+}
+
+// ExampleNewLayout shows the Algorithm 2 cluster decomposition.
+func ExampleNewLayout() {
+	pg, _ := er.New(3)
+	l, err := er.NewLayout(pg, -1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(l.NumClusters(), len(l.Clusters[0]))
+	// Output: 3 3
+}

@@ -1,0 +1,160 @@
+package er
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Layout is the modular PolarFly layout of Algorithm 2: the quadric cluster
+// W plus q non-quadric clusters C_0..C_{q-1}, each anchored at a center
+// vertex adjacent to the starter quadric. Defined for odd prime powers q,
+// matching the scope of §6.1.1 and §7.1 of the paper.
+type Layout struct {
+	PG *Graph
+	// Starter is the starter quadric w chosen in line 2 of Algorithm 2.
+	Starter int
+	// Centers[i] is the center v_i of cluster C_i; the centers are exactly
+	// the neighbors of Starter, so len(Centers) == q.
+	Centers []int
+	// Clusters[i] lists the vertices of C_i in ascending order (center
+	// included); every non-quadric cluster has exactly q vertices.
+	Clusters [][]int
+	// ClusterOf maps a vertex to its cluster index, with -1 for quadrics
+	// (the W cluster).
+	ClusterOf []int
+	// CenterOf maps cluster index to its center (same as Centers, kept for
+	// readability at call sites).
+	CenterOf []int
+	// QuadricOfCenter maps cluster index i to w_i, the unique non-starter
+	// quadric adjacent to center v_i (Corollary 7.3).
+	QuadricOfCenter []int
+	// CenterOfQuadric inverts QuadricOfCenter: maps a non-starter quadric
+	// vertex to the index of the unique cluster whose center it neighbors;
+	// -1 for the starter quadric and all non-quadrics.
+	CenterOfQuadric []int
+}
+
+// NewLayout computes the PolarFly layout with the given starter quadric. If
+// starter is negative, the smallest-index quadric is used. NewLayout
+// returns an error for even q (the paper's layout covers odd prime powers)
+// or if starter is not a quadric.
+func NewLayout(pg *Graph, starter int) (*Layout, error) {
+	if pg.Q%2 == 0 {
+		return nil, fmt.Errorf("er: layout requires odd q, got %d", pg.Q)
+	}
+	quadrics := pg.Quadrics()
+	if starter < 0 {
+		starter = quadrics[0]
+	}
+	if pg.Type(starter) != Quadric {
+		return nil, fmt.Errorf("er: starter %d is not a quadric", starter)
+	}
+
+	n := pg.N()
+	l := &Layout{
+		PG:              pg,
+		Starter:         starter,
+		ClusterOf:       make([]int, n),
+		CenterOfQuadric: make([]int, n),
+	}
+	for i := range l.ClusterOf {
+		l.ClusterOf[i] = -1
+		l.CenterOfQuadric[i] = -1
+	}
+
+	// Line 3-5 of Algorithm 2: one cluster per neighbor of the starter.
+	centers := pg.G.Neighbors(starter) // ascending, deterministic
+	for ci, center := range centers {
+		cluster := []int{center}
+		l.ClusterOf[center] = ci
+		for _, u := range pg.G.Neighbors(center) {
+			if pg.Type(u) != Quadric {
+				if l.ClusterOf[u] != -1 {
+					return nil, fmt.Errorf("er: vertex %d assigned to clusters %d and %d", u, l.ClusterOf[u], ci)
+				}
+				l.ClusterOf[u] = ci
+				cluster = append(cluster, u)
+			}
+		}
+		sort.Ints(cluster)
+		l.Clusters = append(l.Clusters, cluster)
+		l.Centers = append(l.Centers, center)
+	}
+	l.CenterOf = l.Centers
+
+	// Every non-quadric must be covered (Lakhotia et al. [37]; tested in
+	// this package).
+	for v := 0; v < n; v++ {
+		if pg.Type(v) != Quadric && l.ClusterOf[v] == -1 {
+			return nil, fmt.Errorf("er: vertex %d not covered by any cluster", v)
+		}
+	}
+
+	// Corollary 7.3: each non-starter quadric is adjacent to exactly one
+	// center.
+	l.QuadricOfCenter = make([]int, len(centers))
+	for i := range l.QuadricOfCenter {
+		l.QuadricOfCenter[i] = -1
+	}
+	for _, w := range quadrics {
+		if w == starter {
+			continue
+		}
+		for _, u := range pg.G.Neighbors(w) {
+			if ci := indexOf(centers, u); ci >= 0 {
+				if l.QuadricOfCenter[ci] != -1 || l.CenterOfQuadric[w] != -1 {
+					return nil, fmt.Errorf("er: quadric %d adjacent to multiple centers", w)
+				}
+				l.QuadricOfCenter[ci] = w
+				l.CenterOfQuadric[w] = ci
+			}
+		}
+	}
+	for ci, w := range l.QuadricOfCenter {
+		if w == -1 {
+			return nil, fmt.Errorf("er: center %d has no non-starter quadric neighbor", l.Centers[ci])
+		}
+	}
+	return l, nil
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumClusters returns the number of non-quadric clusters, q.
+func (l *Layout) NumClusters() int { return len(l.Clusters) }
+
+// EdgesBetweenClusters returns the number of ER_q edges with one endpoint
+// in cluster i and the other in cluster j (i ≠ j). Property 3 predicts
+// exactly q−2 for distinct non-quadric clusters.
+func (l *Layout) EdgesBetweenClusters(i, j int) int {
+	count := 0
+	for _, u := range l.Clusters[i] {
+		for _, v := range l.Clusters[j] {
+			if l.PG.G.HasEdge(u, v) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// EdgesToQuadricCluster returns the number of edges between cluster i and
+// the quadric cluster W. Property 2 predicts exactly q+1.
+func (l *Layout) EdgesToQuadricCluster(i int) int {
+	count := 0
+	for _, u := range l.Clusters[i] {
+		for _, w := range l.PG.Quadrics() {
+			if l.PG.G.HasEdge(u, w) {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,33 @@
+package er
+
+import "testing"
+
+// TestMooreBoundScalingEfficiency quantifies the §1.3 "scaling efficiency"
+// claim: a diameter-2 network of max degree d can have at most d²+1 nodes
+// (the Moore bound). PolarFly reaches N = q²+q+1 with degree d = q+1 —
+// an efficiency of (q²+q+1)/((q+1)²+1) ≈ 1 − 1/q, above 0.85 for every
+// feasible q ≥ 7 and approaching the bound asymptotically.
+func TestMooreBoundScalingEfficiency(t *testing.T) {
+	for _, q := range []int{3, 4, 5, 7, 9, 11, 13} {
+		pg := build(t, q)
+		d := pg.G.MaxDegree()
+		if d != q+1 {
+			t.Fatalf("q=%d: max degree %d", q, d)
+		}
+		moore := d*d + 1
+		if pg.N() > moore {
+			t.Fatalf("q=%d: N=%d exceeds the Moore bound %d — impossible", q, pg.N(), moore)
+		}
+		eff := float64(pg.N()) / float64(moore)
+		if q >= 7 && eff < 0.85 {
+			t.Errorf("q=%d: scaling efficiency %.3f below 0.85", q, eff)
+		}
+		// Monotone convergence toward 1.
+		if q >= 5 {
+			prevEff := float64(3*3+3+1) / float64(16+1) // q=3 reference
+			if eff <= prevEff-1e-9 && q > 3 {
+				t.Errorf("q=%d: efficiency %.3f below the q=3 point %.3f", q, eff, prevEff)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package er
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over the algebra of the projective construction.
+
+func TestDotBilinearityQuick(t *testing.T) {
+	pg := build(t, 9) // extension field to exercise non-prime arithmetic
+	f := pg.F
+	prop := func(a1, a2, a3, b1, b2, b3, c uint8) bool {
+		u := Vector{int(a1) % 9, int(a2) % 9, int(a3) % 9}
+		v := Vector{int(b1) % 9, int(b2) % 9, int(b3) % 9}
+		s := int(c) % 9
+		// Symmetry.
+		if pg.Dot(u, v) != pg.Dot(v, u) {
+			return false
+		}
+		// Homogeneity: (s·u)·v = s·(u·v).
+		su := Vector{f.Mul(s, u[0]), f.Mul(s, u[1]), f.Mul(s, u[2])}
+		return pg.Dot(su, v) == f.Mul(s, pg.Dot(u, v))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeIdempotentQuick(t *testing.T) {
+	pg := build(t, 7)
+	prop := func(a1, a2, a3 uint8) bool {
+		u := Vector{int(a1) % 7, int(a2) % 7, int(a3) % 7}
+		if u == (Vector{0, 0, 0}) {
+			return true // normalisation of zero is undefined
+		}
+		n := pg.Normalize(u)
+		// Idempotent, and the result is a graph vertex.
+		return pg.Normalize(n) == n && pg.IndexOf(n) >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarMultiplesPreserveOrthogonalityQuick(t *testing.T) {
+	// The projective quotient is well-defined: scaling either vector never
+	// changes orthogonality. This is why ER_q vertices are equivalence
+	// classes.
+	pg := build(t, 5)
+	f := pg.F
+	prop := func(a1, a2, a3, b1, b2, b3, s1, s2 uint8) bool {
+		u := Vector{int(a1) % 5, int(a2) % 5, int(a3) % 5}
+		v := Vector{int(b1) % 5, int(b2) % 5, int(b3) % 5}
+		c1, c2 := int(s1)%4+1, int(s2)%4+1 // non-zero scalars
+		su := Vector{f.Mul(c1, u[0]), f.Mul(c1, u[1]), f.Mul(c1, u[2])}
+		sv := Vector{f.Mul(c2, v[0]), f.Mul(c2, v[1]), f.Mul(c2, v[2])}
+		return (pg.Dot(u, v) == 0) == (pg.Dot(su, sv) == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

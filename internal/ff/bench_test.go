@@ -1,0 +1,68 @@
+package ff
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkPrimeFieldMul(b *testing.B) {
+	f, _ := NewPrimeField(127)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Mul(i%126+1, (i+7)%126+1)
+	}
+}
+
+func BenchmarkExtFieldMulTabled(b *testing.B) {
+	f, _ := New(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Mul(i%127+1, (i+7)%127+1)
+	}
+}
+
+func BenchmarkExtFieldMulUntabled(b *testing.B) {
+	base, _ := NewPrimeField(2)
+	mod, _ := FindIrreduciblePoly(base, 10)
+	f, _ := NewExtension(base, mod) // order 1024 > tableLimit
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Mul(i%1023+1, (i+7)%1023+1)
+	}
+}
+
+func BenchmarkFieldInv(b *testing.B) {
+	for _, q := range []int{9, 128} {
+		f, _ := New(q)
+		b.Run(fmt.Sprintf("GF(%d)", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = f.Inv(i%(q-1) + 1)
+			}
+		})
+	}
+}
+
+func BenchmarkFindPrimitivePoly(b *testing.B) {
+	for _, q := range []int{9, 25, 49} {
+		base, _ := New(q)
+		b.Run(fmt.Sprintf("deg3overGF(%d)", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := FindPrimitivePoly(base, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFieldConstruction(b *testing.B) {
+	for _, q := range []int{64, 81, 128} {
+		b.Run(fmt.Sprintf("GF(%d)", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := New(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

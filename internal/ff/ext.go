@@ -1,0 +1,191 @@
+package ff
+
+import (
+	"fmt"
+)
+
+// extField is GF(|K|^d) built as K[x]/(m(x)) for a base field K and a monic
+// irreducible polynomial m of degree d. Elements are encoded as base-|K|
+// integers of the coefficient vector (x^0 digit least significant).
+type extField struct {
+	base    Field
+	modulus Poly
+	deg     int
+	order   int
+
+	// Operation tables, present when order ≤ tableLimit.
+	addTab []int // addTab[a*order+b]
+	mulTab []int
+	negTab []int
+	invTab []int
+}
+
+// NewExtension builds the extension of base by the monic irreducible
+// polynomial modulus. The degree of the extension is deg(modulus).
+func NewExtension(base Field, modulus Poly) (Field, error) {
+	modulus = modulus.trim()
+	d := modulus.Degree()
+	if d < 2 {
+		return nil, fmt.Errorf("ff: extension degree must be ≥ 2, got %d", d)
+	}
+	if modulus[d] != 1 {
+		return nil, fmt.Errorf("ff: modulus %v is not monic", modulus)
+	}
+	if !IsIrreducible(base, modulus) {
+		return nil, fmt.Errorf("ff: modulus %v is reducible over %v", modulus, base)
+	}
+	order := 1
+	for i := 0; i < d; i++ {
+		order *= base.Order()
+		if order > 1<<30 {
+			return nil, fmt.Errorf("ff: extension order overflows practical bounds")
+		}
+	}
+	f := &extField{base: base, modulus: modulus, deg: d, order: order}
+	if order <= tableLimit {
+		f.buildTables()
+	}
+	return f, nil
+}
+
+func (f *extField) Order() int  { return f.order }
+func (f *extField) Char() int   { return f.base.Char() }
+func (f *extField) Degree() int { return f.base.Degree() * f.deg }
+
+func (f *extField) String() string {
+	return fmt.Sprintf("GF(%d) = %v[x]/(%v)", f.order, f.base, f.modulus)
+}
+
+func (f *extField) check(a int) {
+	if a < 0 || a >= f.order {
+		panic(fmt.Sprintf("ff: element %d out of range for GF(%d)", a, f.order))
+	}
+}
+
+// Decode expands element index a into its coefficient vector over the base
+// field (length = extension degree, little-endian).
+func (f *extField) Decode(a int) Poly {
+	f.check(a)
+	out := make(Poly, f.deg)
+	q := f.base.Order()
+	for i := 0; i < f.deg; i++ {
+		out[i] = a % q
+		a /= q
+	}
+	return out
+}
+
+// Encode packs a coefficient vector (degree < extension degree after
+// reduction) back into an element index.
+func (f *extField) Encode(p Poly) int {
+	q := f.base.Order()
+	idx := 0
+	for i := len(p) - 1; i >= 0; i-- {
+		if i >= f.deg && p[i] != 0 {
+			panic("ff: Encode: polynomial degree exceeds extension degree")
+		}
+		if i < f.deg {
+			idx = idx*q + p[i]
+		}
+	}
+	return idx
+}
+
+func (f *extField) buildTables() {
+	n := f.order
+	f.addTab = make([]int, n*n)
+	f.mulTab = make([]int, n*n)
+	f.negTab = make([]int, n)
+	f.invTab = make([]int, n)
+	for a := 0; a < n; a++ {
+		pa := f.Decode(a)
+		f.negTab[a] = f.Encode(PolyScale(f.base, f.base.Neg(1), pa))
+		for b := 0; b < n; b++ {
+			pb := f.Decode(b)
+			f.addTab[a*n+b] = f.Encode(PolyAdd(f.base, pa, pb))
+			f.mulTab[a*n+b] = f.Encode(PolyMod(f.base, PolyMul(f.base, pa, pb), f.modulus))
+		}
+	}
+	for a := 1; a < n; a++ {
+		if f.invTab[a] != 0 {
+			continue
+		}
+		for b := 1; b < n; b++ {
+			if f.mulTab[a*n+b] == 1 {
+				f.invTab[a] = b
+				f.invTab[b] = a
+				break
+			}
+		}
+		if f.invTab[a] == 0 {
+			panic(fmt.Sprintf("ff: element %d has no inverse in %v", a, f))
+		}
+	}
+}
+
+func (f *extField) Add(a, b int) int {
+	if f.addTab != nil {
+		f.check(a)
+		f.check(b)
+		return f.addTab[a*f.order+b]
+	}
+	return f.Encode(PolyAdd(f.base, f.Decode(a), f.Decode(b)))
+}
+
+func (f *extField) Sub(a, b int) int { return f.Add(a, f.Neg(b)) }
+
+func (f *extField) Neg(a int) int {
+	if f.negTab != nil {
+		f.check(a)
+		return f.negTab[a]
+	}
+	return f.Encode(PolyScale(f.base, f.base.Neg(1), f.Decode(a)))
+}
+
+func (f *extField) Mul(a, b int) int {
+	if f.mulTab != nil {
+		f.check(a)
+		f.check(b)
+		return f.mulTab[a*f.order+b]
+	}
+	return f.Encode(PolyMod(f.base, PolyMul(f.base, f.Decode(a), f.Decode(b)), f.modulus))
+}
+
+func (f *extField) Inv(a int) int {
+	f.check(a)
+	if a == 0 {
+		panic("ff: inverse of zero")
+	}
+	if f.invTab != nil {
+		return f.invTab[a]
+	}
+	// a^(q-2) = a⁻¹ in GF(q).
+	return genericPow(f, a, f.order-2)
+}
+
+func (f *extField) Div(a, b int) int { return f.Mul(a, f.Inv(b)) }
+
+func (f *extField) Pow(a, k int) int { return genericPow(f, a, k) }
+
+// Ext exposes extension-field-specific operations for fields produced by
+// NewExtension. Callers that hold a Field can type-assert to Ext when they
+// need coefficient-level access, such as the Singer construction, which
+// selects powers of ζ with a specific coefficient pattern.
+type Ext interface {
+	Field
+	// Decode returns the coefficient vector of an element over the base
+	// field, little-endian, with length equal to the extension degree.
+	Decode(a int) Poly
+	// Encode packs a reduced coefficient vector into an element index.
+	Encode(p Poly) int
+	// Base returns the base field K.
+	Base() Field
+	// Modulus returns the defining monic irreducible polynomial over K.
+	Modulus() Poly
+	// X returns the element index of the adjoined root x of the modulus.
+	X() int
+}
+
+func (f *extField) Base() Field   { return f.base }
+func (f *extField) Modulus() Poly { return f.modulus.Clone() }
+func (f *extField) X() int        { return f.base.Order() }

@@ -1,0 +1,313 @@
+package ff
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fieldsUnderTest builds a representative set of fields: prime fields, the
+// small extension fields used in the paper's examples (GF(4), GF(8), GF(9)),
+// and a larger untabled extension (GF(q³) for q=3 has order 27 — tabled; use
+// GF(5³)=125 tabled and GF(2^10)=1024 untabled to hit the polynomial path).
+func fieldsUnderTest(t *testing.T) []Field {
+	t.Helper()
+	var out []Field
+	for _, q := range []int{2, 3, 5, 7, 11, 13} {
+		f, err := NewPrimeField(q)
+		if err != nil {
+			t.Fatalf("NewPrimeField(%d): %v", q, err)
+		}
+		out = append(out, f)
+	}
+	for _, q := range []int{4, 8, 9, 16, 25, 27, 32, 49, 64, 81, 121, 125, 128} {
+		f, err := New(q)
+		if err != nil {
+			t.Fatalf("New(%d): %v", q, err)
+		}
+		out = append(out, f)
+	}
+	// An untabled extension to exercise the slow path.
+	base, _ := NewPrimeField(2)
+	mod, err := FindIrreduciblePoly(base, 10)
+	if err != nil {
+		t.Fatalf("FindIrreduciblePoly(GF(2),10): %v", err)
+	}
+	big, err := NewExtension(base, mod)
+	if err != nil {
+		t.Fatalf("NewExtension: %v", err)
+	}
+	out = append(out, big)
+	return out
+}
+
+func TestNewRejectsNonPrimePower(t *testing.T) {
+	for _, q := range []int{0, 1, 6, 10, 12, 100} {
+		if _, err := New(q); err == nil {
+			t.Errorf("New(%d) should fail", q)
+		}
+	}
+	if _, err := NewPrimeField(9); err == nil {
+		t.Error("NewPrimeField(9) should fail")
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	for _, f := range fieldsUnderTest(t) {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			q := f.Order()
+			rng := rand.New(rand.NewSource(42))
+			samples := 200
+			pick := func() int { return rng.Intn(q) }
+			for i := 0; i < samples; i++ {
+				a, b, c := pick(), pick(), pick()
+				// Commutativity.
+				if f.Add(a, b) != f.Add(b, a) {
+					t.Fatalf("add not commutative at (%d,%d)", a, b)
+				}
+				if f.Mul(a, b) != f.Mul(b, a) {
+					t.Fatalf("mul not commutative at (%d,%d)", a, b)
+				}
+				// Associativity.
+				if f.Add(f.Add(a, b), c) != f.Add(a, f.Add(b, c)) {
+					t.Fatalf("add not associative at (%d,%d,%d)", a, b, c)
+				}
+				if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+					t.Fatalf("mul not associative at (%d,%d,%d)", a, b, c)
+				}
+				// Distributivity.
+				if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+					t.Fatalf("not distributive at (%d,%d,%d)", a, b, c)
+				}
+				// Identities.
+				if f.Add(a, 0) != a || f.Mul(a, 1) != a {
+					t.Fatalf("identity failure at %d", a)
+				}
+				// Inverses.
+				if f.Add(a, f.Neg(a)) != 0 {
+					t.Fatalf("additive inverse failure at %d", a)
+				}
+				if a != 0 {
+					if f.Mul(a, f.Inv(a)) != 1 {
+						t.Fatalf("multiplicative inverse failure at %d", a)
+					}
+					if f.Div(f.Mul(a, b), a) != b {
+						t.Fatalf("div failure at (%d,%d)", a, b)
+					}
+				}
+				// Sub consistency.
+				if f.Sub(a, b) != f.Add(a, f.Neg(b)) {
+					t.Fatalf("sub inconsistent at (%d,%d)", a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestFieldCharacteristic(t *testing.T) {
+	for _, f := range fieldsUnderTest(t) {
+		p := f.Char()
+		// p·1 = 0 and k·1 ≠ 0 for 0 < k < p.
+		acc := 0
+		for k := 1; k <= p; k++ {
+			acc = f.Add(acc, 1)
+			if k < p && acc == 0 {
+				t.Errorf("%v: characteristic smaller than %d", f, p)
+			}
+		}
+		if acc != 0 {
+			t.Errorf("%v: p·1 ≠ 0", f)
+		}
+		// Order = p^Degree.
+		order := 1
+		for i := 0; i < f.Degree(); i++ {
+			order *= p
+		}
+		if order != f.Order() {
+			t.Errorf("%v: p^a = %d ≠ order %d", f, order, f.Order())
+		}
+	}
+}
+
+func TestMultiplicativeGroupCyclic(t *testing.T) {
+	// Every non-zero element satisfies a^(q-1) = 1 and the number of
+	// generators equals φ(q−1).
+	for _, q := range []int{4, 8, 9, 16, 25, 27} {
+		f, err := New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		generators := 0
+		for a := 1; a < q; a++ {
+			if f.Pow(a, q-1) != 1 {
+				t.Fatalf("GF(%d): %d^(q-1) ≠ 1", q, a)
+			}
+			ord := 1
+			v := a
+			for v != 1 {
+				v = f.Mul(v, a)
+				ord++
+			}
+			if (q-1)%ord != 0 {
+				t.Fatalf("GF(%d): ord(%d)=%d does not divide q-1", q, a, ord)
+			}
+			if ord == q-1 {
+				generators++
+			}
+		}
+		phi := totient(q - 1)
+		if generators != phi {
+			t.Errorf("GF(%d): %d generators, want φ(%d)=%d", q, generators, q-1, phi)
+		}
+	}
+}
+
+func totient(n int) int {
+	phi := 0
+	for k := 1; k <= n; k++ {
+		if gcd(k, n) == 1 {
+			phi++
+		}
+	}
+	return phi
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func TestPrimitivePolynomialMakesXGenerate(t *testing.T) {
+	// For New(q) fields the adjoined root (index p for GF(p^a)) must
+	// generate the multiplicative group.
+	for _, q := range []int{4, 8, 9, 16, 27, 32, 64, 81, 128} {
+		f, err := New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext, ok := f.(Ext)
+		if !ok {
+			t.Fatalf("GF(%d) is not an extension field", q)
+		}
+		x := ext.X()
+		seen := make(map[int]bool)
+		v := 1
+		for i := 0; i < q-1; i++ {
+			if seen[v] {
+				t.Fatalf("GF(%d): x has order %d < q-1", q, i)
+			}
+			seen[v] = true
+			v = f.Mul(v, x)
+		}
+		if v != 1 {
+			t.Fatalf("GF(%d): x^(q-1) ≠ 1", q)
+		}
+		if len(seen) != q-1 {
+			t.Fatalf("GF(%d): x generated %d elements, want %d", q, len(seen), q-1)
+		}
+	}
+}
+
+func TestFrobeniusIsAutomorphism(t *testing.T) {
+	// (a+b)^p = a^p + b^p in characteristic p.
+	for _, q := range []int{4, 9, 25, 27, 49} {
+		f, err := New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := f.Char()
+		for a := 0; a < q; a++ {
+			for b := 0; b < q; b++ {
+				lhs := f.Pow(f.Add(a, b), p)
+				rhs := f.Add(f.Pow(a, p), f.Pow(b, p))
+				if lhs != rhs {
+					t.Fatalf("GF(%d): Frobenius fails at (%d,%d)", q, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestGF4KnownTable(t *testing.T) {
+	// GF(4) = GF(2)[x]/(x²+x+1): indices 0,1,2=x,3=x+1.
+	f, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := f.(Ext)
+	if !ext.Modulus().Equal(Poly{1, 1, 1}) {
+		t.Fatalf("GF(4) modulus = %v, want x^2+x+1", ext.Modulus())
+	}
+	mul := [4][4]int{
+		{0, 0, 0, 0},
+		{0, 1, 2, 3},
+		{0, 2, 3, 1}, // x·x = x+1, x·(x+1) = x²+x = 1
+		{0, 3, 1, 2},
+	}
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if got := f.Mul(a, b); got != mul[a][b] {
+				t.Errorf("GF(4): %d·%d = %d, want %d", a, b, got, mul[a][b])
+			}
+			// char 2: add = xor of coefficient vectors = integer xor here.
+			if got := f.Add(a, b); got != a^b {
+				t.Errorf("GF(4): %d+%d = %d, want %d", a, b, got, a^b)
+			}
+		}
+	}
+}
+
+func TestInverseOfZeroPanics(t *testing.T) {
+	for _, q := range []int{5, 9} {
+		f, err := New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GF(%d): Inv(0) did not panic", q)
+				}
+			}()
+			f.Inv(0)
+		}()
+	}
+}
+
+func TestPowNegativeExponent(t *testing.T) {
+	f, err := New(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 1; a < 9; a++ {
+		if f.Mul(f.Pow(a, -1), a) != 1 {
+			t.Errorf("GF(9): a^-1·a ≠ 1 for a=%d", a)
+		}
+		if f.Pow(a, -3) != f.Inv(f.Pow(a, 3)) {
+			t.Errorf("GF(9): a^-3 mismatch for a=%d", a)
+		}
+	}
+	if f.Pow(0, 0) != 1 {
+		t.Error("0^0 should be 1")
+	}
+}
+
+func TestPowPropertyQuick(t *testing.T) {
+	f, err := New(27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	// a^(j+k) = a^j · a^k
+	prop := func(a, j, k uint8) bool {
+		av := int(a)%26 + 1
+		jv, kv := int(j)%30, int(k)%30
+		return f.Pow(av, jv+kv) == f.Mul(f.Pow(av, jv), f.Pow(av, kv))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

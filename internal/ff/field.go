@@ -1,0 +1,182 @@
+// Package ff implements finite (Galois) field arithmetic from scratch, as
+// needed by the two constructions of the Erdős–Rényi polarity graph ER_q in
+// the paper:
+//
+//   - the projective-geometry construction (§6.1) needs arithmetic in F_q
+//     for prime powers q = p^a, to evaluate dot products of 3-vectors;
+//   - the Singer difference-set construction (§6.2) needs the cubic
+//     extension GF(q³) built from a degree-3 primitive polynomial over F_q,
+//     to enumerate the powers of a generator ζ.
+//
+// Field elements are represented as integer indices in [0, q). For a prime
+// field F_p the index is the residue itself. For an extension field GF(p^a)
+// built over a base field K with a monic irreducible polynomial m(x) of
+// degree d, an element Σ c_i x^i is encoded as the base-|K| integer
+// Σ idx(c_i)·|K|^i. In particular index 0 is the additive identity, index 1
+// the multiplicative identity, and index |K| is the adjoined root x.
+//
+// Fields of order up to tableLimit precompute full operation tables so that
+// the hot loops of graph construction run on array lookups.
+package ff
+
+import (
+	"fmt"
+
+	"polarfly/internal/numtheory"
+)
+
+// Field is finite field arithmetic on elements encoded as indices in
+// [0, Order()). All operations panic on out-of-range inputs; Inv and Div
+// panic on division by zero. Implementations are immutable and safe for
+// concurrent use.
+type Field interface {
+	// Order returns the number of elements q.
+	Order() int
+	// Char returns the characteristic p (q = p^Degree()).
+	Char() int
+	// Degree returns the extension degree a over the prime field.
+	Degree() int
+	// Add returns a + b.
+	Add(a, b int) int
+	// Sub returns a - b.
+	Sub(a, b int) int
+	// Neg returns -a.
+	Neg(a int) int
+	// Mul returns a * b.
+	Mul(a, b int) int
+	// Inv returns a⁻¹ and panics if a == 0.
+	Inv(a int) int
+	// Div returns a / b and panics if b == 0.
+	Div(a, b int) int
+	// Pow returns a^k for any integer k (negative k uses Inv; 0^0 == 1;
+	// 0^negative panics).
+	Pow(a, k int) int
+	// String describes the field, e.g. "GF(9) = GF(3)[x]/(x^2+1)".
+	String() string
+}
+
+// tableLimit is the largest field order for which full q×q operation tables
+// are precomputed. 512 covers every base field used by the paper's design
+// sweep (q ≤ 128) with at most 256 KiB per table.
+const tableLimit = 512
+
+// primeField is F_p with elements 0..p-1 under arithmetic mod p.
+type primeField struct {
+	p   int
+	inv []int // inv[a] = a⁻¹ mod p for a ≥ 1
+}
+
+// NewPrimeField returns F_p. It returns an error unless p is prime.
+func NewPrimeField(p int) (Field, error) {
+	if !numtheory.IsPrime(p) {
+		return nil, fmt.Errorf("ff: %d is not prime", p)
+	}
+	f := &primeField{p: p, inv: make([]int, p)}
+	for a := 1; a < p; a++ {
+		v, ok := numtheory.ModInverse(a, p)
+		if !ok {
+			return nil, fmt.Errorf("ff: no inverse for %d mod %d", a, p)
+		}
+		f.inv[a] = v
+	}
+	return f, nil
+}
+
+func (f *primeField) Order() int  { return f.p }
+func (f *primeField) Char() int   { return f.p }
+func (f *primeField) Degree() int { return 1 }
+
+func (f *primeField) check(a int) {
+	if a < 0 || a >= f.p {
+		panic(fmt.Sprintf("ff: element %d out of range for GF(%d)", a, f.p))
+	}
+}
+
+func (f *primeField) Add(a, b int) int {
+	f.check(a)
+	f.check(b)
+	s := a + b
+	if s >= f.p {
+		s -= f.p
+	}
+	return s
+}
+
+func (f *primeField) Sub(a, b int) int {
+	f.check(a)
+	f.check(b)
+	s := a - b
+	if s < 0 {
+		s += f.p
+	}
+	return s
+}
+
+func (f *primeField) Neg(a int) int {
+	f.check(a)
+	if a == 0 {
+		return 0
+	}
+	return f.p - a
+}
+
+func (f *primeField) Mul(a, b int) int {
+	f.check(a)
+	f.check(b)
+	return a * b % f.p
+}
+
+func (f *primeField) Inv(a int) int {
+	f.check(a)
+	if a == 0 {
+		panic("ff: inverse of zero")
+	}
+	return f.inv[a]
+}
+
+func (f *primeField) Div(a, b int) int { return f.Mul(a, f.Inv(b)) }
+
+func (f *primeField) Pow(a, k int) int { return genericPow(f, a, k) }
+
+func (f *primeField) String() string { return fmt.Sprintf("GF(%d)", f.p) }
+
+// genericPow implements exponentiation by squaring on top of Mul/Inv.
+func genericPow(f Field, a, k int) int {
+	if k < 0 {
+		a = f.Inv(a) // panics for a == 0, as required
+		k = -k
+	}
+	result := 1
+	for k > 0 {
+		if k&1 == 1 {
+			result = f.Mul(result, a)
+		}
+		a = f.Mul(a, a)
+		k >>= 1
+	}
+	return result
+}
+
+// New returns the finite field of order q = p^a. For prime q this is F_p;
+// for proper prime powers it is the extension field built from the
+// lexicographically smallest monic primitive polynomial over F_p (so the
+// representation is deterministic and reproducible, per §6.2 of the paper).
+// It returns an error if q is not a prime power.
+func New(q int) (Field, error) {
+	p, a, ok := numtheory.IsPrimePower(q)
+	if !ok {
+		return nil, fmt.Errorf("ff: %d is not a prime power", q)
+	}
+	if a == 1 {
+		return NewPrimeField(p)
+	}
+	base, err := NewPrimeField(p)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := FindPrimitivePoly(base, a)
+	if err != nil {
+		return nil, fmt.Errorf("ff: GF(%d): %w", q, err)
+	}
+	return NewExtension(base, mod)
+}

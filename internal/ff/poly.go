@@ -1,0 +1,340 @@
+package ff
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Poly is a polynomial over some Field, stored little-endian: Poly{c0, c1,
+// c2} is c0 + c1·x + c2·x². Coefficients are field-element indices. The
+// zero polynomial is the empty (or all-zero) slice. Polynomials returned by
+// this package are normalised: no trailing zero coefficients.
+type Poly []int
+
+// trim removes trailing zero coefficients.
+func (p Poly) trim() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree of p, with -1 for the zero polynomial.
+func (p Poly) Degree() int { return len(p.trim()) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.trim()) == 0 }
+
+// Equal reports whether p and r are the same polynomial.
+func (p Poly) Equal(r Poly) bool {
+	a, b := p.trim(), r.trim()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of p.
+func (p Poly) Clone() Poly {
+	c := make(Poly, len(p))
+	copy(c, p)
+	return c
+}
+
+// Coeff returns the coefficient of x^i (0 if i exceeds the stored length).
+func (p Poly) Coeff(i int) int {
+	if i < 0 || i >= len(p) {
+		return 0
+	}
+	return p[i]
+}
+
+// String renders p in conventional high-to-low form, e.g. "x^3 + 2x + 1".
+func (p Poly) String() string {
+	t := p.trim()
+	if len(t) == 0 {
+		return "0"
+	}
+	var parts []string
+	for i := len(t) - 1; i >= 0; i-- {
+		c := t[i]
+		if c == 0 {
+			continue
+		}
+		switch {
+		case i == 0:
+			parts = append(parts, fmt.Sprintf("%d", c))
+		case i == 1 && c == 1:
+			parts = append(parts, "x")
+		case i == 1:
+			parts = append(parts, fmt.Sprintf("%dx", c))
+		case c == 1:
+			parts = append(parts, fmt.Sprintf("x^%d", i))
+		default:
+			parts = append(parts, fmt.Sprintf("%dx^%d", c, i))
+		}
+	}
+	return strings.Join(parts, " + ")
+}
+
+// PolyAdd returns p + r over field f.
+func PolyAdd(f Field, p, r Poly) Poly {
+	n := len(p)
+	if len(r) > n {
+		n = len(r)
+	}
+	out := make(Poly, n)
+	for i := 0; i < n; i++ {
+		out[i] = f.Add(p.Coeff(i), r.Coeff(i))
+	}
+	return out.trim()
+}
+
+// PolySub returns p - r over field f.
+func PolySub(f Field, p, r Poly) Poly {
+	n := len(p)
+	if len(r) > n {
+		n = len(r)
+	}
+	out := make(Poly, n)
+	for i := 0; i < n; i++ {
+		out[i] = f.Sub(p.Coeff(i), r.Coeff(i))
+	}
+	return out.trim()
+}
+
+// PolyScale returns c·p over field f.
+func PolyScale(f Field, c int, p Poly) Poly {
+	out := make(Poly, len(p))
+	for i, v := range p {
+		out[i] = f.Mul(c, v)
+	}
+	return out.trim()
+}
+
+// PolyMul returns p·r over field f by schoolbook multiplication (degrees in
+// this package never exceed single digits).
+func PolyMul(f Field, p, r Poly) Poly {
+	p, r = p.trim(), r.trim()
+	if len(p) == 0 || len(r) == 0 {
+		return nil
+	}
+	out := make(Poly, len(p)+len(r)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range r {
+			out[i+j] = f.Add(out[i+j], f.Mul(a, b))
+		}
+	}
+	return out.trim()
+}
+
+// PolyDivMod returns quotient and remainder of p divided by d (d non-zero).
+func PolyDivMod(f Field, p, d Poly) (quo, rem Poly) {
+	d = d.trim()
+	if len(d) == 0 {
+		panic("ff: polynomial division by zero")
+	}
+	rem = p.Clone().trim()
+	if rem.Degree() < d.Degree() {
+		return nil, rem
+	}
+	quo = make(Poly, rem.Degree()-d.Degree()+1)
+	lcInv := f.Inv(d[len(d)-1])
+	for rem.Degree() >= d.Degree() {
+		shift := rem.Degree() - d.Degree()
+		c := f.Mul(rem[rem.Degree()], lcInv)
+		quo[shift] = c
+		// rem -= c·x^shift·d
+		for i, dc := range d {
+			rem[i+shift] = f.Sub(rem[i+shift], f.Mul(c, dc))
+		}
+		rem = rem.trim()
+	}
+	return quo.trim(), rem
+}
+
+// PolyMod returns p mod d over field f.
+func PolyMod(f Field, p, d Poly) Poly {
+	_, rem := PolyDivMod(f, p, d)
+	return rem
+}
+
+// PolyEval evaluates p at point v by Horner's rule.
+func PolyEval(f Field, p Poly, v int) int {
+	acc := 0
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = f.Add(f.Mul(acc, v), p[i])
+	}
+	return acc
+}
+
+// PolyMulMod returns p·r mod d over field f.
+func PolyMulMod(f Field, p, r, d Poly) Poly {
+	return PolyMod(f, PolyMul(f, p, r), d)
+}
+
+// PolyPowMod returns p^k mod d over field f for k ≥ 0.
+func PolyPowMod(f Field, p Poly, k int, d Poly) Poly {
+	if k < 0 {
+		panic("ff: PolyPowMod with negative exponent")
+	}
+	result := Poly{1}
+	base := PolyMod(f, p, d)
+	for k > 0 {
+		if k&1 == 1 {
+			result = PolyMulMod(f, result, base, d)
+		}
+		base = PolyMulMod(f, base, base, d)
+		k >>= 1
+	}
+	return result
+}
+
+// monicPolys enumerates all monic polynomials of exactly the given degree
+// over field f, in lexicographic order of the coefficient tuple
+// (c_{deg-1}, ..., c_1, c_0) with field-element indices compared as
+// integers. This ordering defines "lexicographically smallest" throughout
+// the package, matching the reproducibility note in §6.2 of the paper.
+func monicPolys(f Field, degree int, visit func(Poly) bool) {
+	q := f.Order()
+	coeffs := make([]int, degree) // coeffs[i] is c_i
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if pos < 0 {
+			p := make(Poly, degree+1)
+			copy(p, coeffs)
+			p[degree] = 1
+			return visit(p)
+		}
+		for v := 0; v < q; v++ {
+			coeffs[pos] = v
+			if !rec(pos - 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(degree - 1)
+}
+
+// IsIrreducible reports whether monic polynomial p of degree ≥ 1 is
+// irreducible over field f, by trial division against all monic polynomials
+// of degree up to deg(p)/2. The degrees in this package are at most 7 over
+// tiny fields, so trial division is both simple and fast.
+func IsIrreducible(f Field, p Poly) bool {
+	p = p.trim()
+	deg := p.Degree()
+	if deg < 1 {
+		return false
+	}
+	if deg <= 3 {
+		// Degree 2 or 3 polynomials are reducible iff they have a root;
+		// degree 1 is always irreducible.
+		if deg == 1 {
+			return true
+		}
+		for v := 0; v < f.Order(); v++ {
+			if PolyEval(f, p, v) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	reducible := false
+	for d := 1; d <= deg/2 && !reducible; d++ {
+		monicPolys(f, d, func(div Poly) bool {
+			if PolyMod(f, p, div).IsZero() {
+				reducible = true
+				return false
+			}
+			return true
+		})
+	}
+	return !reducible
+}
+
+// IsPrimitivePoly reports whether monic irreducible p over f defines a
+// primitive extension: x must generate the multiplicative group of
+// GF(f.Order()^deg(p)), i.e. ord(x) = q^deg − 1. Callers should ensure p is
+// irreducible first (IsPrimitivePoly checks it for safety).
+func IsPrimitivePoly(f Field, p Poly) bool {
+	if !IsIrreducible(f, p) {
+		return false
+	}
+	deg := p.Degree()
+	order := 1
+	for i := 0; i < deg; i++ {
+		order *= f.Order()
+	}
+	groupOrder := order - 1
+	x := Poly{0, 1}
+	// x is primitive iff x^(groupOrder/r) ≠ 1 for every prime r | groupOrder.
+	for _, pp := range factorInt(groupOrder) {
+		e := PolyPowMod(f, x, groupOrder/pp, p)
+		if e.Equal(Poly{1}) {
+			return false
+		}
+	}
+	return true
+}
+
+// FindIrreduciblePoly returns the lexicographically smallest monic
+// irreducible polynomial of the given degree over f.
+func FindIrreduciblePoly(f Field, degree int) (Poly, error) {
+	var found Poly
+	monicPolys(f, degree, func(p Poly) bool {
+		if IsIrreducible(f, p) {
+			found = p
+			return false
+		}
+		return true
+	})
+	if found == nil {
+		return nil, fmt.Errorf("ff: no irreducible polynomial of degree %d over %v", degree, f)
+	}
+	return found, nil
+}
+
+// FindPrimitivePoly returns the lexicographically smallest monic primitive
+// polynomial of the given degree over f (irreducible, with x generating the
+// multiplicative group of the extension).
+func FindPrimitivePoly(f Field, degree int) (Poly, error) {
+	var found Poly
+	monicPolys(f, degree, func(p Poly) bool {
+		if IsPrimitivePoly(f, p) {
+			found = p
+			return false
+		}
+		return true
+	})
+	if found == nil {
+		return nil, fmt.Errorf("ff: no primitive polynomial of degree %d over %v", degree, f)
+	}
+	return found, nil
+}
+
+// factorInt returns the distinct prime factors of n ≥ 2 by trial division.
+func factorInt(n int) []int {
+	var primes []int
+	for p := 2; p*p <= n; p++ {
+		if n%p == 0 {
+			primes = append(primes, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		primes = append(primes, n)
+	}
+	return primes
+}

@@ -1,0 +1,300 @@
+package ff
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func gf(t *testing.T, q int) Field {
+	t.Helper()
+	f, err := New(q)
+	if err != nil {
+		t.Fatalf("New(%d): %v", q, err)
+	}
+	return f
+}
+
+func TestPolyBasics(t *testing.T) {
+	if (Poly{}).Degree() != -1 {
+		t.Error("zero poly degree should be -1")
+	}
+	if (Poly{0, 0}).Degree() != -1 {
+		t.Error("all-zero poly degree should be -1")
+	}
+	if (Poly{3, 0, 1}).Degree() != 2 {
+		t.Error("degree of x²+3 should be 2")
+	}
+	if !(Poly{1, 2, 0}).Equal(Poly{1, 2}) {
+		t.Error("trailing zeros should not affect equality")
+	}
+	if (Poly{1, 2}).Equal(Poly{1, 3}) {
+		t.Error("distinct polys reported equal")
+	}
+	if got := (Poly{1, 2, 1}).String(); got != "x^2 + 2x + 1" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Poly{}).String(); got != "0" {
+		t.Errorf("String of zero = %q", got)
+	}
+	if (Poly{5, 7}).Coeff(5) != 0 {
+		t.Error("Coeff out of range should be 0")
+	}
+}
+
+func TestPolyArithmetic(t *testing.T) {
+	f := gf(t, 5)
+	a := Poly{1, 2, 3} // 3x²+2x+1
+	b := Poly{4, 1}    // x+4
+	sum := PolyAdd(f, a, b)
+	if !sum.Equal(Poly{0, 3, 3}) {
+		t.Errorf("sum = %v", sum)
+	}
+	if !PolySub(f, sum, b).Equal(a) {
+		t.Error("sub does not invert add")
+	}
+	prod := PolyMul(f, a, b)
+	// (3x²+2x+1)(x+4) = 3x³ + (12+2)x² + (8+1)x + 4 = 3x³+4x²+4x+4 mod 5
+	if !prod.Equal(Poly{4, 4, 4, 3}) {
+		t.Errorf("prod = %v", prod)
+	}
+	quo, rem := PolyDivMod(f, prod, b)
+	if !quo.Equal(a) || !rem.IsZero() {
+		t.Errorf("divmod: quo=%v rem=%v", quo, rem)
+	}
+	if !PolyMul(f, a, Poly{}).IsZero() {
+		t.Error("mul by zero poly should be zero")
+	}
+	if !PolyScale(f, 2, a).Equal(Poly{2, 4, 1}) {
+		t.Errorf("scale = %v", PolyScale(f, 2, a))
+	}
+}
+
+func TestPolyDivModRandomised(t *testing.T) {
+	f := gf(t, 7)
+	rng := rand.New(rand.NewSource(7))
+	randPoly := func(maxDeg int) Poly {
+		p := make(Poly, rng.Intn(maxDeg+1)+1)
+		for i := range p {
+			p[i] = rng.Intn(7)
+		}
+		return p.trim()
+	}
+	for i := 0; i < 500; i++ {
+		a := randPoly(8)
+		d := randPoly(4)
+		if d.IsZero() {
+			continue
+		}
+		quo, rem := PolyDivMod(f, a, d)
+		if rem.Degree() >= d.Degree() {
+			t.Fatalf("remainder degree %d ≥ divisor degree %d", rem.Degree(), d.Degree())
+		}
+		recon := PolyAdd(f, PolyMul(f, quo, d), rem)
+		if !recon.Equal(a) {
+			t.Fatalf("q·d + r = %v ≠ %v (d=%v q=%v r=%v)", recon, a, d, quo, rem)
+		}
+	}
+}
+
+func TestPolyDivideByZeroPanics(t *testing.T) {
+	f := gf(t, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("division by zero polynomial did not panic")
+		}
+	}()
+	PolyDivMod(f, Poly{1, 1}, Poly{})
+}
+
+func TestPolyEval(t *testing.T) {
+	f := gf(t, 13)
+	p := Poly{1, 2, 1} // (x+1)²
+	for v := 0; v < 13; v++ {
+		want := f.Mul(f.Add(v, 1), f.Add(v, 1))
+		if got := PolyEval(f, p, v); got != want {
+			t.Errorf("eval (x+1)² at %d = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestPolyPowMod(t *testing.T) {
+	f := gf(t, 3)
+	mod := Poly{1, 2, 0, 1} // x³+2x+1, irreducible over GF(3)
+	x := Poly{0, 1}
+	// x^26 ≡ 1 mod f since the field GF(27) has multiplicative order 26
+	// and x is primitive for this modulus.
+	if got := PolyPowMod(f, x, 26, mod); !got.Equal(Poly{1}) {
+		t.Errorf("x^26 mod (x³+2x+1) = %v, want 1", got)
+	}
+	if got := PolyPowMod(f, x, 0, mod); !got.Equal(Poly{1}) {
+		t.Errorf("x^0 = %v", got)
+	}
+	// x^3 ≡ -2x - 1 = x + 2 mod f.
+	if got := PolyPowMod(f, x, 3, mod); !got.Equal(Poly{2, 1}) {
+		t.Errorf("x^3 mod f = %v, want x+2", got)
+	}
+}
+
+func TestIsIrreducibleKnownCases(t *testing.T) {
+	f2 := gf(t, 2)
+	f3 := gf(t, 3)
+	cases := []struct {
+		f    Field
+		p    Poly
+		want bool
+	}{
+		{f2, Poly{1, 1, 1}, true},        // x²+x+1 irreducible over GF(2)
+		{f2, Poly{1, 0, 1}, false},       // x²+1 = (x+1)²
+		{f2, Poly{1, 1, 0, 1}, true},     // x³+x+1
+		{f2, Poly{1, 0, 1, 1}, true},     // x³+x²+1
+		{f2, Poly{1, 1, 1, 1}, false},    // x³+x²+x+1 = (x+1)(x²+1)
+		{f2, Poly{1, 1, 0, 0, 1}, true},  // x⁴+x+1
+		{f2, Poly{1, 0, 0, 1, 1}, true},  // x⁴+x³+1
+		{f2, Poly{1, 0, 1, 0, 1}, false}, // x⁴+x²+1 = (x²+x+1)²
+		{f3, Poly{1, 2, 0, 1}, true},     // x³+2x+1
+		{f3, Poly{2, 1, 0, 1}, false},    // x³+x+2 has root 2
+		{f3, Poly{1, 0, 1}, true},        // x²+1 irreducible over GF(3)
+		{f3, Poly{0, 1}, true},           // x is degree 1, irreducible
+		{f3, Poly{2}, false},             // constants are not irreducible
+	}
+	for _, c := range cases {
+		if got := IsIrreducible(c.f, c.p); got != c.want {
+			t.Errorf("IsIrreducible(%v over %v) = %v, want %v", c.p, c.f, got, c.want)
+		}
+	}
+}
+
+func TestIsIrreducibleMatchesBruteForceGF2(t *testing.T) {
+	// Cross-check against explicit factor enumeration for all monic
+	// polynomials of degree 4..6 over GF(2).
+	f := gf(t, 2)
+	for deg := 4; deg <= 6; deg++ {
+		monicPolys(f, deg, func(p Poly) bool {
+			brute := true
+			for d := 1; d <= deg/2 && brute; d++ {
+				monicPolys(f, d, func(div Poly) bool {
+					if PolyMod(f, p, div).IsZero() {
+						brute = false
+						return false
+					}
+					return true
+				})
+			}
+			if got := IsIrreducible(f, p); got != brute {
+				t.Errorf("IsIrreducible(%v) = %v, brute force says %v", p, got, brute)
+			}
+			return true
+		})
+	}
+}
+
+func TestIrreducibleCountsGF2(t *testing.T) {
+	// The number of monic irreducible polynomials of degree n over GF(q) is
+	// (1/n)Σ_{d|n} μ(n/d) q^d. Over GF(2): deg 2 → 1, 3 → 2, 4 → 3, 5 → 6,
+	// 6 → 9, 7 → 18.
+	f := gf(t, 2)
+	want := map[int]int{2: 1, 3: 2, 4: 3, 5: 6, 6: 9, 7: 18}
+	for deg, w := range want {
+		count := 0
+		monicPolys(f, deg, func(p Poly) bool {
+			if IsIrreducible(f, p) {
+				count++
+			}
+			return true
+		})
+		if count != w {
+			t.Errorf("GF(2) degree %d: %d irreducibles, want %d", deg, count, w)
+		}
+	}
+}
+
+func TestFindIrreducibleAndPrimitive(t *testing.T) {
+	f3 := gf(t, 3)
+	irr, err := FindIrreduciblePoly(f3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsIrreducible(f3, irr) {
+		t.Fatalf("FindIrreduciblePoly returned reducible %v", irr)
+	}
+	prim, err := FindPrimitivePoly(f3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPrimitivePoly(f3, prim) {
+		t.Fatalf("FindPrimitivePoly returned non-primitive %v", prim)
+	}
+	// Primitive implies irreducible; the lex-smallest primitive cannot be
+	// lex-smaller than the lex-smallest irreducible.
+	if irr.Degree() != 3 || prim.Degree() != 3 {
+		t.Fatal("wrong degrees")
+	}
+}
+
+func TestIsPrimitivePolyKnownGF2(t *testing.T) {
+	f := gf(t, 2)
+	// x⁴+x+1 is primitive over GF(2); x⁴+x³+x²+x+1 is irreducible but NOT
+	// primitive (its root has order 5 < 15).
+	if !IsPrimitivePoly(f, Poly{1, 1, 0, 0, 1}) {
+		t.Error("x⁴+x+1 should be primitive over GF(2)")
+	}
+	notPrim := Poly{1, 1, 1, 1, 1}
+	if !IsIrreducible(f, notPrim) {
+		t.Error("x⁴+x³+x²+x+1 should be irreducible over GF(2)")
+	}
+	if IsPrimitivePoly(f, notPrim) {
+		t.Error("x⁴+x³+x²+x+1 should not be primitive over GF(2)")
+	}
+}
+
+func TestExtensionOverExtension(t *testing.T) {
+	// Build GF(4), then a degree-3 extension GF(64) over it, exercising the
+	// tower construction used by the Singer difference sets for even q.
+	f4 := gf(t, 4)
+	mod, err := FindPrimitivePoly(f4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f64, err := NewExtension(f4, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f64.Order() != 64 || f64.Char() != 2 || f64.Degree() != 6 {
+		t.Fatalf("tower GF(64): order=%d char=%d degree=%d", f64.Order(), f64.Char(), f64.Degree())
+	}
+	// ζ = x must have multiplicative order 63.
+	x := f64.(Ext).X()
+	v, ord := x, 1
+	for v != 1 {
+		v = f64.Mul(v, x)
+		ord++
+		if ord > 63 {
+			t.Fatal("order of x exceeds group order")
+		}
+	}
+	if ord != 63 {
+		t.Fatalf("ord(x) = %d, want 63", ord)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := gf(t, 27).(Ext)
+	for a := 0; a < 27; a++ {
+		if got := f.Encode(f.Decode(a)); got != a {
+			t.Fatalf("round trip %d → %v → %d", a, f.Decode(a), got)
+		}
+	}
+}
+
+func TestNewExtensionRejectsBadModulus(t *testing.T) {
+	f3 := gf(t, 3)
+	if _, err := NewExtension(f3, Poly{2, 1, 0, 1}); err == nil {
+		t.Error("reducible modulus (x³+x+2) accepted")
+	}
+	if _, err := NewExtension(f3, Poly{1, 2}); err == nil {
+		t.Error("degree-1 modulus accepted")
+	}
+	if _, err := NewExtension(f3, Poly{1, 0, 2}); err == nil {
+		t.Error("non-monic modulus accepted")
+	}
+}

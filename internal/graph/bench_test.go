@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func BenchmarkBFSDistances(b *testing.B) {
+	g := benchGraph(500, 0.05, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.BFSDistances(i % 500)
+	}
+}
+
+func BenchmarkDiameter(b *testing.B) {
+	g := benchGraph(200, 0.1, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Diameter()
+	}
+}
+
+func BenchmarkHasUniqueTwoPaths(b *testing.B) {
+	g := benchGraph(100, 0.05, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.HasUniqueTwoPaths()
+	}
+}
+
+func BenchmarkRandomMaximalIndependentSet(b *testing.B) {
+	g := benchGraph(1000, 0.01, 4)
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.RandomMaximalIndependentSet(rng)
+	}
+}
+
+func BenchmarkMaximumIndependentSet(b *testing.B) {
+	g := benchGraph(40, 0.3, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.MaximumIndependentSet()
+	}
+}
+
+func BenchmarkIsomorphicPetersenSized(b *testing.B) {
+	g := benchGraph(30, 0.25, 7)
+	perm := rand.New(rand.NewSource(8)).Perm(30)
+	h := New(30)
+	for _, e := range g.Edges() {
+		h.AddEdge(perm[e.U], perm[e.V])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Isomorphic(g, h); !ok {
+			b.Fatal("should be isomorphic")
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package graph
+
+import "testing"
+
+func TestMaxFlowBasics(t *testing.T) {
+	// Two disjoint paths 0→3.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	if f := g.MaxFlow(0, 3); f != 2 {
+		t.Errorf("square MaxFlow = %d, want 2", f)
+	}
+	// Path: single disjoint path.
+	p := pathGraph(5)
+	if f := p.MaxFlow(0, 4); f != 1 {
+		t.Errorf("path MaxFlow = %d, want 1", f)
+	}
+	// Complete graph K5: 4 edge-disjoint paths between any pair.
+	k := completeGraph(5)
+	if f := k.MaxFlow(0, 4); f != 4 {
+		t.Errorf("K5 MaxFlow = %d, want 4", f)
+	}
+	// Disconnected: zero.
+	d := New(3)
+	d.AddEdge(0, 1)
+	if f := d.MaxFlow(0, 2); f != 0 {
+		t.Errorf("disconnected MaxFlow = %d, want 0", f)
+	}
+}
+
+func TestMaxFlowPanics(t *testing.T) {
+	g := completeGraph(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("s==t should panic")
+		}
+	}()
+	g.MaxFlow(1, 1)
+}
+
+func TestEdgeConnectivityKnown(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{completeGraph(5), 4},
+		{cycleGraph(6), 2},
+		{pathGraph(4), 1},
+		{petersen(), 3},
+		{New(3), 0}, // disconnected
+		{New(1), 0}, // trivial
+		{completeGraph(2), 1},
+	}
+	for i, c := range cases {
+		if got := c.g.EdgeConnectivity(); got != c.want {
+			t.Errorf("case %d: λ = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestMaxFlowMinDegreeBound(t *testing.T) {
+	// λ ≤ min degree always; flow between two vertices ≤ min of their
+	// degrees.
+	g := benchGraph(40, 0.2, 9)
+	if !g.IsConnected() {
+		t.Skip("random graph disconnected")
+	}
+	lambda := g.EdgeConnectivity()
+	minDeg := 1 << 30
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d < minDeg {
+			minDeg = d
+		}
+	}
+	if lambda > minDeg {
+		t.Errorf("λ = %d > min degree %d", lambda, minDeg)
+	}
+	for s := 0; s < 5; s++ {
+		for tt := s + 1; tt < 6; tt++ {
+			f := g.MaxFlow(s, tt)
+			if f > g.Degree(s) || f > g.Degree(tt) {
+				t.Errorf("flow %d exceeds endpoint degree", f)
+			}
+			if f < lambda {
+				t.Errorf("flow(%d,%d)=%d below global λ=%d", s, tt, f, lambda)
+			}
+		}
+	}
+}
+
+func TestTreePackingBounds(t *testing.T) {
+	// K4: λ=3 → lower 1; m/(n−1) = 6/3 = 2 upper.
+	lower, upper := completeGraph(4).TreePackingBounds()
+	if lower != 1 || upper != 2 {
+		t.Errorf("K4 bounds (%d,%d), want (1,2)", lower, upper)
+	}
+	if l, u := New(1).TreePackingBounds(); l != 0 || u != 0 {
+		t.Error("trivial graph bounds should be 0")
+	}
+}

@@ -1,0 +1,33 @@
+package graph
+
+import "testing"
+
+func TestGirthKnown(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{cycleGraph(3), 3},
+		{cycleGraph(5), 5},
+		{cycleGraph(8), 8},
+		{completeGraph(4), 3},
+		{petersen(), 5},
+		{pathGraph(6), -1}, // acyclic
+		{New(3), -1},       // empty
+	}
+	for i, c := range cases {
+		if got := c.g.Girth(); got != c.want {
+			t.Errorf("case %d: girth %d, want %d", i, got, c.want)
+		}
+	}
+	// K3,3 is bipartite with girth 4.
+	k33 := New(6)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			k33.AddEdge(i, j)
+		}
+	}
+	if got := k33.Girth(); got != 4 {
+		t.Errorf("K3,3 girth %d, want 4", got)
+	}
+}

@@ -1,0 +1,165 @@
+package logical
+
+import (
+	"math"
+	"testing"
+
+	"polarfly/internal/er"
+	"polarfly/internal/routing"
+)
+
+func polarFly(t *testing.T, q int) (*er.Graph, *routing.Table) {
+	t.Helper()
+	pg, err := er.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg, routing.New(pg.G)
+}
+
+func TestBinomialShape(t *testing.T) {
+	b := Binomial(8)
+	wantParents := []int{-1, 0, 0, 2, 0, 4, 4, 6}
+	for v, w := range wantParents {
+		if b.Parent[v] != w {
+			t.Errorf("Parent[%d] = %d, want %d", v, b.Parent[v], w)
+		}
+	}
+	if b.Root != 0 {
+		t.Error("root should be 0")
+	}
+	// Non-power-of-two count.
+	b13 := Binomial(13)
+	if b13.Parent[12] != 8 { // 12 = 0b1100 → clear lowest bit 4 → 8
+		t.Errorf("Parent[12] = %d, want 8", b13.Parent[12])
+	}
+}
+
+func TestKAryShape(t *testing.T) {
+	k := KAry(7, 2)
+	want := []int{-1, 0, 0, 1, 1, 2, 2}
+	for v := range want {
+		if k.Parent[v] != want[v] {
+			t.Errorf("Parent[%d] = %d, want %d", v, k.Parent[v], want[v])
+		}
+	}
+}
+
+func TestExpandPathConflicts(t *testing.T) {
+	// §4.4's claim: a single logical tree on PolarFly suffers physical
+	// path conflicts (some directed link carries >1 logical edge), unlike
+	// a physically embedded tree whose per-link load is exactly 1.
+	for _, q := range []int{5, 7, 9} {
+		pg, rt := polarFly(t, q)
+		emb, err := Expand(Binomial(pg.N()), rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if emb.MaxLoad <= 1 {
+			t.Errorf("q=%d: binomial logical tree has no conflicts (MaxLoad=%d) — unexpected on ER_q", q, emb.MaxLoad)
+		}
+		// Dilation: logical edges between non-adjacent routers cost 2 hops.
+		if emb.TotalHops <= pg.N()-1 {
+			t.Errorf("q=%d: total hops %d implies no dilation", q, emb.TotalHops)
+		}
+		// Single-embedding bandwidth is B / MaxLoad.
+		bw := Bandwidth([]*Embedding{emb}, 1.0)
+		if math.Abs(bw[0]-1.0/float64(emb.MaxLoad)) > 1e-9 {
+			t.Errorf("q=%d: bandwidth %f, want %f", q, bw[0], 1.0/float64(emb.MaxLoad))
+		}
+		if bw[0] >= 1.0 {
+			t.Errorf("q=%d: logical tree should fall below one link bandwidth", q)
+		}
+	}
+}
+
+func TestExpandDepths(t *testing.T) {
+	pg, rt := polarFly(t, 5)
+	emb, err := Expand(KAry(pg.N(), 4), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.MaxLogicalDepth < 2 {
+		t.Errorf("logical depth %d too small", emb.MaxLogicalDepth)
+	}
+	if emb.MaxPhysicalDepth < emb.MaxLogicalDepth {
+		t.Errorf("physical depth %d below logical %d", emb.MaxPhysicalDepth, emb.MaxLogicalDepth)
+	}
+	loads := emb.SortedLoads()
+	if len(loads) == 0 || loads[0] != emb.MaxLoad {
+		t.Errorf("SortedLoads inconsistent: %v vs %d", loads, emb.MaxLoad)
+	}
+}
+
+func TestExpandRejectsCycles(t *testing.T) {
+	pg, rt := polarFly(t, 3)
+	bad := &Tree{Root: 0, Parent: make([]int, pg.N())}
+	bad.Parent[0] = -1
+	for v := 1; v < pg.N(); v++ {
+		bad.Parent[v] = v // self-parent cycle
+	}
+	if _, err := Expand(bad, rt); err == nil {
+		t.Error("cyclic tree accepted")
+	}
+	// Two roots.
+	if _, err := Expand(&Tree{Root: 0, Parent: []int{-1, -1, 0}}, rt); err == nil {
+		t.Error("two-root tree accepted")
+	}
+	// Out-of-range parent.
+	if _, err := Expand(&Tree{Root: 0, Parent: []int{-1, 99}}, rt); err == nil {
+		t.Error("invalid parent accepted")
+	}
+}
+
+func TestBandwidthSharedLogicalTrees(t *testing.T) {
+	// Two identical logical trees halve each other's share on the
+	// bottleneck.
+	pg, rt := polarFly(t, 5)
+	a, err := Expand(Binomial(pg.N()), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(Binomial(pg.N()), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := Bandwidth([]*Embedding{a}, 1.0)[0]
+	both := Bandwidth([]*Embedding{a, b}, 1.0)
+	if math.Abs(both[0]-solo/2) > 1e-9 || math.Abs(both[1]-solo/2) > 1e-9 {
+		t.Errorf("shared logical trees: %v, want %f each", both, solo/2)
+	}
+}
+
+func TestLogicalVsPhysicalComparison(t *testing.T) {
+	// The §4.4 punchline: the physically embedded BFS tree sustains the
+	// full link bandwidth; every logical shape tested falls short.
+	pg, rt := polarFly(t, 7)
+	for _, shape := range []*Tree{Binomial(pg.N()), KAry(pg.N(), 2), KAry(pg.N(), 8)} {
+		emb, err := Expand(shape, rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bw := Bandwidth([]*Embedding{emb}, 1.0)[0]
+		if bw >= 1.0 {
+			t.Errorf("logical tree reached %f ≥ physical single-tree bandwidth", bw)
+		}
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Binomial(0) },
+		func() { KAry(0, 2) },
+		func() { KAry(5, 0) },
+		func() { Bandwidth(nil, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"polarfly/internal/bandwidth"
+	"polarfly/internal/er"
+	"polarfly/internal/singer"
+	"polarfly/internal/trees"
+)
+
+// benchSpec prepares a PolarFly allreduce spec outside the timed loop.
+func benchSpec(b *testing.B, q, m int, kind string) Spec {
+	b.Helper()
+	pg, err := er.New(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var forest []*trees.Tree
+	topo := pg.G
+	switch kind {
+	case "single":
+		tr, err := trees.SingleTreeBaseline(pg.G, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		forest = []*trees.Tree{tr}
+	case "lowdepth":
+		l, err := er.NewLayout(pg, -1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		forest, err = trees.LowDepthForest(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+	case "hamiltonian":
+		s, err := singer.New(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		forest, err = trees.HamiltonianForest(s, 30, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		topo = s.Topology()
+	}
+	wf := bandwidth.ForForest(forest, 1.0)
+	split, err := bandwidth.SubvectorSplit(m, wf.PerTree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Spec{Topology: topo, Forest: forest, Split: split, Inputs: randInputs(topo.N(), m, 1)}
+}
+
+// BenchmarkSimulator measures simulator throughput (wall time per simulated
+// allreduce) for the three embeddings on ER_7.
+func BenchmarkSimulator(b *testing.B) {
+	for _, kind := range []string{"single", "lowdepth", "hamiltonian"} {
+		spec := benchSpec(b, 7, 2048, kind)
+		b.Run(kind, func(b *testing.B) {
+			cfg := Config{LinkLatency: 5, VCDepth: 8}
+			for i := 0; i < b.N; i++ {
+				res, err := Run(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Cycles), "simcycles")
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorScaling measures wall time as the instance grows.
+func BenchmarkSimulatorScaling(b *testing.B) {
+	for _, q := range []int{5, 9, 13} {
+		spec := benchSpec(b, q, 1024, "lowdepth")
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			cfg := Config{LinkLatency: 5, VCDepth: 8}
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(spec, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"testing"
+
+	"polarfly/internal/er"
+	"polarfly/internal/trees"
+)
+
+// TestEngineRateUnlimitedMatchesDefault confirms EngineRate=0 changes
+// nothing.
+func TestEngineRateUnlimitedMatchesDefault(t *testing.T) {
+	spec := lineSpec(t, 7, 256)
+	a, err := Run(spec, Config{LinkLatency: 3, VCDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec, Config{LinkLatency: 3, VCDepth: 6, EngineRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Errorf("EngineRate=0 changed cycles: %d vs %d", a.Cycles, b.Cycles)
+	}
+}
+
+// TestEngineRateOneSufficesForSingleTree: a single tree never needs more
+// than one reduction production per router per cycle.
+func TestEngineRateOneSufficesForSingleTree(t *testing.T) {
+	spec := lineSpec(t, 7, 256)
+	unlimited, err := Run(spec, Config{LinkLatency: 3, VCDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := Run(spec, Config{LinkLatency: 3, VCDepth: 6, EngineRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutputs(t, spec, limited)
+	if limited.Cycles != unlimited.Cycles {
+		t.Errorf("EngineRate=1 should not slow a single tree: %d vs %d",
+			limited.Cycles, unlimited.Cycles)
+	}
+}
+
+// TestEngineRateThrottlesMultiTree: the low-depth forest runs many
+// concurrent reductions per router, so a rate-1 engine becomes the
+// bottleneck — quantifying the §5.1 assumption that routers must compute
+// multiple reductions at link rate to sustain multi-tree bandwidth.
+func TestEngineRateThrottlesMultiTree(t *testing.T) {
+	pg, err := er.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := er.NewLayout(pg, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := trees.LowDepthForest(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := 1000
+	split := make([]int, len(forest))
+	for i := range split {
+		split[i] = m / len(forest)
+	}
+	split[0] += m - (m/len(forest))*len(forest)
+	spec := Spec{Topology: pg.G, Forest: forest, Split: split,
+		Inputs: randInputs(pg.N(), m, 5)}
+
+	unlimited, err := Run(spec, Config{LinkLatency: 3, VCDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := Run(spec, Config{LinkLatency: 3, VCDepth: 6, EngineRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutputs(t, spec, limited)
+	if float64(limited.Cycles) < 1.5*float64(unlimited.Cycles) {
+		t.Errorf("rate-1 engine should throttle the q-tree forest: %d vs %d cycles",
+			limited.Cycles, unlimited.Cycles)
+	}
+	// A rate-q engine restores full throughput.
+	wide, err := Run(spec, Config{LinkLatency: 3, VCDepth: 6, EngineRate: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(wide.Cycles) > 1.1*float64(unlimited.Cycles) {
+		t.Errorf("rate-q engine should match unlimited: %d vs %d cycles",
+			wide.Cycles, unlimited.Cycles)
+	}
+}
+
+func TestEngineRateValidation(t *testing.T) {
+	spec := lineSpec(t, 3, 4)
+	if _, err := Run(spec, Config{LinkLatency: 1, VCDepth: 1, EngineRate: -1}); err == nil {
+		t.Error("negative EngineRate accepted")
+	}
+}

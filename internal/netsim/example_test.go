@@ -1,0 +1,31 @@
+package netsim_test
+
+import (
+	"fmt"
+
+	"polarfly/internal/graph"
+	"polarfly/internal/netsim"
+	"polarfly/internal/trees"
+)
+
+// Example runs the smallest possible in-network Allreduce: two routers,
+// one tree, a three-element vector.
+func Example() {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	tree, err := trees.FromParent(0, []int{-1, 0})
+	if err != nil {
+		panic(err)
+	}
+	res, err := netsim.Run(netsim.Spec{
+		Topology: g,
+		Forest:   []*trees.Tree{tree},
+		Split:    []int{3},
+		Inputs:   [][]int64{{1, 2, 3}, {10, 20, 30}},
+	}, netsim.Config{LinkLatency: 1, VCDepth: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Outputs[0], res.Outputs[1])
+	// Output: [11 22 33] [11 22 33]
+}

@@ -1,0 +1,53 @@
+package netsim
+
+import "testing"
+
+func TestLinkBandwidthScalesThroughput(t *testing.T) {
+	spec := lineSpec(t, 7, 1024)
+	one, err := Run(spec, Config{LinkLatency: 3, VCDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Run(spec, Config{LinkLatency: 3, VCDepth: 16, LinkBandwidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutputs(t, spec, two)
+	ratio := float64(one.Cycles) / float64(two.Cycles)
+	if ratio < 1.7 || ratio > 2.2 {
+		t.Errorf("2x link bandwidth gave %.2fx speedup (one=%d two=%d)", ratio, one.Cycles, two.Cycles)
+	}
+	// Explicit 1 equals default 0.
+	explicit, err := Run(spec, Config{LinkLatency: 3, VCDepth: 16, LinkBandwidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Cycles != one.Cycles {
+		t.Errorf("LinkBandwidth 1 vs default: %d vs %d", explicit.Cycles, one.Cycles)
+	}
+	if _, err := Run(spec, Config{LinkLatency: 1, VCDepth: 1, LinkBandwidth: -1}); err == nil {
+		t.Error("negative LinkBandwidth accepted")
+	}
+}
+
+func TestLinkBandwidthFairnessUnderSharing(t *testing.T) {
+	// Two trees sharing a directed link with LinkBandwidth=2 both stream
+	// at full rate — trunking absorbs the congestion.
+	spec := lineSpec(t, 5, 256)
+	// Add a second identical tree (same direction → congestion 2).
+	spec.Forest = append(spec.Forest, spec.Forest[0])
+	spec.Split = []int{256, 256}
+	spec.Inputs = randInputs(5, 512, 8)
+	congested, err := Run(spec, Config{LinkLatency: 2, VCDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunked, err := Run(spec, Config{LinkLatency: 2, VCDepth: 8, LinkBandwidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutputs(t, spec, trunked)
+	if float64(congested.Cycles) < 1.6*float64(trunked.Cycles) {
+		t.Errorf("trunking did not absorb congestion: %d vs %d", congested.Cycles, trunked.Cycles)
+	}
+}

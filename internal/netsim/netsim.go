@@ -1,0 +1,211 @@
+// Package netsim is a cycle-accurate simulator of the in-network Allreduce
+// router architecture described in §4.4 of the paper (modelled on Intel
+// PIUMA and Mellanox SHARP):
+//
+//   - every undirected topology link is two directed links of bandwidth one
+//     element ("flit") per cycle and a fixed pipeline latency;
+//   - each embedded tree gets its own virtual channel on every link it
+//     uses, with a finite buffer and credit-based flow control (§5.1);
+//   - routers carry a pipelined reduction engine that can serve multiple
+//     trees at link rate (§5.1: overlapping reduction vertices do not limit
+//     bandwidth; links do);
+//   - a directed link transmits at most one flit per cycle, arbitrating
+//     round-robin among virtual channels that have both data and credit —
+//     this is where congestion between overlapping trees materialises.
+//
+// An Allreduce run streams each tree's sub-vector up the tree (reduction),
+// combines at the root, and streams the result back down (broadcast), all
+// fully pipelined. The simulator moves real values, so tests verify
+// end-to-end numerical correctness, and its cycle counts reproduce the
+// bandwidth predicted by the Algorithm 1 waterfilling model.
+package netsim
+
+import (
+	"fmt"
+
+	"polarfly/internal/graph"
+	"polarfly/internal/trees"
+)
+
+// Config sets the hardware parameters of the simulated fabric.
+type Config struct {
+	// LinkLatency is the pipeline depth of a link in cycles; a flit sent at
+	// cycle t is delivered at t + LinkLatency. Must be ≥ 1.
+	LinkLatency int
+	// VCDepth is the per-(link, tree, phase) receive buffer in flits; the
+	// credit loop stalls a sender once VCDepth flits are outstanding
+	// (in-flight or buffered). Must be ≥ 1; small values throttle the
+	// pipeline when VCDepth < LinkLatency (the latency-bandwidth product
+	// argument of §1.2).
+	VCDepth int
+	// ProgressTimeout aborts the run if no flit moves for this many
+	// consecutive cycles (a deadlock diagnostic; the credit protocol is
+	// deadlock-free, so hitting it indicates a malformed embedding).
+	// Defaults to 10000 when zero.
+	ProgressTimeout int
+	// EngineRate caps how many reduction flits a router's arithmetic
+	// engine may produce per cycle (combined across all trees reducing at
+	// that router, including roots). Zero means unlimited — the §5.1
+	// assumption that routers "compute multiple reductions at link rate".
+	// Setting it to 1 models a single-output engine and quantifies the
+	// arithmetic throughput the multi-tree embeddings actually demand.
+	EngineRate int
+	// Trace, when non-nil, receives every send/arrive/compute event in
+	// deterministic order. Tracing large runs is expensive; intended for
+	// debugging and fine-grained analysis.
+	Trace func(TraceEvent)
+	// LinkBandwidth is the number of flits a directed link can accept per
+	// cycle (trunked links). Zero means 1. All analytic comparisons in
+	// this repository use 1; higher values scale the fabric uniformly.
+	LinkBandwidth int
+}
+
+// DefaultConfig mirrors a plausible router point: 10-cycle links and
+// buffers matching the latency-bandwidth product.
+func DefaultConfig() Config {
+	return Config{LinkLatency: 10, VCDepth: 10, ProgressTimeout: 10000}
+}
+
+func (c Config) validate() error {
+	if c.LinkLatency < 1 {
+		return fmt.Errorf("netsim: LinkLatency must be ≥ 1, got %d", c.LinkLatency)
+	}
+	if c.VCDepth < 1 {
+		return fmt.Errorf("netsim: VCDepth must be ≥ 1, got %d", c.VCDepth)
+	}
+	if c.EngineRate < 0 {
+		return fmt.Errorf("netsim: EngineRate must be ≥ 0, got %d", c.EngineRate)
+	}
+	if c.LinkBandwidth < 0 {
+		return fmt.Errorf("netsim: LinkBandwidth must be ≥ 0, got %d", c.LinkBandwidth)
+	}
+	return nil
+}
+
+// Op selects which collective the embedded trees execute.
+type Op int
+
+const (
+	// OpAllreduce streams the reduction up each tree and broadcasts the
+	// result back down (§4.3) — every node ends with the full sum.
+	OpAllreduce Op = iota
+	// OpReduce runs only the up-phase: each tree's root ends with the sum
+	// of its sub-vector; other nodes receive nothing.
+	OpReduce
+	// OpBroadcast runs only the down-phase: each tree's root distributes
+	// its own input segment to all nodes.
+	OpBroadcast
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAllreduce:
+		return "allreduce"
+	case OpReduce:
+		return "reduce"
+	case OpBroadcast:
+		return "broadcast"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Spec describes one collective instance.
+type Spec struct {
+	// Op is the collective to run; zero value is OpAllreduce.
+	Op Op
+	// Topology is the physical network; every tree edge must be one of its
+	// links.
+	Topology *graph.Graph
+	// Forest is the set of concurrently executing Allreduce trees.
+	Forest []*trees.Tree
+	// Split[i] is the number of vector elements assigned to tree i
+	// (Theorem 5.1's m_i); the total vector length is the sum.
+	Split []int
+	// Inputs[v] is node v's full m-element input vector; tree i operates
+	// on the contiguous segment [offset_i, offset_i + Split[i]).
+	Inputs [][]int64
+}
+
+// Result reports a completed simulation.
+type Result struct {
+	// Cycles is the completion time: the first cycle by which every node
+	// holds the complete reduced vector.
+	Cycles int
+	// Outputs[v] is node v's assembled m-element result.
+	Outputs [][]int64
+	// FlitsSent counts total link transmissions (reduction + broadcast).
+	FlitsSent int
+	// TreeDone[i] is the cycle at which tree i's broadcast finished
+	// everywhere.
+	TreeDone []int
+	// PeakBufferFlits is the maximum total buffered flits observed across
+	// all virtual channels (a proxy for router SRAM requirements; §5.1
+	// motivates minimising congestion to keep this small).
+	PeakBufferFlits int
+}
+
+// phase of a flow.
+const (
+	phaseReduce = iota
+	phaseBcast
+)
+
+// flow is one virtual channel: a (directed link, tree, phase) stream.
+type flow struct {
+	tree  int
+	phase int
+	from  int
+	to    int
+	m     int // flits in this stream
+
+	sent     int // flits injected by the sender
+	arrived  int // flits delivered to the receiver buffer
+	consumed int // flits retired from the receiver buffer (credits freed)
+
+	// buf holds values for flits [bufBase, bufBase+len(buf)).
+	buf     []int64
+	bufBase int
+}
+
+func (f *flow) push(v int64) { f.buf = append(f.buf, v) }
+
+func (f *flow) at(k int) int64 { return f.buf[k-f.bufBase] }
+
+func (f *flow) dropTo(k int) {
+	if k > f.bufBase {
+		f.buf = f.buf[k-f.bufBase:]
+		f.bufBase = k
+	}
+}
+
+// inflight is a flit inside a link pipeline.
+type inflight struct {
+	f      *flow
+	val    int64
+	arrive int
+}
+
+// link is one directed physical link with its VCs and arbitration state.
+type link struct {
+	flows    []*flow
+	rr       int // round-robin pointer
+	pipeline []inflight
+}
+
+// nodeTree is the per-(node, tree) dataflow state.
+type nodeTree struct {
+	parent   int
+	seg      []int64 // this node's input segment
+	redIn    []*flow // reduce flows from children
+	redOut   *flow   // reduce flow to parent (nil at root)
+	bcastIn  *flow   // broadcast flow from parent (nil at root)
+	bcastOut []*flow // broadcast flows to children
+
+	// Root only: the pipelined reduction engine output.
+	rootResult   []int64
+	rootComputed int
+
+	out       []int64 // delivered result segment
+	delivered int
+	target    int // flits this node must deliver for its tree to finish
+}

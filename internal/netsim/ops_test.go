@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"testing"
+
+	"polarfly/internal/graph"
+	"polarfly/internal/trees"
+)
+
+func TestOpString(t *testing.T) {
+	if OpAllreduce.String() != "allreduce" || OpReduce.String() != "reduce" ||
+		OpBroadcast.String() != "broadcast" || Op(9).String() == "" {
+		t.Error("Op.String broken")
+	}
+}
+
+func TestOpReduceDeliversAtRootOnly(t *testing.T) {
+	spec := lineSpec(t, 7, 64)
+	spec.Op = OpReduce
+	res, err := Run(spec, Config{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := spec.Forest[0].Root
+	want := ExpectedOutput(spec.Inputs)
+	for k := range want {
+		if res.Outputs[root][k] != want[k] {
+			t.Fatalf("root element %d = %d, want %d", k, res.Outputs[root][k], want[k])
+		}
+	}
+	// Non-root nodes receive nothing.
+	for v := range res.Outputs {
+		if v == root {
+			continue
+		}
+		for k := range res.Outputs[v] {
+			if res.Outputs[v][k] != 0 {
+				t.Fatalf("non-root %d element %d = %d, want 0", v, k, res.Outputs[v][k])
+			}
+		}
+	}
+	// Reduce moves half the flits of an allreduce.
+	if res.FlitsSent != 6*64 {
+		t.Errorf("FlitsSent = %d, want %d", res.FlitsSent, 6*64)
+	}
+	// And takes strictly less time.
+	full := lineSpec(t, 7, 64)
+	fres, err := Run(full, Config{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles >= fres.Cycles {
+		t.Errorf("reduce (%d) not faster than allreduce (%d)", res.Cycles, fres.Cycles)
+	}
+}
+
+func TestOpBroadcastDistributesRootVector(t *testing.T) {
+	spec := lineSpec(t, 7, 64)
+	spec.Op = OpBroadcast
+	res, err := Run(spec, Config{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := spec.Forest[0].Root
+	want := spec.Inputs[root]
+	for v := range res.Outputs {
+		for k := range want {
+			if res.Outputs[v][k] != want[k] {
+				t.Fatalf("node %d element %d = %d, want %d (root's value)",
+					v, k, res.Outputs[v][k], want[k])
+			}
+		}
+	}
+	if res.FlitsSent != 6*64 {
+		t.Errorf("FlitsSent = %d, want %d", res.FlitsSent, 6*64)
+	}
+}
+
+func TestOpsOnMultiTreeForest(t *testing.T) {
+	// Reduce on a 2-tree forest: each root gets its own segment's sum.
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	t1, _ := trees.FromParent(0, []int{-1, 0, 1})
+	t2, _ := trees.FromParent(2, []int{2, 0, -1})
+	spec := Spec{Op: OpReduce, Topology: g, Forest: []*trees.Tree{t1, t2},
+		Split: []int{4, 4}, Inputs: randInputs(3, 8, 9)}
+	res, err := Run(spec, Config{LinkLatency: 1, VCDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExpectedOutput(spec.Inputs)
+	for k := 0; k < 4; k++ {
+		if res.Outputs[0][k] != want[k] { // tree 1's root owns segment [0,4)
+			t.Errorf("root0 element %d = %d, want %d", k, res.Outputs[0][k], want[k])
+		}
+		if res.Outputs[2][4+k] != want[4+k] { // tree 2's root owns [4,8)
+			t.Errorf("root2 element %d = %d, want %d", 4+k, res.Outputs[2][4+k], want[4+k])
+		}
+	}
+}
+
+func TestUnknownOpRejected(t *testing.T) {
+	spec := lineSpec(t, 3, 2)
+	spec.Op = Op(7)
+	if _, err := Run(spec, DefaultConfig()); err == nil {
+		t.Error("unknown op accepted")
+	}
+}

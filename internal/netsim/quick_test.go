@@ -1,0 +1,97 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"polarfly/internal/graph"
+	"polarfly/internal/trees"
+)
+
+// randomConnectedGraph builds a connected random graph: a random spanning
+// tree plus extra random edges.
+func randomConnectedGraph(rng *rand.Rand, n int, extra float64) *graph.Graph {
+	g := graph.New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(perm[i], perm[rng.Intn(i)])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < extra {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// TestRandomForestsProduceCorrectSumsQuick fuzzes the simulator: random
+// connected topologies, random BFS forests, random splits and random fabric
+// parameters must always yield the exact element-wise sum at every node.
+func TestRandomForestsProduceCorrectSumsQuick(t *testing.T) {
+	prop := func(seed int64, nRaw, kRaw, mRaw, latRaw, vcRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%10 + 2
+		k := int(kRaw)%3 + 1
+		m := int(mRaw)%40 + k // at least one flit per tree
+		lat := int(latRaw)%5 + 1
+		vc := int(vcRaw)%6 + 1
+		g := randomConnectedGraph(rng, n, 0.3)
+		forest, err := trees.RandomForest(g, k, seed)
+		if err != nil {
+			return false
+		}
+		split := make([]int, k)
+		rem := m
+		for i := 0; i < k-1; i++ {
+			split[i] = rng.Intn(rem - (k - 1 - i))
+			rem -= split[i]
+		}
+		split[k-1] = rem
+		spec := Spec{Topology: g, Forest: forest, Split: split, Inputs: randInputs(n, m, seed)}
+		res, err := Run(spec, Config{LinkLatency: lat, VCDepth: vc})
+		if err != nil {
+			t.Logf("seed=%d n=%d k=%d: %v", seed, n, k, err)
+			return false
+		}
+		want := ExpectedOutput(spec.Inputs)
+		for v := range res.Outputs {
+			for idx := range want {
+				if res.Outputs[v][idx] != want[idx] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlitConservationQuick: total flits sent must equal exactly
+// Σ_trees (reduce flits + broadcast flits) = Σ_i 2·(N−1)·m_i.
+func TestFlitConservationQuick(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%8 + 2
+		m := int(mRaw)%30 + 1
+		g := randomConnectedGraph(rng, n, 0.4)
+		forest, err := trees.RandomForest(g, 2, seed)
+		if err != nil {
+			return false
+		}
+		spec := Spec{Topology: g, Forest: forest, Split: []int{m, m}, Inputs: randInputs(n, 2*m, seed)}
+		res, err := Run(spec, Config{LinkLatency: 2, VCDepth: 3})
+		if err != nil {
+			return false
+		}
+		want := 2 * 2 * (n - 1) * m // 2 trees × (reduce+broadcast) × (N−1) links × m flits
+		return res.FlitsSent == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

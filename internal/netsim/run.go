@@ -1,0 +1,483 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run executes one in-network Allreduce and returns the cycle count and the
+// value-verified outputs. It validates the spec first: every tree must be a
+// spanning tree of the topology, the split must match the input length, and
+// all nodes must provide equal-length inputs.
+func Run(spec Spec, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ProgressTimeout == 0 {
+		cfg.ProgressTimeout = 10000
+	}
+	s, err := newSim(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+type sim struct {
+	spec Spec
+	cfg  Config
+
+	n       int
+	m       int   // total vector length
+	offsets []int // segment offset per tree
+
+	linkMap map[[2]int]*link // directed (from,to) → link
+	links   []*link          // same links in deterministic order
+	nodes   [][]*nodeTree    // nodes[tree][vertex]
+	pending int              // flit deliveries still outstanding (all nodes, all trees)
+
+	// engineUsed[v] counts reduction flits produced by router v this
+	// cycle, compared against cfg.EngineRate when it is non-zero.
+	engineUsed []int
+
+	result Result
+}
+
+func newSim(spec Spec, cfg Config) (*sim, error) {
+	g := spec.Topology
+	if g == nil {
+		return nil, fmt.Errorf("netsim: nil topology")
+	}
+	n := g.N()
+	if len(spec.Forest) == 0 {
+		return nil, fmt.Errorf("netsim: empty forest")
+	}
+	if len(spec.Split) != len(spec.Forest) {
+		return nil, fmt.Errorf("netsim: %d split entries for %d trees", len(spec.Split), len(spec.Forest))
+	}
+	if len(spec.Inputs) != n {
+		return nil, fmt.Errorf("netsim: %d input vectors for %d nodes", len(spec.Inputs), n)
+	}
+	s := &sim{spec: spec, cfg: cfg, n: n, linkMap: make(map[[2]int]*link), engineUsed: make([]int, n)}
+	for i, t := range spec.Forest {
+		if err := t.ValidateSpanning(g); err != nil {
+			return nil, fmt.Errorf("netsim: tree %d: %w", i, err)
+		}
+		if spec.Split[i] < 0 {
+			return nil, fmt.Errorf("netsim: negative split for tree %d", i)
+		}
+		s.offsets = append(s.offsets, s.m)
+		s.m += spec.Split[i]
+	}
+	for v, in := range spec.Inputs {
+		if len(in) != s.m {
+			return nil, fmt.Errorf("netsim: node %d input length %d, want %d", v, len(in), s.m)
+		}
+	}
+
+	getLink := func(from, to int) *link {
+		key := [2]int{from, to}
+		l, ok := s.linkMap[key]
+		if !ok {
+			l = &link{}
+			s.linkMap[key] = l
+		}
+		return l
+	}
+	addFlow := func(f *flow) *flow {
+		l := getLink(f.from, f.to)
+		l.flows = append(l.flows, f)
+		return f
+	}
+
+	s.nodes = make([][]*nodeTree, len(spec.Forest))
+	for ti, t := range spec.Forest {
+		mt := spec.Split[ti]
+		off := s.offsets[ti]
+		s.nodes[ti] = make([]*nodeTree, n)
+		for v := 0; v < n; v++ {
+			nt := &nodeTree{
+				parent: t.Parent[v],
+				seg:    spec.Inputs[v][off : off+mt],
+				out:    make([]int64, mt),
+			}
+			s.nodes[ti][v] = nt
+		}
+		withReduce := spec.Op == OpAllreduce || spec.Op == OpReduce
+		withBcast := spec.Op == OpAllreduce || spec.Op == OpBroadcast
+		if spec.Op < OpAllreduce || spec.Op > OpBroadcast {
+			return nil, fmt.Errorf("netsim: unknown op %v", spec.Op)
+		}
+		for v := 0; v < n; v++ {
+			nt := s.nodes[ti][v]
+			p := t.Parent[v]
+			if p >= 0 {
+				if withReduce {
+					nt.redOut = addFlow(&flow{tree: ti, phase: phaseReduce, from: v, to: p, m: mt})
+					s.nodes[ti][p].redIn = append(s.nodes[ti][p].redIn, nt.redOut)
+				}
+				if withBcast {
+					nt.bcastIn = addFlow(&flow{tree: ti, phase: phaseBcast, from: p, to: v, m: mt})
+					s.nodes[ti][p].bcastOut = append(s.nodes[ti][p].bcastOut, nt.bcastIn)
+				}
+			} else {
+				nt.rootResult = make([]int64, mt)
+				if spec.Op == OpBroadcast {
+					// The root sources its own input; it is trivially done.
+					copy(nt.rootResult, nt.seg)
+					copy(nt.out, nt.seg)
+					nt.rootComputed = mt
+					nt.delivered = mt
+				}
+			}
+			// Completion targets per op: everyone for allreduce/broadcast,
+			// only the root for reduce.
+			switch spec.Op {
+			case OpReduce:
+				if p < 0 {
+					nt.target = mt
+				}
+			default:
+				nt.target = mt
+			}
+			s.pending += nt.target - nt.delivered
+		}
+	}
+	s.result.TreeDone = make([]int, len(spec.Forest))
+	for i := range s.result.TreeDone {
+		s.result.TreeDone[i] = -1
+		s.checkTreeDone(i, 0) // zero-split or trivially-complete trees
+	}
+
+	// Freeze a deterministic link order for the cycle loop.
+	keys := make([][2]int, 0, len(s.linkMap))
+	for k := range s.linkMap {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		s.links = append(s.links, s.linkMap[k])
+	}
+	return s, nil
+}
+
+// reduceReady returns how many reduced flits node nt could emit so far:
+// bounded by the slowest child stream (its own input is always available).
+func (nt *nodeTree) reduceReady(m int) int {
+	ready := m
+	for _, cf := range nt.redIn {
+		if cf.arrived < ready {
+			ready = cf.arrived
+		}
+	}
+	return ready
+}
+
+// senderReady returns how many flits the sender of f has available to
+// inject.
+func (s *sim) senderReady(f *flow) int {
+	nt := s.nodes[f.tree][f.from]
+	if f.phase == phaseReduce {
+		return nt.reduceReady(f.m)
+	}
+	// Broadcast: the root sources from its reduction engine, everyone else
+	// from the stream received from their parent.
+	if nt.bcastIn == nil {
+		return nt.rootComputed
+	}
+	return nt.bcastIn.arrived
+}
+
+// flitValue produces the value of flit k on flow f at injection time.
+func (s *sim) flitValue(f *flow, k int) int64 {
+	nt := s.nodes[f.tree][f.from]
+	if f.phase == phaseReduce {
+		v := nt.seg[k]
+		for _, cf := range nt.redIn {
+			v += cf.at(k)
+		}
+		return v
+	}
+	if nt.bcastIn == nil {
+		return nt.rootResult[k]
+	}
+	return nt.bcastIn.at(k)
+}
+
+// updateConsumed advances every flow's consumed counter (credit release)
+// from the receiver's progress, and trims buffers.
+func (s *sim) updateConsumed() {
+	for _, l := range s.links {
+		for _, f := range l.flows {
+			nt := s.nodes[f.tree][f.to]
+			var c int
+			if f.phase == phaseReduce {
+				if nt.redOut != nil {
+					// A reduced flit k is retired from each child buffer
+					// when the combined flit k departs toward the parent.
+					c = nt.redOut.sent
+				} else {
+					// Root: retired when the reduction engine computes it.
+					c = nt.rootComputed
+				}
+			} else {
+				// Broadcast buffer at v is retired when flit k has been
+				// forwarded to all of v's children (leaves retire on
+				// arrival; local delivery copies the value eagerly).
+				c = f.arrived
+				for _, of := range nt.bcastOut {
+					if of.sent < c {
+						c = of.sent
+					}
+				}
+			}
+			if c > f.consumed {
+				f.consumed = c
+				f.dropTo(c)
+			}
+		}
+	}
+}
+
+// rootCompute advances every root reduction engine by at most one flit per
+// tree per cycle (link rate), recording the final value and delivering it
+// locally.
+func (s *sim) rootCompute(now int) {
+	if s.spec.Op == OpBroadcast {
+		return // roots already hold their source data
+	}
+	// The reduction engine runs at link rate: up to LinkBandwidth flits
+	// per tree per cycle (§5.1), unless EngineRate caps total output.
+	perTree := s.cfg.LinkBandwidth
+	if perTree == 0 {
+		perTree = 1
+	}
+	for ti := range s.nodes {
+		root := s.spec.Forest[ti].Root
+		nt := s.nodes[ti][root]
+		mt := s.spec.Split[ti]
+		for slot := 0; slot < perTree; slot++ {
+			if nt.rootComputed >= mt {
+				break
+			}
+			if s.cfg.EngineRate > 0 && s.engineUsed[root] >= s.cfg.EngineRate {
+				break
+			}
+			k := nt.rootComputed
+			ready := true
+			for _, cf := range nt.redIn {
+				if cf.arrived <= k {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				break
+			}
+			v := nt.seg[k]
+			for _, cf := range nt.redIn {
+				v += cf.at(k)
+			}
+			nt.rootResult[k] = v
+			nt.out[k] = v
+			nt.rootComputed++
+			nt.delivered++
+			s.engineUsed[root]++
+			s.pending--
+			s.emit(TraceEvent{Cycle: now, Kind: TraceRootCompute, Tree: ti,
+				From: root, To: root, Flit: k, Value: v})
+			s.checkTreeDone(ti, now)
+		}
+	}
+}
+
+func (s *sim) checkTreeDone(ti, now int) {
+	if s.result.TreeDone[ti] >= 0 {
+		return
+	}
+	for _, nt := range s.nodes[ti] {
+		if nt.delivered < nt.target {
+			return
+		}
+	}
+	s.result.TreeDone[ti] = now
+}
+
+func (s *sim) run() (*Result, error) {
+	now := 0
+	idle := 0
+	for s.pending > 0 {
+		now++
+		progressed := false
+		for i := range s.engineUsed {
+			s.engineUsed[i] = 0
+		}
+
+		// 1. Deliver flits whose pipeline delay expires this cycle.
+		for _, l := range s.links {
+			for len(l.pipeline) > 0 && l.pipeline[0].arrive <= now {
+				fl := l.pipeline[0]
+				l.pipeline = l.pipeline[1:]
+				f := fl.f
+				f.push(fl.val)
+				k := f.arrived
+				f.arrived++
+				s.emit(TraceEvent{Cycle: now, Kind: TraceArrive, Tree: f.tree, Phase: f.phase,
+					From: f.from, To: f.to, Flit: k, Value: fl.val})
+				if f.phase == phaseBcast {
+					// Local delivery on arrival.
+					nt := s.nodes[f.tree][f.to]
+					nt.out[k] = fl.val
+					nt.delivered++
+					s.pending--
+					s.checkTreeDone(f.tree, now)
+				}
+				progressed = true
+			}
+		}
+
+		// 2. Root reduction engines run at link rate.
+		before := s.pending
+		s.rootCompute(now)
+		if s.pending != before {
+			progressed = true
+		}
+
+		// 3. Credit release from receiver progress.
+		s.updateConsumed()
+
+		// 4. Link arbitration: LinkBandwidth flits per directed link per
+		//    cycle (default 1), round-robin over virtual channels with
+		//    data and credit.
+		linkBW := s.cfg.LinkBandwidth
+		if linkBW == 0 {
+			linkBW = 1
+		}
+		for _, l := range s.links {
+			nf := len(l.flows)
+			sentThisCycle := 0
+			for i := 0; i < nf && sentThisCycle < linkBW; i++ {
+				f := l.flows[(l.rr+i)%nf]
+				if f.sent >= f.m {
+					continue // stream finished
+				}
+				if s.senderReady(f) <= f.sent {
+					continue // nothing to send yet
+				}
+				if f.sent-f.consumed >= s.cfg.VCDepth {
+					continue // no credit
+				}
+				if f.phase == phaseReduce && s.cfg.EngineRate > 0 {
+					// A non-leaf sender combines child flits as it
+					// transmits — that production consumes engine slots.
+					if len(s.nodes[f.tree][f.from].redIn) > 0 {
+						if s.engineUsed[f.from] >= s.cfg.EngineRate {
+							continue
+						}
+						s.engineUsed[f.from]++
+					}
+				}
+				val := s.flitValue(f, f.sent)
+				f.sent++
+				l.pipeline = append(l.pipeline, inflight{f: f, val: val, arrive: now + s.cfg.LinkLatency})
+				s.result.FlitsSent++
+				s.emit(TraceEvent{Cycle: now, Kind: TraceSend, Tree: f.tree, Phase: f.phase,
+					From: f.from, To: f.to, Flit: f.sent - 1, Value: val})
+				l.rr = (l.rr + i + 1) % nf
+				sentThisCycle++
+				progressed = true
+				// Restart the round-robin scan so fairness is preserved
+				// across the remaining budget.
+				i = -1
+				nf = len(l.flows)
+			}
+		}
+
+		// Track peak buffering for the resource-requirement discussion.
+		buffered := 0
+		for _, l := range s.links {
+			for _, f := range l.flows {
+				buffered += len(f.buf)
+			}
+		}
+		if buffered > s.result.PeakBufferFlits {
+			s.result.PeakBufferFlits = buffered
+		}
+
+		if progressed {
+			idle = 0
+		} else {
+			idle++
+			if idle > s.cfg.ProgressTimeout {
+				return nil, fmt.Errorf("netsim: no progress for %d cycles at cycle %d (%d flits pending)",
+					idle, now, s.pending)
+			}
+		}
+	}
+	s.result.Cycles = now
+
+	// Post-run invariants: every stream fully drained, no flit stranded in
+	// a pipeline or buffer, all credits returned. A violation indicates a
+	// simulator bug, not a workload property, so it is an error.
+	s.updateConsumed()
+	for _, l := range s.links {
+		if len(l.pipeline) != 0 {
+			return nil, fmt.Errorf("netsim: internal: %d flits stranded in a link pipeline", len(l.pipeline))
+		}
+		for _, f := range l.flows {
+			if f.sent != f.m || f.arrived != f.m {
+				return nil, fmt.Errorf("netsim: internal: flow tree=%d phase=%d %d→%d ended at sent=%d arrived=%d of %d",
+					f.tree, f.phase, f.from, f.to, f.sent, f.arrived, f.m)
+			}
+			if f.consumed != f.m || len(f.buf) != 0 {
+				return nil, fmt.Errorf("netsim: internal: flow tree=%d %d→%d left %d flits buffered",
+					f.tree, f.from, f.to, len(f.buf))
+			}
+		}
+	}
+
+	s.result.Outputs = make([][]int64, s.n)
+	for v := 0; v < s.n; v++ {
+		out := make([]int64, s.m)
+		for ti := range s.nodes {
+			copy(out[s.offsets[ti]:], s.nodes[ti][v].out)
+		}
+		s.result.Outputs[v] = out
+	}
+	return &s.result, nil
+}
+
+// ExpectedOutput computes the reference element-wise sum of the inputs,
+// for verification.
+func ExpectedOutput(inputs [][]int64) []int64 {
+	if len(inputs) == 0 {
+		return nil
+	}
+	out := make([]int64, len(inputs[0]))
+	for _, in := range inputs {
+		for k, v := range in {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// UsedDirectedLinks returns the number of distinct directed links carrying
+// at least one flow — a sanity statistic for embeddings.
+func UsedDirectedLinks(spec Spec) int {
+	seen := make(map[[2]int]bool)
+	for _, t := range spec.Forest {
+		for v, p := range t.Parent {
+			if p >= 0 {
+				seen[[2]int{v, p}] = true
+				seen[[2]int{p, v}] = true
+			}
+		}
+	}
+	return len(seen)
+}

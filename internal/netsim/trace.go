@@ -1,0 +1,51 @@
+package netsim
+
+import "fmt"
+
+// TraceEventKind classifies simulator events.
+type TraceEventKind int
+
+const (
+	// TraceSend: a flit entered a link pipeline.
+	TraceSend TraceEventKind = iota
+	// TraceArrive: a flit was delivered into a receive buffer.
+	TraceArrive
+	// TraceRootCompute: a root reduction engine produced a final flit.
+	TraceRootCompute
+)
+
+func (k TraceEventKind) String() string {
+	switch k {
+	case TraceSend:
+		return "send"
+	case TraceArrive:
+		return "arrive"
+	case TraceRootCompute:
+		return "compute"
+	}
+	return fmt.Sprintf("TraceEventKind(%d)", int(k))
+}
+
+// TraceEvent is one simulator event, delivered to Config.Trace in
+// deterministic order.
+type TraceEvent struct {
+	Cycle int
+	Kind  TraceEventKind
+	// Tree and Phase identify the stream (Phase is 0 for reduction, 1 for
+	// broadcast; meaningless for TraceRootCompute).
+	Tree, Phase int
+	// From and To are the link endpoints (for TraceRootCompute both equal
+	// the root).
+	From, To int
+	// Flit is the stream-local flit index.
+	Flit int
+	// Value is the payload.
+	Value int64
+}
+
+// emit forwards an event to the trace hook if one is installed.
+func (s *sim) emit(ev TraceEvent) {
+	if s.cfg.Trace != nil {
+		s.cfg.Trace(ev)
+	}
+}

@@ -1,0 +1,88 @@
+package netsim
+
+import "testing"
+
+func TestTraceEventStream(t *testing.T) {
+	spec := lineSpec(t, 4, 8)
+	var events []TraceEvent
+	cfg := Config{LinkLatency: 2, VCDepth: 4, Trace: func(ev TraceEvent) {
+		events = append(events, ev)
+	}}
+	res, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sends, arrives, computes := 0, 0, 0
+	lastCycle := 0
+	for _, ev := range events {
+		if ev.Cycle < lastCycle {
+			t.Fatalf("events out of order: cycle %d after %d", ev.Cycle, lastCycle)
+		}
+		lastCycle = ev.Cycle
+		switch ev.Kind {
+		case TraceSend:
+			sends++
+		case TraceArrive:
+			arrives++
+		case TraceRootCompute:
+			computes++
+		}
+		if ev.Flit < 0 || ev.Flit >= 8 {
+			t.Fatalf("flit index %d out of range", ev.Flit)
+		}
+	}
+	if sends != res.FlitsSent {
+		t.Errorf("%d send events, %d flits sent", sends, res.FlitsSent)
+	}
+	if arrives != sends {
+		t.Errorf("%d arrives for %d sends", arrives, sends)
+	}
+	if computes != 8 { // m flits through the single root engine
+		t.Errorf("%d compute events, want 8", computes)
+	}
+	// Every send precedes its arrival by exactly LinkLatency.
+	type key struct{ tree, phase, from, to, flit int }
+	sendCycle := make(map[key]int)
+	for _, ev := range events {
+		k := key{ev.Tree, ev.Phase, ev.From, ev.To, ev.Flit}
+		switch ev.Kind {
+		case TraceSend:
+			sendCycle[k] = ev.Cycle
+		case TraceArrive:
+			sc, ok := sendCycle[k]
+			if !ok {
+				t.Fatalf("arrival without send: %+v", ev)
+			}
+			if ev.Cycle != sc+cfg.LinkLatency {
+				t.Fatalf("flit %+v latency %d, want %d", ev, ev.Cycle-sc, cfg.LinkLatency)
+			}
+		}
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	if TraceSend.String() != "send" || TraceArrive.String() != "arrive" ||
+		TraceRootCompute.String() != "compute" || TraceEventKind(9).String() == "" {
+		t.Error("TraceEventKind.String broken")
+	}
+}
+
+func TestNoTraceNoOverheadPath(t *testing.T) {
+	// Just confirms Run works identically with a nil hook.
+	spec := lineSpec(t, 4, 16)
+	a, err := Run(spec, Config{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	b, err := Run(spec, Config{LinkLatency: 2, VCDepth: 4, Trace: func(TraceEvent) { count++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Error("tracing changed simulation behavior")
+	}
+	if count == 0 {
+		t.Error("no events traced")
+	}
+}

@@ -1,0 +1,233 @@
+// Package numtheory provides the elementary number-theoretic routines that
+// underpin the Singer difference-set construction and the Hamiltonian-path
+// analysis of the paper: gcd and extended gcd, modular inverses (Lemma 6.7),
+// primality and prime-power testing (PolarFly exists for every prime power
+// radix), integer factorisation by trial division (N = q²+q+1 is at most a
+// few tens of thousands for all radixes of interest), and Euler's totient
+// (Corollary 7.20 counts the alternating-sum Hamiltonian paths as φ(N)).
+//
+// All routines operate on int64-range values held in int; PolarFly design
+// points keep N below 2^15, so overflow is never a concern here, but the
+// implementations are written to be correct for any non-negative int inputs
+// that fit without intermediate overflow.
+package numtheory
+
+import "sort"
+
+// GCD returns the greatest common divisor of a and b. GCD(0, 0) == 0.
+// Negative inputs are folded to their absolute values.
+func GCD(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// ExtGCD returns (g, x, y) with a*x + b*y == g == gcd(a, b).
+func ExtGCD(a, b int) (g, x, y int) {
+	if b == 0 {
+		if a < 0 {
+			return -a, -1, 0
+		}
+		return a, 1, 0
+	}
+	g, x1, y1 := ExtGCD(b, a%b)
+	return g, y1, x1 - (a/b)*y1
+}
+
+// Mod returns a mod m with a result in [0, m). m must be positive.
+func Mod(a, m int) int {
+	if m <= 0 {
+		panic("numtheory: Mod with non-positive modulus")
+	}
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// ModInverse returns the multiplicative inverse of a modulo m, and whether it
+// exists (it exists iff gcd(a, m) == 1). m must be positive.
+func ModInverse(a, m int) (int, bool) {
+	if m <= 0 {
+		panic("numtheory: ModInverse with non-positive modulus")
+	}
+	g, x, _ := ExtGCD(Mod(a, m), m)
+	if g != 1 {
+		return 0, false
+	}
+	return Mod(x, m), true
+}
+
+// ModPow returns base^exp mod m for exp >= 0 and m > 0.
+func ModPow(base, exp, m int) int {
+	if m <= 0 {
+		panic("numtheory: ModPow with non-positive modulus")
+	}
+	if exp < 0 {
+		panic("numtheory: ModPow with negative exponent")
+	}
+	base = Mod(base, m)
+	result := 1 % m
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = result * base % m
+		}
+		base = base * base % m
+		exp >>= 1
+	}
+	return result
+}
+
+// IsPrime reports whether n is prime, by trial division. Intended for the
+// small moduli that arise in PolarFly analysis (N ≤ ~2^20).
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	if n%3 == 0 {
+		return n == 3
+	}
+	for f := 5; f*f <= n; f += 6 {
+		if n%f == 0 || n%(f+2) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Factor returns the prime factorisation of n > 1 as a sorted slice of
+// (prime, exponent) pairs. Factor(1) returns an empty slice.
+func Factor(n int) []PrimePower {
+	if n < 1 {
+		panic("numtheory: Factor of non-positive integer")
+	}
+	var out []PrimePower
+	for _, p := range []int{2, 3} {
+		if n%p == 0 {
+			e := 0
+			for n%p == 0 {
+				n /= p
+				e++
+			}
+			out = append(out, PrimePower{P: p, E: e})
+		}
+	}
+	for f := 5; f*f <= n; f += 6 {
+		for _, p := range []int{f, f + 2} {
+			if n%p == 0 {
+				e := 0
+				for n%p == 0 {
+					n /= p
+					e++
+				}
+				out = append(out, PrimePower{P: p, E: e})
+			}
+		}
+	}
+	if n > 1 {
+		out = append(out, PrimePower{P: n, E: 1})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].P < out[j].P })
+	return out
+}
+
+// PrimePower is one term p^e of a factorisation.
+type PrimePower struct {
+	P, E int
+}
+
+// Value returns p^e.
+func (pp PrimePower) Value() int {
+	v := 1
+	for i := 0; i < pp.E; i++ {
+		v *= pp.P
+	}
+	return v
+}
+
+// IsPrimePower reports whether n = p^a for a prime p and a ≥ 1, returning
+// (p, a, true) if so. PolarFly ER_q graphs exist exactly for prime-power q.
+func IsPrimePower(n int) (p, a int, ok bool) {
+	if n < 2 {
+		return 0, 0, false
+	}
+	f := Factor(n)
+	if len(f) != 1 {
+		return 0, 0, false
+	}
+	return f[0].P, f[0].E, true
+}
+
+// Totient returns Euler's totient φ(n) for n ≥ 1.
+func Totient(n int) int {
+	if n < 1 {
+		panic("numtheory: Totient of non-positive integer")
+	}
+	phi := n
+	for _, pp := range Factor(n) {
+		phi = phi / pp.P * (pp.P - 1)
+	}
+	return phi
+}
+
+// Divisors returns all positive divisors of n ≥ 1 in ascending order.
+func Divisors(n int) []int {
+	if n < 1 {
+		panic("numtheory: Divisors of non-positive integer")
+	}
+	var ds []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			ds = append(ds, d)
+			if d != n/d {
+				ds = append(ds, n/d)
+			}
+		}
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// PrimePowersUpTo returns every prime power q with lo ≤ q ≤ hi in ascending
+// order. This enumerates the feasible PolarFly radixes q+1 used in the
+// Figure 5 sweeps of the paper (q ∈ [2, 128] → radix ∈ [3, 129]).
+func PrimePowersUpTo(lo, hi int) []int {
+	var qs []int
+	for q := lo; q <= hi; q++ {
+		if _, _, ok := IsPrimePower(q); ok {
+			qs = append(qs, q)
+		}
+	}
+	return qs
+}
+
+// MultiplicativeOrder returns the order of a modulo m (smallest k ≥ 1 with
+// a^k ≡ 1 mod m). a must be coprime to m; otherwise ok is false.
+func MultiplicativeOrder(a, m int) (int, bool) {
+	if m <= 0 {
+		panic("numtheory: MultiplicativeOrder with non-positive modulus")
+	}
+	a = Mod(a, m)
+	if GCD(a, m) != 1 {
+		return 0, false
+	}
+	// The order divides φ(m); test divisors in ascending order.
+	phi := Totient(m)
+	for _, d := range Divisors(phi) {
+		if ModPow(a, d, m) == 1 {
+			return d, true
+		}
+	}
+	return 0, false // unreachable for valid inputs
+}

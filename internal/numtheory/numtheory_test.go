@@ -1,0 +1,294 @@
+package numtheory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 5, 5}, {5, 0, 5}, {12, 18, 6}, {18, 12, 6},
+		{7, 13, 1}, {-12, 18, 6}, {12, -18, 6}, {-12, -18, 6},
+		{1, 1, 1}, {100, 10, 10}, {21, 14, 7},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExtGCDIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := rng.Intn(10000) - 5000
+		b := rng.Intn(10000) - 5000
+		g, x, y := ExtGCD(a, b)
+		if g != GCD(a, b) {
+			t.Fatalf("ExtGCD(%d,%d) gcd=%d, want %d", a, b, g, GCD(a, b))
+		}
+		if a*x+b*y != g {
+			t.Fatalf("ExtGCD(%d,%d): %d*%d + %d*%d != %d", a, b, a, x, b, y, g)
+		}
+	}
+}
+
+func TestMod(t *testing.T) {
+	if Mod(-1, 13) != 12 {
+		t.Errorf("Mod(-1,13) = %d, want 12", Mod(-1, 13))
+	}
+	if Mod(13, 13) != 0 {
+		t.Errorf("Mod(13,13) = %d, want 0", Mod(13, 13))
+	}
+	if Mod(27, 13) != 1 {
+		t.Errorf("Mod(27,13) = %d, want 1", Mod(27, 13))
+	}
+}
+
+func TestModPanicsOnBadModulus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mod(1,0) did not panic")
+		}
+	}()
+	Mod(1, 0)
+}
+
+func TestModInverse(t *testing.T) {
+	// Lemma 6.7: in Z_N with N = q²+q+1 (always odd), 2⁻¹ = (N+1)/2.
+	for _, q := range []int{2, 3, 4, 5, 7, 8, 9, 11, 13} {
+		n := q*q + q + 1
+		inv, ok := ModInverse(2, n)
+		if !ok {
+			t.Fatalf("q=%d: 2 has no inverse mod %d", q, n)
+		}
+		if want := (n + 1) / 2; inv != want {
+			t.Errorf("q=%d: 2⁻¹ mod %d = %d, want %d (Lemma 6.7)", q, n, inv, want)
+		}
+	}
+	if _, ok := ModInverse(6, 21); ok {
+		t.Error("ModInverse(6,21) should not exist (gcd=3)")
+	}
+}
+
+func TestModInverseProperty(t *testing.T) {
+	f := func(a uint16, m uint16) bool {
+		mod := int(m)%1000 + 2
+		av := int(a)
+		inv, ok := ModInverse(av, mod)
+		if !ok {
+			return GCD(av, mod) != 1
+		}
+		return Mod(av*inv, mod) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModPow(t *testing.T) {
+	if got := ModPow(2, 10, 1000); got != 24 {
+		t.Errorf("ModPow(2,10,1000) = %d, want 24", got)
+	}
+	if got := ModPow(5, 0, 7); got != 1 {
+		t.Errorf("ModPow(5,0,7) = %d, want 1", got)
+	}
+	if got := ModPow(0, 5, 7); got != 0 {
+		t.Errorf("ModPow(0,5,7) = %d, want 0", got)
+	}
+	// Fermat's little theorem spot checks.
+	for _, p := range []int{3, 5, 7, 11, 13, 101} {
+		for a := 1; a < p; a++ {
+			if ModPow(a, p-1, p) != 1 {
+				t.Errorf("Fermat fails: %d^%d mod %d != 1", a, p-1, p)
+			}
+		}
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := []int{2, 3, 5, 7, 11, 13, 127, 7919}
+	nonPrimes := []int{-7, 0, 1, 4, 6, 9, 21, 91, 7917}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false, want true", p)
+		}
+	}
+	for _, n := range nonPrimes {
+		if IsPrime(n) {
+			t.Errorf("IsPrime(%d) = true, want false", n)
+		}
+	}
+}
+
+func TestFactor(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []PrimePower
+	}{
+		{1, nil},
+		{2, []PrimePower{{2, 1}}},
+		{12, []PrimePower{{2, 2}, {3, 1}}},
+		{21, []PrimePower{{3, 1}, {7, 1}}}, // N for q=4
+		{343, []PrimePower{{7, 3}}},
+		{9973, []PrimePower{{9973, 1}}},
+	}
+	for _, c := range cases {
+		got := Factor(c.n)
+		if len(got) != len(c.want) {
+			t.Errorf("Factor(%d) = %v, want %v", c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Factor(%d)[%d] = %v, want %v", c.n, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestFactorReassembles(t *testing.T) {
+	for n := 1; n <= 5000; n++ {
+		prod := 1
+		for _, pp := range Factor(n) {
+			if !IsPrime(pp.P) {
+				t.Fatalf("Factor(%d) produced non-prime %d", n, pp.P)
+			}
+			prod *= pp.Value()
+		}
+		if prod != n {
+			t.Fatalf("Factor(%d) product = %d", n, prod)
+		}
+	}
+}
+
+func TestIsPrimePower(t *testing.T) {
+	cases := []struct {
+		n, p, a int
+		ok      bool
+	}{
+		{2, 2, 1, true}, {3, 3, 1, true}, {4, 2, 2, true}, {8, 2, 3, true},
+		{9, 3, 2, true}, {27, 3, 3, true}, {121, 11, 2, true}, {128, 2, 7, true},
+		{1, 0, 0, false}, {6, 0, 0, false}, {12, 0, 0, false}, {100, 0, 0, false},
+	}
+	for _, c := range cases {
+		p, a, ok := IsPrimePower(c.n)
+		if ok != c.ok || p != c.p || a != c.a {
+			t.Errorf("IsPrimePower(%d) = (%d,%d,%v), want (%d,%d,%v)", c.n, p, a, ok, c.p, c.a, c.ok)
+		}
+	}
+}
+
+func TestTotient(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 1}, {2, 1}, {6, 2}, {9, 6}, {10, 4},
+		{13, 12}, // q=3 → N=13, Cor. 7.20: 12 Hamiltonian paths
+		{21, 12}, // q=4 → N=21
+		{31, 30}, // q=5 → N=31
+		{57, 36}, // q=7 → N=57
+	}
+	for _, c := range cases {
+		if got := Totient(c.n); got != c.want {
+			t.Errorf("Totient(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTotientSumOverDivisors(t *testing.T) {
+	// Gauss: Σ_{d|n} φ(d) = n.
+	for n := 1; n <= 2000; n++ {
+		sum := 0
+		for _, d := range Divisors(n) {
+			sum += Totient(d)
+		}
+		if sum != n {
+			t.Fatalf("Σφ(d|%d) = %d", n, sum)
+		}
+	}
+}
+
+func TestTotientBoundsFromPaper(t *testing.T) {
+	// §7.2: for composite n ≠ 6, √n ≤ φ(n) ≤ n − √n.
+	for n := 4; n <= 3000; n++ {
+		if IsPrime(n) || n == 6 {
+			continue
+		}
+		phi := Totient(n)
+		if phi*phi < n {
+			t.Errorf("φ(%d) = %d < √%d", n, phi, n)
+		}
+		if d := n - phi; d*d < n {
+			t.Errorf("φ(%d) = %d > %d − √%d", n, phi, n, n)
+		}
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	got := Divisors(21)
+	want := []int{1, 3, 7, 21}
+	if len(got) != len(want) {
+		t.Fatalf("Divisors(21) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Divisors(21) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPrimePowersUpTo(t *testing.T) {
+	got := PrimePowersUpTo(2, 32)
+	want := []int{2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32}
+	if len(got) != len(want) {
+		t.Fatalf("PrimePowersUpTo(2,32) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PrimePowersUpTo(2,32)[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Paper sweep: radix in [3,129] → q in [2,128]; all must be prime powers.
+	qs := PrimePowersUpTo(2, 128)
+	if len(qs) != 44 {
+		t.Errorf("expected 44 prime powers in [2,128], got %d: %v", len(qs), qs)
+	}
+}
+
+func TestMultiplicativeOrder(t *testing.T) {
+	ord, ok := MultiplicativeOrder(2, 13)
+	if !ok || ord != 12 {
+		t.Errorf("order of 2 mod 13 = (%d,%v), want (12,true)", ord, ok)
+	}
+	ord, ok = MultiplicativeOrder(3, 13)
+	if !ok || ord != 3 {
+		t.Errorf("order of 3 mod 13 = (%d,%v), want (3,true)", ord, ok)
+	}
+	if _, ok := MultiplicativeOrder(6, 21); ok {
+		t.Error("order of 6 mod 21 should not exist")
+	}
+}
+
+func TestMultiplicativeOrderProperty(t *testing.T) {
+	f := func(a uint8, m uint8) bool {
+		mod := int(m)%200 + 2
+		av := int(a)%mod + 1
+		ord, ok := MultiplicativeOrder(av, mod)
+		if !ok {
+			return GCD(av, mod) != 1
+		}
+		if ModPow(av, ord, mod) != 1 {
+			return false
+		}
+		// Minimality: no smaller exponent works.
+		for k := 1; k < ord; k++ {
+			if ModPow(av, k, mod) == 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

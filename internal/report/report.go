@@ -1,0 +1,143 @@
+// Package report renders experiment series as fixed-width text artifacts:
+// aligned tables and ASCII bar/line charts, so `cmd/figures -plot` can
+// reproduce the *shapes* of the paper's figures directly in a terminal
+// without any plotting dependency.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named sequence of (x, y) points sharing the x values of
+// its Chart.
+type Series struct {
+	Name   string
+	Values []float64
+	// Marker is the single-character glyph for this series.
+	Marker byte
+}
+
+// Chart is a simple scatter/line chart over shared x labels.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XTicks []string
+	Series []Series
+	// Height is the plot's row count (default 16).
+	Height int
+	// YMax overrides the automatic y-axis maximum when positive.
+	YMax float64
+}
+
+// Render draws the chart as fixed-width text. Each column is one x tick;
+// each series marks the row closest to its value. Collisions render the
+// later series' marker.
+func (c *Chart) Render() string {
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	cols := len(c.XTicks)
+	for _, s := range c.Series {
+		if len(s.Values) != cols {
+			return fmt.Sprintf("report: series %q has %d values for %d ticks\n", s.Name, len(s.Values), cols)
+		}
+	}
+	ymax := c.YMax
+	if ymax <= 0 {
+		for _, s := range c.Series {
+			for _, v := range s.Values {
+				if v > ymax {
+					ymax = v
+				}
+			}
+		}
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for _, s := range c.Series {
+		for x, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
+			frac := v / ymax
+			if frac > 1 {
+				frac = 1
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			row := height - 1 - int(math.Round(frac*float64(height-1)))
+			grid[row][x] = s.Marker
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for r, row := range grid {
+		yVal := ymax * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%8.2f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", cols))
+	// X tick labels: print every k-th tick so labels don't collide.
+	step := 1
+	for colsPerLabel := 6; cols/step > 0 && step*colsPerLabel < cols; {
+		step++
+	}
+	lbl := make([]byte, cols)
+	for i := range lbl {
+		lbl[i] = ' '
+	}
+	for i := 0; i < cols; i += step {
+		t := c.XTicks[i]
+		for j := 0; j < len(t) && i+j < cols; j++ {
+			lbl[i+j] = t[j]
+		}
+	}
+	fmt.Fprintf(&b, "%8s  %s  (%s)\n", "", string(lbl), c.XLabel)
+	for _, s := range c.Series {
+		fmt.Fprintf(&b, "%10c = %s\n", s.Marker, s.Name)
+	}
+	return b.String()
+}
+
+// Table renders rows of cells with aligned columns (left-aligned headers,
+// right-aligned numeric-looking cells).
+func Table(headers []string, rows [][]string) string {
+	width := make([]int, len(headers))
+	for i, h := range headers {
+		width[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, h := range headers {
+		fmt.Fprintf(&b, "%-*s  ", width[i], h)
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(width) {
+				fmt.Fprintf(&b, "%*s  ", width[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

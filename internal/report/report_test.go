@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{
+		Title:  "demo",
+		XLabel: "radix",
+		XTicks: []string{"4", "6", "8", "10"},
+		Series: []Series{
+			{Name: "flat", Values: []float64{1, 1, 1, 1}, Marker: '#'},
+			{Name: "rising", Values: []float64{0.25, 0.5, 0.75, 1}, Marker: '*'},
+		},
+		Height: 5,
+		YMax:   1,
+	}
+	out := c.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "radix") {
+		t.Errorf("missing labels:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Top plot row holds the y=1 values of both series: columns of '#'
+	// everywhere and '*' in the last column (later series wins ties).
+	top := lines[1]
+	if !strings.Contains(top, "#") {
+		t.Errorf("flat series missing from top row: %q", top)
+	}
+	if !strings.Contains(out, "* = rising") || !strings.Contains(out, "# = flat") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// Rising series appears on multiple distinct rows.
+	starRows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "*") && strings.Contains(l, "|") {
+			starRows++
+		}
+	}
+	if starRows < 3 {
+		t.Errorf("rising series occupies %d rows, want ≥ 3:\n%s", starRows, out)
+	}
+}
+
+func TestChartMismatchedSeries(t *testing.T) {
+	c := &Chart{XTicks: []string{"a", "b"}, Series: []Series{{Name: "x", Values: []float64{1}, Marker: 'x'}}}
+	if !strings.Contains(c.Render(), "report:") {
+		t.Error("mismatch not reported")
+	}
+}
+
+func TestChartEmptyValuesSafe(t *testing.T) {
+	c := &Chart{XTicks: []string{"a"}, Series: []Series{{Name: "z", Values: []float64{0}, Marker: 'z'}}}
+	out := c.Render()
+	if out == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"q", "bw"}, [][]string{{"3", "1.5"}, {"11", "5.5"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "q") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "11") || !strings.Contains(lines[2], "5.5") {
+		t.Errorf("row: %q", lines[2])
+	}
+}

@@ -1,0 +1,258 @@
+// Package routercfg lowers an Allreduce forest onto concrete router
+// configurations — the §4.4 "mechanism to configure connectivity between
+// I/O-ports and reduction engine". For every router it produces, per tree:
+// which input ports feed the reduction engine, which output port carries
+// the partial sum upstream, which ports replicate the broadcast downstream,
+// and which virtual channel each stream uses. The VC assignment exploits
+// Lemma 7.8: reduction flows of distinct trees sharing a physical link
+// always travel in opposite directions in the Algorithm 3 forest, so one
+// reduction VC and one broadcast VC per link direction suffice for
+// congestion-2 forests (and trivially for edge-disjoint ones).
+package routercfg
+
+import (
+	"fmt"
+	"sort"
+
+	"polarfly/internal/graph"
+	"polarfly/internal/trees"
+)
+
+// Role of a router within one tree.
+type Role int
+
+const (
+	// Leaf routers only inject their own contribution and receive the
+	// broadcast.
+	Leaf Role = iota
+	// Internal routers reduce children plus their own contribution and
+	// forward both phases.
+	Internal
+	// Root routers complete the reduction and originate the broadcast.
+	Root
+)
+
+func (r Role) String() string {
+	switch r {
+	case Leaf:
+		return "leaf"
+	case Internal:
+		return "internal"
+	case Root:
+		return "root"
+	}
+	return fmt.Sprintf("Role(%d)", int(r))
+}
+
+// VC identifiers. Reduction and broadcast get disjoint virtual channels,
+// as in Intel PIUMA (§7.1); within each class, streams of different trees
+// on the same directed link get consecutive indices.
+const (
+	VCReduce = 0
+	VCBcast  = 1
+)
+
+// Stream is one logical flow crossing a router port.
+type Stream struct {
+	// Tree is the forest index of the tree this stream belongs to.
+	Tree int
+	// Port is the local port number (index into the router's neighbor
+	// list, sorted ascending by neighbor id).
+	Port int
+	// VCClass is VCReduce or VCBcast.
+	VCClass int
+	// VCIndex disambiguates multiple same-class streams of different
+	// trees on the same directed link (0 when unique).
+	VCIndex int
+}
+
+// TreeConfig is a router's configuration for one tree.
+type TreeConfig struct {
+	Tree int
+	Role Role
+	// ReduceIn lists the streams whose flits feed this router's reduction
+	// engine (one per child).
+	ReduceIn []Stream
+	// ReduceOut is the upstream partial-sum stream (absent for the root).
+	ReduceOut *Stream
+	// BcastIn is the downstream broadcast source (absent for the root).
+	BcastIn *Stream
+	// BcastOut lists the broadcast replication streams (one per child).
+	BcastOut []Stream
+}
+
+// RouterConfig is the complete configuration of one router.
+type RouterConfig struct {
+	// Router is the vertex id.
+	Router int
+	// Ports maps port number to neighbor vertex id.
+	Ports []int
+	// Trees holds one TreeConfig per forest tree, indexed by tree.
+	Trees []TreeConfig
+	// MaxVCPerDirection is the largest VC index + 1 used on any single
+	// directed link at this router, per class.
+	MaxVCPerDirection int
+}
+
+// Build lowers a forest embedded in topology g to per-router
+// configurations. Every tree must span g.
+func Build(g *graph.Graph, forest []*trees.Tree) ([]RouterConfig, error) {
+	n := g.N()
+	for i, t := range forest {
+		if err := t.ValidateSpanning(g); err != nil {
+			return nil, fmt.Errorf("routercfg: tree %d: %w", i, err)
+		}
+	}
+
+	// Port maps: neighbor list sorted ascending.
+	ports := make([][]int, n)
+	portOf := make([]map[int]int, n)
+	for v := 0; v < n; v++ {
+		ports[v] = g.Neighbors(v)
+		sort.Ints(ports[v])
+		portOf[v] = make(map[int]int, len(ports[v]))
+		for p, u := range ports[v] {
+			portOf[v][u] = p
+		}
+	}
+
+	// VC indices: for each directed link and class, streams of different
+	// trees take consecutive indices in tree order.
+	type dirKey struct {
+		from, to, class int
+	}
+	vcNext := make(map[dirKey]int)
+	allocVC := func(from, to, class int) int {
+		k := dirKey{from, to, class}
+		idx := vcNext[k]
+		vcNext[k] = idx + 1
+		return idx
+	}
+
+	cfgs := make([]RouterConfig, n)
+	for v := 0; v < n; v++ {
+		cfgs[v] = RouterConfig{Router: v, Ports: ports[v], Trees: make([]TreeConfig, len(forest))}
+	}
+
+	for ti, t := range forest {
+		// Allocate VCs deterministically: walk vertices ascending; each
+		// non-root vertex owns its upstream reduce stream and its
+		// downstream broadcast stream.
+		for v := 0; v < n; v++ {
+			p := t.Parent[v]
+			tc := &cfgs[v].Trees[ti]
+			tc.Tree = ti
+			switch {
+			case p < 0 && len(t.Children(v)) > 0:
+				tc.Role = Root
+			case len(t.Children(v)) > 0:
+				tc.Role = Internal
+			default:
+				tc.Role = Leaf
+			}
+			if p >= 0 {
+				up := Stream{Tree: ti, Port: portOf[v][p], VCClass: VCReduce,
+					VCIndex: allocVC(v, p, VCReduce)}
+				tc.ReduceOut = &up
+				down := Stream{Tree: ti, Port: portOf[v][p], VCClass: VCBcast,
+					VCIndex: allocVC(p, v, VCBcast)}
+				tc.BcastIn = &down
+				// Mirror onto the parent's config.
+				ptc := &cfgs[p].Trees[ti]
+				ptc.ReduceIn = append(ptc.ReduceIn, Stream{Tree: ti, Port: portOf[p][v],
+					VCClass: VCReduce, VCIndex: up.VCIndex})
+				ptc.BcastOut = append(ptc.BcastOut, Stream{Tree: ti, Port: portOf[p][v],
+					VCClass: VCBcast, VCIndex: down.VCIndex})
+			}
+		}
+	}
+
+	for v := 0; v < n; v++ {
+		max := 0
+		for k, next := range vcNext {
+			if (k.from == v || k.to == v) && next > max {
+				max = next
+			}
+		}
+		cfgs[v].MaxVCPerDirection = max
+	}
+	return cfgs, nil
+}
+
+// Validate cross-checks a configuration set against its forest: every
+// child/parent relationship must appear exactly once on matching ports and
+// VCs, and every router's reduction inputs must sit on distinct ports.
+func Validate(g *graph.Graph, forest []*trees.Tree, cfgs []RouterConfig) error {
+	if len(cfgs) != g.N() {
+		return fmt.Errorf("routercfg: %d configs for %d routers", len(cfgs), g.N())
+	}
+	for v, cfg := range cfgs {
+		if cfg.Router != v {
+			return fmt.Errorf("routercfg: config %d labelled %d", v, cfg.Router)
+		}
+		if len(cfg.Trees) != len(forest) {
+			return fmt.Errorf("routercfg: router %d has %d tree configs", v, len(cfg.Trees))
+		}
+		for ti, tc := range cfg.Trees {
+			t := forest[ti]
+			// Role consistency.
+			wantRole := Leaf
+			if t.Parent[v] < 0 {
+				wantRole = Root
+			} else if len(t.Children(v)) > 0 {
+				wantRole = Internal
+			}
+			if t.Parent[v] < 0 && len(t.Children(v)) == 0 {
+				wantRole = Leaf // degenerate single-vertex tree
+			}
+			if tc.Role != wantRole {
+				return fmt.Errorf("routercfg: router %d tree %d role %v, want %v", v, ti, tc.Role, wantRole)
+			}
+			// Upstream port must point at the parent.
+			if p := t.Parent[v]; p >= 0 {
+				if tc.ReduceOut == nil || cfg.Ports[tc.ReduceOut.Port] != p {
+					return fmt.Errorf("routercfg: router %d tree %d bad upstream port", v, ti)
+				}
+				if tc.BcastIn == nil || cfg.Ports[tc.BcastIn.Port] != p {
+					return fmt.Errorf("routercfg: router %d tree %d bad broadcast-in port", v, ti)
+				}
+			} else if tc.ReduceOut != nil || tc.BcastIn != nil {
+				return fmt.Errorf("routercfg: root %d tree %d has upstream streams", v, ti)
+			}
+			// Children coverage on distinct ports.
+			children := t.Children(v)
+			if len(tc.ReduceIn) != len(children) || len(tc.BcastOut) != len(children) {
+				return fmt.Errorf("routercfg: router %d tree %d child stream counts", v, ti)
+			}
+			seenPorts := make(map[int]bool)
+			childSet := make(map[int]bool)
+			for _, c := range children {
+				childSet[c] = true
+			}
+			for _, st := range tc.ReduceIn {
+				if seenPorts[st.Port] {
+					return fmt.Errorf("routercfg: router %d tree %d duplicate reduce-in port %d", v, ti, st.Port)
+				}
+				seenPorts[st.Port] = true
+				if !childSet[cfg.Ports[st.Port]] {
+					return fmt.Errorf("routercfg: router %d tree %d reduce-in from non-child", v, ti)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MaxVCs returns the fleet-wide worst-case VC index + 1 per (direction,
+// class) — the hardware provisioning number. For the Algorithm 3 forest
+// this is 1 for the reduce class (Lemma 7.8) and at most 2 for broadcast;
+// for the Hamiltonian forest it is 1 for both.
+func MaxVCs(cfgs []RouterConfig) int {
+	max := 0
+	for _, c := range cfgs {
+		if c.MaxVCPerDirection > max {
+			max = c.MaxVCPerDirection
+		}
+	}
+	return max
+}

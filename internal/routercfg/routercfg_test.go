@@ -1,0 +1,167 @@
+package routercfg
+
+import (
+	"testing"
+
+	"polarfly/internal/er"
+	"polarfly/internal/graph"
+	"polarfly/internal/singer"
+	"polarfly/internal/trees"
+)
+
+func buildForest(t *testing.T, q int, kind string) (*graph.Graph, []*trees.Tree) {
+	t.Helper()
+	pg, err := er.New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch kind {
+	case "lowdepth":
+		l, err := er.NewLayout(pg, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := trees.LowDepthForest(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pg.G, f
+	case "hamiltonian":
+		s, err := singer.New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := trees.HamiltonianForest(s, 30, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Topology(), f
+	case "single":
+		tr, err := trees.SingleTreeBaseline(pg.G, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pg.G, []*trees.Tree{tr}
+	}
+	t.Fatalf("unknown kind %s", kind)
+	return nil, nil
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	for _, kind := range []string{"single", "lowdepth", "hamiltonian"} {
+		for _, q := range []int{3, 5, 7} {
+			g, forest := buildForest(t, q, kind)
+			cfgs, err := Build(g, forest)
+			if err != nil {
+				t.Fatalf("%s q=%d: %v", kind, q, err)
+			}
+			if err := Validate(g, forest, cfgs); err != nil {
+				t.Fatalf("%s q=%d: %v", kind, q, err)
+			}
+		}
+	}
+}
+
+func TestVCProvisioningMatchesLemma78(t *testing.T) {
+	// Hamiltonian (edge-disjoint): exactly 1 VC per (direction, class).
+	g, ham := buildForest(t, 7, "hamiltonian")
+	cfgs, err := Build(g, ham)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxVCs(cfgs) != 1 {
+		t.Errorf("hamiltonian needs %d VCs per direction, want 1", MaxVCs(cfgs))
+	}
+	// Low-depth: Lemma 7.8 keeps opposing reduce flows on distinct
+	// directed links, so each (direction, class) carries at most 1 stream
+	// as well — congestion 2 comes from reduce+broadcast sharing a link,
+	// which separate classes absorb.
+	g2, low := buildForest(t, 7, "lowdepth")
+	cfgs2, err := Build(g2, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxVCs(cfgs2) != 1 {
+		t.Errorf("low-depth needs %d VCs per (direction,class), want 1 (Lemma 7.8)", MaxVCs(cfgs2))
+	}
+}
+
+func TestRolesAndPortWiring(t *testing.T) {
+	g, forest := buildForest(t, 5, "lowdepth")
+	cfgs, err := Build(g, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, tr := range forest {
+		roots, leaves, internals := 0, 0, 0
+		for v := range cfgs {
+			tc := cfgs[v].Trees[ti]
+			switch tc.Role {
+			case Root:
+				roots++
+				if tc.ReduceOut != nil || tc.BcastIn != nil {
+					t.Fatalf("root has upstream streams")
+				}
+			case Leaf:
+				leaves++
+				if len(tc.ReduceIn) != 0 || len(tc.BcastOut) != 0 {
+					t.Fatalf("leaf has child streams")
+				}
+			case Internal:
+				internals++
+			}
+			// Upstream port resolves to the tree parent.
+			if p := tr.Parent[v]; p >= 0 {
+				if cfgs[v].Ports[tc.ReduceOut.Port] != p {
+					t.Fatalf("tree %d router %d: upstream port mismatch", ti, v)
+				}
+			}
+		}
+		if roots != 1 {
+			t.Errorf("tree %d has %d roots", ti, roots)
+		}
+		if leaves == 0 || internals == 0 {
+			t.Errorf("tree %d: degenerate role split (%d leaves, %d internal)", ti, leaves, internals)
+		}
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if Leaf.String() != "leaf" || Internal.String() != "internal" || Root.String() != "root" ||
+		Role(9).String() == "" {
+		t.Error("Role.String broken")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g, forest := buildForest(t, 3, "lowdepth")
+	cfgs, err := Build(g, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong length.
+	if err := Validate(g, forest, cfgs[:len(cfgs)-1]); err == nil {
+		t.Error("short config set accepted")
+	}
+	// Corrupt a role.
+	bad := make([]RouterConfig, len(cfgs))
+	copy(bad, cfgs)
+	badTrees := append([]TreeConfig(nil), bad[0].Trees...)
+	badTrees[0].Role = Root
+	if forest[0].Parent[0] >= 0 { // router 0 is not the root of tree 0
+		bad[0].Trees = badTrees
+		if err := Validate(g, forest, bad); err == nil {
+			t.Error("corrupted role accepted")
+		}
+	}
+}
+
+func TestBuildRejectsNonSpanningForest(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	tr, _ := trees.FromParent(0, []int{-1, 0, 0}) // uses non-edge (0,2)
+	if _, err := Build(g, []*trees.Tree{tr}); err == nil {
+		t.Error("non-spanning forest accepted")
+	}
+}

@@ -1,0 +1,112 @@
+// Package routing provides deterministic shortest-path routing tables for
+// the simulated fabric. On PolarFly the diameter is 2 and any two
+// non-adjacent routers have exactly one common neighbor (Theorem 6.1), so
+// minimal routing is unique; for general graphs the table breaks ties
+// toward the smallest-numbered next hop, keeping every simulation
+// reproducible.
+package routing
+
+import (
+	"fmt"
+
+	"polarfly/internal/graph"
+)
+
+// Table holds all-pairs next-hop routing for one topology.
+type Table struct {
+	g    *graph.Graph
+	next [][]int // next[u][v] = first hop from u toward v; -1 unreachable; u for u==v
+	dist [][]int
+}
+
+// New builds the routing table by BFS from every source, visiting neighbors
+// in ascending order so the resulting paths are deterministic.
+func New(g *graph.Graph) *Table {
+	n := g.N()
+	t := &Table{g: g, next: make([][]int, n), dist: make([][]int, n)}
+	for src := 0; src < n; src++ {
+		next := make([]int, n)
+		dist := make([]int, n)
+		for i := range next {
+			next[i] = -1
+			dist[i] = -1
+		}
+		next[src] = src
+		dist[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if dist[u] != -1 {
+					continue
+				}
+				dist[u] = dist[v] + 1
+				if v == src {
+					next[u] = u
+				} else {
+					next[u] = next[v]
+				}
+				queue = append(queue, u)
+			}
+		}
+		t.next[src] = next
+		t.dist[src] = dist
+	}
+	return t
+}
+
+// Dist returns the hop distance from u to v (-1 if unreachable).
+func (t *Table) Dist(u, v int) int { return t.dist[u][v] }
+
+// NextHop returns the first hop on the path from u to v. It panics if v is
+// unreachable from u; NextHop(u, u) == u.
+func (t *Table) NextHop(u, v int) int {
+	h := t.next[u][v]
+	if h == -1 {
+		panic(fmt.Sprintf("routing: %d unreachable from %d", v, u))
+	}
+	return h
+}
+
+// Path returns the full vertex sequence from u to v, inclusive.
+func (t *Table) Path(u, v int) []int {
+	if t.dist[u][v] == -1 {
+		panic(fmt.Sprintf("routing: %d unreachable from %d", v, u))
+	}
+	path := []int{u}
+	for u != v {
+		u = t.NextHop(u, v)
+		path = append(path, u)
+	}
+	return path
+}
+
+// Links returns the directed links (consecutive vertex pairs) of the path
+// from u to v.
+func (t *Table) Links(u, v int) [][2]int {
+	p := t.Path(u, v)
+	out := make([][2]int, 0, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		out = append(out, [2]int{p[i-1], p[i]})
+	}
+	return out
+}
+
+// AvgPathLength returns the mean hop distance over ordered distinct pairs —
+// the dilation a host-based collective pays on this topology.
+func (t *Table) AvgPathLength() float64 {
+	n := t.g.N()
+	if n < 2 {
+		return 0
+	}
+	sum := 0
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				sum += t.dist[u][v]
+			}
+		}
+	}
+	return float64(sum) / float64(n*(n-1))
+}

@@ -1,0 +1,120 @@
+package routing
+
+import (
+	"testing"
+
+	"polarfly/internal/er"
+	"polarfly/internal/graph"
+)
+
+func TestPathAndDistOnPath(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	rt := New(g)
+	if rt.Dist(0, 3) != 3 {
+		t.Errorf("Dist(0,3) = %d", rt.Dist(0, 3))
+	}
+	p := rt.Path(0, 3)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Path(0,3) = %v", p)
+		}
+	}
+	if rt.NextHop(0, 0) != 0 || rt.Dist(2, 2) != 0 {
+		t.Error("self routing wrong")
+	}
+	links := rt.Links(0, 2)
+	if len(links) != 2 || links[0] != [2]int{0, 1} || links[1] != [2]int{1, 2} {
+		t.Errorf("Links(0,2) = %v", links)
+	}
+}
+
+func TestUnreachablePanics(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	rt := New(g)
+	if rt.Dist(0, 2) != -1 {
+		t.Error("unreachable Dist should be -1")
+	}
+	for _, fn := range []func(){
+		func() { rt.NextHop(0, 2) },
+		func() { rt.Path(0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for unreachable destination")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPolarFlyRouting(t *testing.T) {
+	// Diameter 2: every pair at distance ≤ 2; non-adjacent pairs route via
+	// the unique common neighbor (Theorem 6.1).
+	pg, err := er.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(pg.G)
+	n := pg.N()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			d := rt.Dist(u, v)
+			if d < 1 || d > 2 {
+				t.Fatalf("Dist(%d,%d) = %d", u, v, d)
+			}
+			p := rt.Path(u, v)
+			if len(p) != d+1 {
+				t.Fatalf("Path(%d,%d) has %d vertices for distance %d", u, v, len(p), d)
+			}
+			for i := 1; i < len(p); i++ {
+				if !pg.G.HasEdge(p[i-1], p[i]) {
+					t.Fatalf("Path(%d,%d) uses non-edge (%d,%d)", u, v, p[i-1], p[i])
+				}
+			}
+			if d == 2 {
+				// The intermediate must be the unique common neighbor.
+				if pg.G.CountCommonNeighbors(u, v) != 1 {
+					t.Fatalf("(%d,%d) should have exactly one common neighbor", u, v)
+				}
+				if !pg.G.HasEdge(u, p[1]) || !pg.G.HasEdge(p[1], v) {
+					t.Fatalf("bad intermediate for (%d,%d)", u, v)
+				}
+			}
+		}
+	}
+	avg := rt.AvgPathLength()
+	if avg <= 1 || avg >= 2 {
+		t.Errorf("AvgPathLength = %f, expected in (1,2)", avg)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Square: two shortest paths 0→3; BFS with ascending neighbors pins
+	// the intermediate to 1.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	rt := New(g)
+	p := rt.Path(0, 3)
+	if p[1] != 1 {
+		t.Errorf("tie-break chose %d, want 1", p[1])
+	}
+}
+
+func TestAvgPathLengthTrivial(t *testing.T) {
+	if New(graph.New(1)).AvgPathLength() != 0 {
+		t.Error("single vertex avg should be 0")
+	}
+}

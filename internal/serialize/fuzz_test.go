@@ -1,0 +1,70 @@
+package serialize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"polarfly/internal/er"
+)
+
+// FuzzDecodeTopology hardens the topology parser: arbitrary input must
+// either fail cleanly or produce a well-formed graph that round-trips.
+func FuzzDecodeTopology(f *testing.F) {
+	pg, err := er.New(3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeTopology(&buf, pg.G, 3); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"n":0,"edges":[]}`)
+	f.Add(`{"version":1,"n":3,"edges":[[0,1],[1,2]]}`)
+	f.Add(`{"version":1,"n":2,"edges":[[0,9]]}`)
+	f.Add(`not json at all`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		g, q, err := DecodeTopology(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if g.N() < 0 || q < 0 && q != 0 {
+			t.Fatalf("decoded invalid graph: n=%d q=%d", g.N(), q)
+		}
+		var out bytes.Buffer
+		if err := EncodeTopology(&out, g, q); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		g2, q2, err := DecodeTopology(&out)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() || q2 != q {
+			t.Fatal("round trip not stable")
+		}
+	})
+}
+
+// FuzzDecodeForest hardens the forest parser similarly.
+func FuzzDecodeForest(f *testing.F) {
+	f.Add(`{"version":1,"kind":"x","trees":[{"root":0,"parent":[-1,0]}]}`)
+	f.Add(`{"version":1,"kind":"x","trees":[{"root":0,"parent":[-1,2,1]}]}`)
+	f.Add(`{"version":1,"kind":"x","trees":[]}`)
+	f.Add(`{"version":1}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		forest, _, err := DecodeForest(strings.NewReader(doc), nil)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be structurally valid trees.
+		for i, tr := range forest {
+			if tr.Parent[tr.Root] != -1 {
+				t.Fatalf("tree %d root has a parent", i)
+			}
+			if tr.MaxDepth() < 0 {
+				t.Fatalf("tree %d negative depth", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package serialize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"polarfly/internal/er"
+	"polarfly/internal/routercfg"
+	"polarfly/internal/trees"
+)
+
+func TestRouterConfigsRoundTrip(t *testing.T) {
+	pg, err := er.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := er.NewLayout(pg, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := trees.LowDepthForest(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := routercfg.Build(pg.G, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeRouterConfigs(&buf, cfgs, "low-depth", 5); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := DecodeRouterConfigs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Kind != "low-depth" || doc.Q != 5 || len(doc.Routers) != pg.N() {
+		t.Fatalf("doc header: kind=%q q=%d routers=%d", doc.Kind, doc.Q, len(doc.Routers))
+	}
+	for i, rc := range doc.Routers {
+		orig := cfgs[i]
+		if rc.Router != orig.Router || len(rc.Ports) != len(orig.Ports) {
+			t.Fatalf("router %d header mismatch", i)
+		}
+		for ti, tc := range rc.Trees {
+			if tc.Role != orig.Trees[ti].Role.String() {
+				t.Fatalf("router %d tree %d role %q vs %v", i, ti, tc.Role, orig.Trees[ti].Role)
+			}
+			if len(tc.ReduceIn) != len(orig.Trees[ti].ReduceIn) {
+				t.Fatalf("router %d tree %d reduce-in count", i, ti)
+			}
+			if (tc.ReduceOut == nil) != (orig.Trees[ti].ReduceOut == nil) {
+				t.Fatalf("router %d tree %d reduce-out presence", i, ti)
+			}
+			if tc.ReduceOut != nil && tc.ReduceOut.Port != orig.Trees[ti].ReduceOut.Port {
+				t.Fatalf("router %d tree %d reduce-out port", i, ti)
+			}
+		}
+	}
+}
+
+func TestDecodeRouterConfigsRejects(t *testing.T) {
+	if _, err := DecodeRouterConfigs(strings.NewReader(`{`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := DecodeRouterConfigs(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+}

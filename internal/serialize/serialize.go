@@ -1,0 +1,186 @@
+// Package serialize provides a stable JSON interchange format for PolarFly
+// topologies, Allreduce forests and router configurations, so that tree
+// sets computed by this library can be consumed by external tooling (e.g.
+// actual router configuration pipelines, visualisers, or other
+// simulators), and re-imported losslessly.
+package serialize
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"polarfly/internal/graph"
+	"polarfly/internal/routercfg"
+	"polarfly/internal/trees"
+)
+
+// FormatVersion is embedded in every document; bump on breaking changes.
+const FormatVersion = 1
+
+// Topology is the serialised form of a network graph.
+type Topology struct {
+	Version int      `json:"version"`
+	N       int      `json:"n"`
+	Edges   [][2]int `json:"edges"`
+	// Q is the PolarFly order when applicable (0 otherwise).
+	Q int `json:"q,omitempty"`
+}
+
+// Forest is the serialised form of a set of rooted spanning trees.
+type Forest struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+	Q       int    `json:"q,omitempty"`
+	Trees   []Tree `json:"trees"`
+}
+
+// Tree is one rooted spanning tree in parent-array form.
+type Tree struct {
+	Root   int   `json:"root"`
+	Parent []int `json:"parent"`
+}
+
+// EncodeTopology writes g as JSON.
+func EncodeTopology(w io.Writer, g *graph.Graph, q int) error {
+	doc := Topology{Version: FormatVersion, N: g.N(), Q: q}
+	for _, e := range g.Edges() {
+		doc.Edges = append(doc.Edges, [2]int{e.U, e.V})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// DecodeTopology reads a topology document and rebuilds the graph.
+func DecodeTopology(r io.Reader) (*graph.Graph, int, error) {
+	var doc Topology
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, 0, fmt.Errorf("serialize: %w", err)
+	}
+	if doc.Version != FormatVersion {
+		return nil, 0, fmt.Errorf("serialize: unsupported version %d", doc.Version)
+	}
+	if doc.N < 0 {
+		return nil, 0, fmt.Errorf("serialize: negative vertex count")
+	}
+	g := graph.New(doc.N)
+	for _, e := range doc.Edges {
+		if e[0] < 0 || e[0] >= doc.N || e[1] < 0 || e[1] >= doc.N || e[0] == e[1] {
+			return nil, 0, fmt.Errorf("serialize: invalid edge %v", e)
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	return g, doc.Q, nil
+}
+
+// RouterConfigs is the serialised form of a full per-router configuration
+// set (the deployable artifact of routercfg.Build).
+type RouterConfigs struct {
+	Version int            `json:"version"`
+	Kind    string         `json:"kind"`
+	Q       int            `json:"q,omitempty"`
+	Routers []RouterConfig `json:"routers"`
+}
+
+// RouterConfig mirrors routercfg.RouterConfig with stable JSON names.
+type RouterConfig struct {
+	Router int          `json:"router"`
+	Ports  []int        `json:"ports"`
+	Trees  []TreeConfig `json:"trees"`
+}
+
+// TreeConfig is one tree's programming at one router.
+type TreeConfig struct {
+	Tree      int      `json:"tree"`
+	Role      string   `json:"role"`
+	ReduceIn  []Stream `json:"reduce_in,omitempty"`
+	ReduceOut *Stream  `json:"reduce_out,omitempty"`
+	BcastIn   *Stream  `json:"bcast_in,omitempty"`
+	BcastOut  []Stream `json:"bcast_out,omitempty"`
+}
+
+// Stream is one logical flow on a port.
+type Stream struct {
+	Port int `json:"port"`
+	VC   int `json:"vc"`
+}
+
+// EncodeRouterConfigs writes the configuration set produced by
+// routercfg.Build as JSON.
+func EncodeRouterConfigs(w io.Writer, cfgs []routercfg.RouterConfig, kind string, q int) error {
+	doc := RouterConfigs{Version: FormatVersion, Kind: kind, Q: q}
+	for _, c := range cfgs {
+		rc := RouterConfig{Router: c.Router, Ports: append([]int(nil), c.Ports...)}
+		for _, tc := range c.Trees {
+			out := TreeConfig{Tree: tc.Tree, Role: tc.Role.String()}
+			for _, st := range tc.ReduceIn {
+				out.ReduceIn = append(out.ReduceIn, Stream{Port: st.Port, VC: st.VCIndex})
+			}
+			if tc.ReduceOut != nil {
+				out.ReduceOut = &Stream{Port: tc.ReduceOut.Port, VC: tc.ReduceOut.VCIndex}
+			}
+			if tc.BcastIn != nil {
+				out.BcastIn = &Stream{Port: tc.BcastIn.Port, VC: tc.BcastIn.VCIndex}
+			}
+			for _, st := range tc.BcastOut {
+				out.BcastOut = append(out.BcastOut, Stream{Port: st.Port, VC: st.VCIndex})
+			}
+			rc.Trees = append(rc.Trees, out)
+		}
+		doc.Routers = append(doc.Routers, rc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// DecodeRouterConfigs reads a router-configuration document.
+func DecodeRouterConfigs(r io.Reader) (*RouterConfigs, error) {
+	var doc RouterConfigs
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("serialize: %w", err)
+	}
+	if doc.Version != FormatVersion {
+		return nil, fmt.Errorf("serialize: unsupported version %d", doc.Version)
+	}
+	return &doc, nil
+}
+
+// EncodeForest writes a forest as JSON. kind is a free-form label
+// ("low-depth", "hamiltonian", ...).
+func EncodeForest(w io.Writer, forest []*trees.Tree, kind string, q int) error {
+	doc := Forest{Version: FormatVersion, Kind: kind, Q: q}
+	for _, t := range forest {
+		doc.Trees = append(doc.Trees, Tree{Root: t.Root, Parent: append([]int(nil), t.Parent...)})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// DecodeForest reads a forest document, rebuilding validated trees. If g
+// is non-nil every tree is additionally checked to span it.
+func DecodeForest(r io.Reader, g *graph.Graph) ([]*trees.Tree, string, error) {
+	var doc Forest
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, "", fmt.Errorf("serialize: %w", err)
+	}
+	if doc.Version != FormatVersion {
+		return nil, "", fmt.Errorf("serialize: unsupported version %d", doc.Version)
+	}
+	var forest []*trees.Tree
+	for i, td := range doc.Trees {
+		t, err := trees.FromParent(td.Root, td.Parent)
+		if err != nil {
+			return nil, "", fmt.Errorf("serialize: tree %d: %w", i, err)
+		}
+		if g != nil {
+			if err := t.ValidateSpanning(g); err != nil {
+				return nil, "", fmt.Errorf("serialize: tree %d: %w", i, err)
+			}
+		}
+		forest = append(forest, t)
+	}
+	return forest, doc.Kind, nil
+}

@@ -1,0 +1,113 @@
+package serialize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"polarfly/internal/er"
+	"polarfly/internal/graph"
+	"polarfly/internal/trees"
+)
+
+func TestTopologyRoundTrip(t *testing.T) {
+	pg, err := er.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeTopology(&buf, pg.G, 5); err != nil {
+		t.Fatal(err)
+	}
+	g2, q, err := DecodeTopology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 5 || g2.N() != pg.G.N() || g2.M() != pg.G.M() {
+		t.Fatalf("round trip: q=%d N=%d M=%d", q, g2.N(), g2.M())
+	}
+	for _, e := range pg.G.Edges() {
+		if !g2.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestForestRoundTrip(t *testing.T) {
+	pg, err := er.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := er.NewLayout(pg, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := trees.LowDepthForest(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeForest(&buf, forest, "low-depth", 5); err != nil {
+		t.Fatal(err)
+	}
+	back, kind, err := DecodeForest(&buf, pg.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "low-depth" || len(back) != len(forest) {
+		t.Fatalf("kind=%q trees=%d", kind, len(back))
+	}
+	for i := range forest {
+		if back[i].Root != forest[i].Root {
+			t.Fatalf("tree %d root changed", i)
+		}
+		for v := range forest[i].Parent {
+			if back[i].Parent[v] != forest[i].Parent[v] {
+				t.Fatalf("tree %d parent[%d] changed", i, v)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsBadDocuments(t *testing.T) {
+	cases := []string{
+		`{`,                                    // malformed JSON
+		`{"version":99,"n":2,"edges":[[0,1]]}`, // wrong version
+		`{"version":1,"n":-1,"edges":[]}`,      // negative n
+		`{"version":1,"n":2,"edges":[[0,5]]}`,  // out-of-range edge
+		`{"version":1,"n":2,"edges":[[1,1]]}`,  // self-loop
+	}
+	for i, doc := range cases {
+		if _, _, err := DecodeTopology(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	forestCases := []string{
+		`{`,
+		`{"version":2,"kind":"x","trees":[]}`,
+		`{"version":1,"kind":"x","trees":[{"root":0,"parent":[0,0]}]}`,    // root with parent
+		`{"version":1,"kind":"x","trees":[{"root":0,"parent":[-1,2,1]}]}`, // cycle
+	}
+	for i, doc := range forestCases {
+		if _, _, err := DecodeForest(strings.NewReader(doc), nil); err == nil {
+			t.Errorf("forest case %d accepted", i)
+		}
+	}
+}
+
+func TestDecodeForestValidatesAgainstGraph(t *testing.T) {
+	// A tree valid in isolation but using a non-topology edge must fail
+	// when a graph is supplied: parent[2] = 0 needs edge (0,2), absent
+	// from the path 0-1-2.
+	doc := `{"version":1,"kind":"x","trees":[{"root":0,"parent":[-1,0,0]}]}`
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if _, _, err := DecodeForest(strings.NewReader(doc), g); err == nil {
+		t.Error("non-spanning forest accepted")
+	}
+	// Without a graph the same document decodes fine.
+	if _, _, err := DecodeForest(strings.NewReader(doc), nil); err != nil {
+		t.Errorf("standalone decode failed: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package singer
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkDifferenceSet(b *testing.B) {
+	// Covers the primitive-polynomial search plus the ζ-power walk; q=127
+	// walks the full 2M-element GF(127³) multiplicative group.
+	for _, q := range []int{16, 64, 127} {
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := DifferenceSet(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMaximalPath(b *testing.B) {
+	s, err := New(127)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := s.HamiltonianPairs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.MaximalPath(pairs[i%len(pairs)])
+	}
+}
+
+func BenchmarkDisjointHamiltonianSearch(b *testing.B) {
+	for _, q := range []int{31, 127} {
+		s, err := New(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := s.DisjointHamiltonianPairs(s.MaxDisjointUpperBound(), 30, int64(i)); !ok {
+					b.Fatal("search failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTopologyMaterialisation(b *testing.B) {
+	s, err := New(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rebuild from the difference set to measure the full path.
+		s2, err := FromDifferenceSet(64, s.D)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = s2.Topology()
+	}
+}

@@ -1,0 +1,40 @@
+package singer_test
+
+import (
+	"fmt"
+
+	"polarfly/internal/singer"
+)
+
+// ExampleDifferenceSet reproduces Figure 2a of the paper.
+func ExampleDifferenceSet() {
+	d, err := singer.DifferenceSet(3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d)
+	// Output: [0 1 3 9]
+}
+
+// ExampleGraph_MaximalPath walks the alternating-sum Hamiltonian path of
+// colours (0, 1) in S_3, from the reflection point of 1 to that of 0.
+func ExampleGraph_MaximalPath() {
+	s, err := singer.New(3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.MaximalPath(singer.Pair{D0: 0, D1: 1}))
+	// Output: [7 6 8 5 9 4 10 3 11 2 12 1 0]
+}
+
+// ExampleGraph_DisjointHamiltonianPairs finds the ⌊(q+1)/2⌋ edge-disjoint
+// Hamiltonian paths for q=4 (Figure 4b shows such a set).
+func ExampleGraph_DisjointHamiltonianPairs() {
+	s, err := singer.New(4)
+	if err != nil {
+		panic(err)
+	}
+	pairs, ok := s.DisjointHamiltonianPairs(2, 30, 42)
+	fmt.Println(len(pairs), ok)
+	// Output: 2 true
+}

@@ -1,0 +1,77 @@
+package singer
+
+import (
+	"sort"
+	"testing"
+
+	"polarfly/internal/numtheory"
+)
+
+// TestMultiplierTheorem verifies the classical multiplier theorem for
+// Singer difference sets: q is a (numerical) multiplier, i.e. q·D mod N is
+// a translate D + c of D. This is a deep structural property of the
+// construction (it reflects the Frobenius automorphism of GF(q³)) and a
+// strong independent check that our sets really are Singer difference
+// sets, not merely perfect difference sets.
+func TestMultiplierTheorem(t *testing.T) {
+	hi := 32
+	if testing.Short() {
+		hi = 13
+	}
+	for _, q := range numtheory.PrimePowersUpTo(2, hi) {
+		d, err := DifferenceSet(q)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		n := q*q + q + 1
+		scaled := make([]int, len(d))
+		for i, x := range d {
+			scaled[i] = x * q % n
+		}
+		sort.Ints(scaled)
+		// Find c with scaled = (d + c) mod N as sets.
+		inD := make([]bool, n)
+		for _, x := range d {
+			inD[x] = true
+		}
+		foundShift := -1
+		for c := 0; c < n; c++ {
+			match := true
+			for _, x := range scaled {
+				if !inD[numtheory.Mod(x-c, n)] {
+					match = false
+					break
+				}
+			}
+			if match {
+				foundShift = c
+				break
+			}
+		}
+		if foundShift == -1 {
+			t.Errorf("q=%d: q·D is not a translate of D (multiplier theorem violated)", q)
+		}
+	}
+}
+
+// TestPerfectDifferenceSetUniqueRepresentation spot-checks the defining
+// property from the difference side: for every non-zero residue r there is
+// exactly one ordered pair (d_i, d_j) with d_i − d_j ≡ r.
+func TestPerfectDifferenceSetUniqueRepresentation(t *testing.T) {
+	for _, q := range []int{3, 4, 5, 7, 8, 9} {
+		s := buildS(t, q)
+		for r := 1; r < s.N; r++ {
+			count := 0
+			for _, di := range s.D {
+				for _, dj := range s.D {
+					if di != dj && numtheory.Mod(di-dj, s.N) == r {
+						count++
+					}
+				}
+			}
+			if count != 1 {
+				t.Fatalf("q=%d: residue %d represented %d times", q, r, count)
+			}
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package singer
+
+import (
+	"testing"
+
+	"polarfly/internal/graph"
+	"polarfly/internal/numtheory"
+)
+
+func TestMaximalPathKnownQ3(t *testing.T) {
+	// Hand-derived for D={0,1,3,9}, N=13, pair (0,1): starts at 2⁻¹·1 = 7,
+	// alternates sums 0 (even steps) and 1 (odd steps), ends at 2⁻¹·0 = 0.
+	s := buildS(t, 3)
+	p := Pair{0, 1}
+	got := s.MaximalPath(p)
+	want := []int{7, 6, 8, 5, 9, 4, 10, 3, 11, 2, 12, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("path = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("path = %v, want %v", got, want)
+		}
+	}
+}
+
+// verifyMaximalPath checks all the structural claims of Lemma 7.12 and
+// Corollary 7.15 for one pair.
+func verifyMaximalPath(t *testing.T, s *Graph, p Pair) {
+	t.Helper()
+	path := s.MaximalPath(p)
+	k := s.PathLen(p)
+	if len(path) != k {
+		t.Fatalf("q=%d %+v: len=%d, want %d", s.Q, p, len(path), k)
+	}
+	if k%2 != 1 {
+		t.Errorf("q=%d %+v: k=%d is even (Lemma 7.12 says odd)", s.Q, p, k)
+	}
+	// Endpoints are the reflection points of d1 and d0.
+	if path[0] != s.ReflectionOf(p.D1) {
+		t.Errorf("q=%d %+v: start %d, want %d", s.Q, p, path[0], s.ReflectionOf(p.D1))
+	}
+	if path[k-1] != s.ReflectionOf(p.D0) {
+		t.Errorf("q=%d %+v: end %d, want %d", s.Q, p, path[k-1], s.ReflectionOf(p.D0))
+	}
+	// Non-repeating.
+	seen := make(map[int]bool, k)
+	for _, v := range path {
+		if seen[v] {
+			t.Fatalf("q=%d %+v: vertex %d repeats", s.Q, p, v)
+		}
+		seen[v] = true
+	}
+	// Edges exist in S_q with alternating sums d0 (even i) / d1 (odd i),
+	// 1-indexed per Definition 7.11.
+	for i := 2; i <= k; i++ {
+		u, v := path[i-2], path[i-1]
+		if !s.Topology().HasEdge(u, v) {
+			t.Fatalf("q=%d %+v: (%d,%d) not an edge", s.Q, p, u, v)
+		}
+		sum := s.EdgeSum(u, v)
+		want := p.D0
+		if i%2 == 1 {
+			want = p.D1
+		}
+		if sum != want {
+			t.Fatalf("q=%d %+v: edge %d has sum %d, want %d", s.Q, p, i, sum, want)
+		}
+	}
+	// Maximality: the would-be extensions coincide with the endpoints.
+	if numtheory.Mod(p.D1-path[0], s.N) != path[0] {
+		t.Errorf("q=%d %+v: start extension exists", s.Q, p)
+	}
+	wantExt := p.D0
+	if k%2 == 0 {
+		wantExt = p.D1
+	}
+	if numtheory.Mod(wantExt-path[k-1], s.N) != path[k-1] {
+		t.Errorf("q=%d %+v: end extension exists", s.Q, p)
+	}
+}
+
+func TestAllMaximalPathsStructure(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 7, 8, 9} {
+		s := buildS(t, q)
+		for _, p := range s.AllPairs() {
+			verifyMaximalPath(t, s, p)
+			// Reverse orientation too.
+			verifyMaximalPath(t, s, Pair{p.D1, p.D0})
+		}
+	}
+}
+
+func TestTheorem713PathLength(t *testing.T) {
+	for _, q := range []int{3, 4, 5, 7, 8, 9, 11} {
+		s := buildS(t, q)
+		for _, p := range s.AllPairs() {
+			k := s.PathLen(p)
+			if want := s.N / numtheory.GCD(p.D0-p.D1, s.N); k != want {
+				t.Errorf("q=%d %+v: k=%d, want %d", q, p, k, want)
+			}
+			if s.IsHamiltonian(p) != (numtheory.GCD(p.D0-p.D1, s.N) == 1) {
+				t.Errorf("q=%d %+v: Hamiltonian flag wrong", q, p)
+			}
+		}
+	}
+}
+
+func TestClosedFormMatchesIteration(t *testing.T) {
+	// Corollary 7.16 closed form must agree with the iterative
+	// construction at every index.
+	for _, q := range []int{3, 4, 5, 7} {
+		s := buildS(t, q)
+		for _, p := range s.AllPairs() {
+			path := s.MaximalPath(p)
+			for i := 1; i <= len(path); i++ {
+				if got := s.ClosedFormVertex(p, i); got != path[i-1] {
+					t.Fatalf("q=%d %+v: b_%d closed form %d, iterative %d", q, p, i, got, path[i-1])
+				}
+			}
+		}
+	}
+}
+
+func TestPathRootIsMidpoint(t *testing.T) {
+	// Lemma 7.17: rooting at b_{(N+1)/2} gives depth (N−1)/2.
+	for _, q := range []int{3, 4, 5} {
+		s := buildS(t, q)
+		for _, p := range s.HamiltonianPairs() {
+			path := s.MaximalPath(p)
+			root := s.PathRoot(p)
+			if root != path[(s.N+1)/2-1] {
+				t.Errorf("q=%d %+v: root %d, want midpoint %d", q, p, root, path[(s.N+1)/2-1])
+			}
+		}
+	}
+	s := buildS(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("PathRoot on non-Hamiltonian pair should panic")
+		}
+	}()
+	s.PathRoot(Pair{0, 14}) // gcd(0−14,21)=7
+}
+
+func TestCorollary720HamiltonianCount(t *testing.T) {
+	// φ(N) Hamiltonian paths counting orientations = φ(N)/2 unordered pairs.
+	hi := 32
+	if testing.Short() {
+		hi = 13
+	}
+	for _, q := range numtheory.PrimePowersUpTo(2, hi) {
+		s := buildS(t, q)
+		phi := numtheory.Totient(s.N)
+		if got := len(s.HamiltonianPairs()); got != phi/2 {
+			t.Errorf("q=%d: %d Hamiltonian pairs, want φ(%d)/2 = %d", q, got, s.N, phi/2)
+		}
+	}
+}
+
+func TestTable2NonHamiltonianPathsQ4(t *testing.T) {
+	// Table 2 exactly, for D = {0,1,4,14,16} over Z_21.
+	s := buildS(t, 4)
+	rows := s.NonHamiltonianMaximalPaths()
+	want := []MaximalPathInfo{
+		{D0: 0, D1: 14, GCD: 7, K: 3, Start: 7, End: 0},
+		{D0: 1, D1: 4, GCD: 3, K: 7, Start: 2, End: 11},
+		{D0: 1, D1: 16, GCD: 3, K: 7, Start: 8, End: 11},
+		{D0: 4, D1: 16, GCD: 3, K: 7, Start: 8, End: 2},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d: %+v", len(rows), len(want), rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+}
+
+func TestNonHamiltonianPathsEmptyForPrimeN(t *testing.T) {
+	// q=3 → N=13 prime: every maximal alternating-sum path is Hamiltonian.
+	s := buildS(t, 3)
+	if rows := s.NonHamiltonianMaximalPaths(); len(rows) != 0 {
+		t.Errorf("expected none, got %+v", rows)
+	}
+}
+
+func TestEdgesOfColor(t *testing.T) {
+	for _, q := range []int{3, 4, 5} {
+		s := buildS(t, q)
+		covered := make(map[graph.Edge]int)
+		for _, d := range s.D {
+			es := s.EdgesOfColor(d)
+			if len(es) != (s.N-1)/2 {
+				t.Errorf("q=%d colour %d: %d edges, want %d", q, d, len(es), (s.N-1)/2)
+			}
+			for _, e := range es {
+				if !s.Topology().HasEdge(e.U, e.V) {
+					t.Errorf("q=%d: colour-%d edge (%d,%d) not in graph", q, d, e.U, e.V)
+				}
+				if s.EdgeSum(e.U, e.V) != d {
+					t.Errorf("q=%d: edge (%d,%d) sum %d, want %d", q, e.U, e.V, s.EdgeSum(e.U, e.V), d)
+				}
+				covered[e]++
+			}
+		}
+		// Colour classes partition the edge set.
+		if len(covered) != s.Topology().M() {
+			t.Errorf("q=%d: colours cover %d edges of %d", q, len(covered), s.Topology().M())
+		}
+		for e, c := range covered {
+			if c != 1 {
+				t.Errorf("q=%d: edge %v covered %d times", q, e, c)
+			}
+		}
+	}
+}
+
+func TestHamiltonianPathUsesAllEdgesOfItsColors(t *testing.T) {
+	// The disjointness argument: a Hamiltonian path consumes every proper
+	// edge of both its colours.
+	s := buildS(t, 5)
+	for _, p := range s.HamiltonianPairs() {
+		path := s.MaximalPath(p)
+		used := make(map[graph.Edge]bool)
+		for i := 1; i < len(path); i++ {
+			used[graph.NewEdge(path[i-1], path[i])] = true
+		}
+		for _, d := range []int{p.D0, p.D1} {
+			for _, e := range s.EdgesOfColor(d) {
+				if !used[e] {
+					t.Fatalf("q=5 %+v: colour-%d edge %v unused", p, d, e)
+				}
+			}
+		}
+	}
+}
+
+func TestFig4DisjointHamiltoniansQ3Q4(t *testing.T) {
+	// Figure 4: maximal sets of ⌊(q+1)/2⌋ = 2 edge-disjoint Hamiltonian
+	// paths exist for q=3 and q=4. For q=3 the pairs (0,1) and (3,9) used
+	// in the figure must themselves be a valid disjoint set.
+	s3 := buildS(t, 3)
+	if !s3.IsHamiltonian(Pair{0, 1}) || !s3.IsHamiltonian(Pair{3, 9}) {
+		t.Error("q=3: figure pairs not Hamiltonian")
+	}
+	set, ok := s3.DisjointHamiltonianPairs(2, 30, 1)
+	if !ok || len(set) != 2 {
+		t.Errorf("q=3: disjoint search failed: %v ok=%v", set, ok)
+	}
+	// q=4: figure uses (0,1) and (4,14); element 16 unused.
+	s4 := buildS(t, 4)
+	if !s4.IsHamiltonian(Pair{0, 1}) || !s4.IsHamiltonian(Pair{4, 14}) {
+		t.Error("q=4: figure pairs not Hamiltonian")
+	}
+	set, ok = s4.DisjointHamiltonianPairs(2, 30, 1)
+	if !ok || len(set) != 2 {
+		t.Errorf("q=4: disjoint search failed: %v ok=%v", set, ok)
+	}
+}
+
+func verifyDisjointSet(t *testing.T, s *Graph, set []Pair) {
+	t.Helper()
+	usedElems := make(map[int]bool)
+	for _, p := range set {
+		if !s.IsHamiltonian(p) {
+			t.Fatalf("q=%d: pair %+v not Hamiltonian", s.Q, p)
+		}
+		if usedElems[p.D0] || usedElems[p.D1] {
+			t.Fatalf("q=%d: element reuse in %v", s.Q, set)
+		}
+		usedElems[p.D0] = true
+		usedElems[p.D1] = true
+	}
+	// Paths must be pairwise edge-disjoint.
+	seen := make(map[graph.Edge]bool)
+	for _, p := range set {
+		path := s.MaximalPath(p)
+		for i := 1; i < len(path); i++ {
+			e := graph.NewEdge(path[i-1], path[i])
+			if seen[e] {
+				t.Fatalf("q=%d: edge %v shared between paths", s.Q, e)
+			}
+			seen[e] = true
+		}
+	}
+}
+
+func TestSection73DisjointSweep(t *testing.T) {
+	// §7.3: a set of ⌊(q+1)/2⌋ edge-disjoint Hamiltonian paths exists and
+	// is found within 30 random instances, for all prime powers q < 128.
+	// The full sweep runs in normal mode; short mode caps at q ≤ 16.
+	hi := 127
+	if testing.Short() {
+		hi = 16
+	}
+	for _, q := range numtheory.PrimePowersUpTo(2, hi) {
+		s := buildS(t, q)
+		target := s.MaxDisjointUpperBound()
+		set, ok := s.DisjointHamiltonianPairs(target, 30, 42)
+		if !ok {
+			t.Errorf("q=%d: only %d of %d disjoint Hamiltonians found in 30 tries", q, len(set), target)
+			continue
+		}
+		verifyDisjointSet(t, s, set)
+	}
+}
+
+func TestPairGraphMatchesDirectSearch(t *testing.T) {
+	// Cross-validate the matching-based randomized search against the
+	// exact maximum independent set of the materialised pair graph G_S.
+	for _, q := range []int{3, 4, 5, 7} {
+		s := buildS(t, q)
+		gs, pairs := s.PairGraph()
+		if len(pairs) != len(s.HamiltonianPairs()) {
+			t.Fatalf("q=%d: pair count mismatch", q)
+		}
+		mis := gs.MaximumIndependentSet()
+		target := s.MaxDisjointUpperBound()
+		if len(mis) != target {
+			t.Errorf("q=%d: exact MIS of G_S has size %d, want %d", q, len(mis), target)
+		}
+		var set []Pair
+		for _, idx := range mis {
+			set = append(set, pairs[idx])
+		}
+		verifyDisjointSet(t, s, set)
+	}
+}
+
+func TestDisjointHamiltonianPairsExact(t *testing.T) {
+	for _, q := range []int{3, 4, 5, 7, 8, 9} {
+		s := buildS(t, q)
+		set := s.DisjointHamiltonianPairsExact()
+		if len(set) != s.MaxDisjointUpperBound() {
+			t.Errorf("q=%d: exact MIS found %d of %d", q, len(set), s.MaxDisjointUpperBound())
+		}
+		verifyDisjointSet(t, s, set)
+	}
+}
+
+func TestDisjointSearchDeterministic(t *testing.T) {
+	s := buildS(t, 9)
+	a, _ := s.DisjointHamiltonianPairs(5, 30, 7)
+	b, _ := s.DisjointHamiltonianPairs(5, 30, 7)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic result size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic result")
+		}
+	}
+}
+
+func TestCheckPairPanics(t *testing.T) {
+	s := buildS(t, 3)
+	for _, p := range []Pair{{0, 0}, {0, 2}, {5, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MaximalPath(%+v) should panic", p)
+				}
+			}()
+			s.MaximalPath(p)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ClosedFormVertex out of range should panic")
+			}
+		}()
+		s.ClosedFormVertex(Pair{0, 1}, 14)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EdgesOfColor(2) should panic for q=3")
+			}
+		}()
+		s.EdgesOfColor(2)
+	}()
+}

@@ -1,0 +1,106 @@
+package singer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"polarfly/internal/numtheory"
+)
+
+// Property tests over the difference-set algebra.
+
+func TestEdgeDefinitionSymmetricQuick(t *testing.T) {
+	s := buildS(t, 9)
+	prop := func(i, j uint16) bool {
+		u, v := int(i)%s.N, int(j)%s.N
+		return s.HasEdge(u, v) == s.HasEdge(v, u)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslatedDifferenceSetStillWorksQuick(t *testing.T) {
+	// Difference sets are translation-invariant: D + c mod N is also a
+	// difference set. The graphs differ but stay isomorphic; here we check
+	// the set property itself.
+	base, err := DifferenceSet(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 31
+	prop := func(c uint8) bool {
+		shift := int(c) % n
+		d := make([]int, len(base))
+		for i, x := range base {
+			d[i] = (x + shift) % n
+		}
+		return IsDifferenceSet(d, n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaledDifferenceSetQuick(t *testing.T) {
+	// Multiplying by a unit of Z_N also preserves the property.
+	base, err := DifferenceSet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 21
+	prop := func(c uint8) bool {
+		k := int(c)%n + 1
+		if numtheory.GCD(k, n) != 1 {
+			return true // only units preserve the property
+		}
+		d := make([]int, len(base))
+		for i, x := range base {
+			d[i] = x * k % n
+		}
+		return IsDifferenceSet(d, n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathEndpointsAreReflectionsQuick(t *testing.T) {
+	s := buildS(t, 8)
+	pairs := s.AllPairs()
+	prop := func(idx uint8, rev bool) bool {
+		p := pairs[int(idx)%len(pairs)]
+		if rev {
+			p = Pair{p.D1, p.D0}
+		}
+		path := s.MaximalPath(p)
+		return path[0] == s.ReflectionOf(p.D1) &&
+			path[len(path)-1] == s.ReflectionOf(p.D0) &&
+			len(path)%2 == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReversedPairReversesPathQuick(t *testing.T) {
+	s := buildS(t, 7)
+	pairs := s.AllPairs()
+	prop := func(idx uint8) bool {
+		p := pairs[int(idx)%len(pairs)]
+		fwd := s.MaximalPath(p)
+		rev := s.MaximalPath(Pair{p.D1, p.D0})
+		if len(fwd) != len(rev) {
+			return false
+		}
+		for i := range fwd {
+			if fwd[i] != rev[len(rev)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

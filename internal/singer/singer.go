@@ -1,0 +1,292 @@
+// Package singer implements the Singer difference-set construction of the
+// Erdős–Rényi polarity graph (§6.2 of the paper) and the edge-disjoint
+// Hamiltonian-path Allreduce solution built on it (§7.2):
+//
+//   - Singer difference sets D ⊂ Z_N, N = q²+q+1, generated from the powers
+//     of a root ζ of the lexicographically smallest degree-3 primitive
+//     polynomial over F_q (the paper's reproducibility convention);
+//   - the Singer graph S_q with edges (i,j) iff (i+j) mod N ∈ D, its
+//     reflection points (= PolarFly quadrics, Corollary 6.8) and V1/V2
+//     classification (Corollary 6.9);
+//   - maximal alternating-sum non-repeating paths (Definition 7.11,
+//     Theorem 7.13, Corollaries 7.15–7.16), Hamiltonian exactly when the
+//     generating difference-element pair has gcd(d0−d1, N) = 1;
+//   - selection of ⌊(q+1)/2⌋ pairwise edge-disjoint Hamiltonian paths by
+//     randomized maximal independent sets over the pair graph G_S (§7.3).
+package singer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"polarfly/internal/ff"
+	"polarfly/internal/graph"
+	"polarfly/internal/numtheory"
+)
+
+// DifferenceSet computes the Singer difference set of order q+1 over Z_N
+// for a prime power q, following the five steps of §6.2:
+//
+//  1. construct GF(q³) with the lexicographically smallest degree-3
+//     primitive polynomial f over F_q, with root ζ;
+//  2. list the powers of ζ;
+//  3. reduce each power to i·ζ² + j·ζ + k form (implicit in the
+//     representation);
+//  4. keep the exponents ℓ whose power is monic linear, ζ^ℓ = ζ + k —
+//     together with ℓ = 0 (ζ⁰ = 1, the monic constant) these are the q+1
+//     projective classes of the plane ⟨1, ζ⟩;
+//  5. reduce the exponents mod N.
+//
+// The result is sorted ascending and always contains 0 and 1.
+func DifferenceSet(q int) ([]int, error) {
+	base, err := ff.New(q)
+	if err != nil {
+		return nil, fmt.Errorf("singer: %w", err)
+	}
+	f, err := ff.FindPrimitivePoly(base, 3)
+	if err != nil {
+		return nil, fmt.Errorf("singer: %w", err)
+	}
+	n := q*q + q + 1
+	groupOrder := q*q*q - 1
+
+	// Walk the powers of ζ in coefficient space: cur = (c0, c1, c2)
+	// represents c0 + c1ζ + c2ζ². Multiplication by ζ shifts coefficients
+	// and reduces by f: ζ³ = −(f2ζ² + f1ζ + f0).
+	f0, f1, f2 := f.Coeff(0), f.Coeff(1), f.Coeff(2)
+	c0, c1, c2 := 1, 0, 0 // ζ⁰ = 1
+	ds := map[int]bool{0: true}
+	for ell := 1; ell < groupOrder; ell++ {
+		// Multiply by ζ.
+		t2 := c1
+		t1 := c0
+		t0 := 0
+		if c2 != 0 {
+			t0 = base.Neg(base.Mul(c2, f0))
+			t1 = base.Add(t1, base.Neg(base.Mul(c2, f1)))
+			t2 = base.Add(t2, base.Neg(base.Mul(c2, f2)))
+		}
+		c0, c1, c2 = t0, t1, t2
+		if c2 == 0 && c1 == 1 { // ζ^ℓ = ζ + c0, monic linear
+			ds[ell%n] = true
+		}
+	}
+	if len(ds) != q+1 {
+		return nil, fmt.Errorf("singer: q=%d produced %d difference elements, want %d", q, len(ds), q+1)
+	}
+	out := make([]int, 0, q+1)
+	for d := range ds {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// IsDifferenceSet verifies Definition 6.2: every non-zero residue of Z_N
+// appears exactly once among the pairwise differences of D.
+func IsDifferenceSet(d []int, n int) bool {
+	seen := make([]int, n)
+	for i := range d {
+		for j := range d {
+			if i == j {
+				continue
+			}
+			seen[numtheory.Mod(d[i]-d[j], n)]++
+		}
+	}
+	if seen[0] != 0 {
+		return false
+	}
+	for r := 1; r < n; r++ {
+		if seen[r] != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Graph is the Singer graph S_q with its difference set and derived vertex
+// classification.
+type Graph struct {
+	// Q is the prime power; N = q²+q+1 is the vertex count.
+	Q, N int
+	// D is the Singer difference set, sorted ascending.
+	D []int
+
+	topoOnce sync.Once
+	topo     *graph.Graph
+
+	inD       []bool
+	halfInv   int // 2⁻¹ mod N (Lemma 6.7)
+	types     []VertexClass
+	reflector []int // reflector[v] = d with 2v ≡ d, or -1
+}
+
+// VertexClass mirrors er.VertexType for the Singer construction.
+type VertexClass int
+
+const (
+	// Reflection vertices satisfy 2v mod N ∈ D; they are the PolarFly
+	// quadrics (Corollary 6.8).
+	Reflection VertexClass = iota
+	// Class1 vertices are neighbors of reflection points (Corollary 6.9).
+	Class1
+	// Class2 vertices are the rest.
+	Class2
+)
+
+func (c VertexClass) String() string {
+	switch c {
+	case Reflection:
+		return "W"
+	case Class1:
+		return "V1"
+	case Class2:
+		return "V2"
+	}
+	return fmt.Sprintf("VertexClass(%d)", int(c))
+}
+
+// New constructs the Singer graph for prime power q, deriving the
+// difference set via DifferenceSet.
+func New(q int) (*Graph, error) {
+	d, err := DifferenceSet(q)
+	if err != nil {
+		return nil, err
+	}
+	return FromDifferenceSet(q, d)
+}
+
+// FromDifferenceSet constructs S_q from an explicit difference set, which
+// must be a valid Singer difference set of order q+1 over Z_{q²+q+1}.
+func FromDifferenceSet(q int, d []int) (*Graph, error) {
+	n := q*q + q + 1
+	if len(d) != q+1 {
+		return nil, fmt.Errorf("singer: difference set has %d elements, want %d", len(d), q+1)
+	}
+	if !IsDifferenceSet(d, n) {
+		return nil, fmt.Errorf("singer: %v is not a difference set over Z_%d", d, n)
+	}
+	s := &Graph{
+		Q:         q,
+		N:         n,
+		D:         append([]int(nil), d...),
+		inD:       make([]bool, n),
+		halfInv:   (n + 1) / 2,
+		reflector: make([]int, n),
+	}
+	sort.Ints(s.D)
+	for _, x := range s.D {
+		if x < 0 || x >= n {
+			return nil, fmt.Errorf("singer: element %d out of Z_%d", x, n)
+		}
+		s.inD[x] = true
+	}
+	for v := 0; v < n; v++ {
+		s.reflector[v] = -1
+		if s.inD[(2*v)%n] {
+			s.reflector[v] = (2 * v) % n
+		}
+	}
+	// Classification per Corollaries 6.8 and 6.9: reflection points are
+	// 2⁻¹·d; a non-reflection vertex is V1 iff it is adjacent to some
+	// reflection point w, i.e. (v + w) mod N ∈ D. This needs only D, not
+	// the materialised topology (which Topology builds lazily).
+	s.types = make([]VertexClass, n)
+	var refl []int
+	for v := 0; v < n; v++ {
+		s.types[v] = Class2
+		if s.reflector[v] >= 0 {
+			s.types[v] = Reflection
+			refl = append(refl, v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if s.types[v] == Reflection {
+			continue
+		}
+		for _, w := range refl {
+			if v != w && s.inD[(v+w)%n] {
+				s.types[v] = Class1
+				break
+			}
+		}
+	}
+	return s, nil
+}
+
+// Topology returns the simple graph of S_q: edges (i,j), i≠j, with
+// (i+j) mod N ∈ D. Self-loops at reflection points are omitted (PolarFly
+// drops them) but recorded via ReflectionPoints. The graph is built on
+// first use and cached; it is safe for concurrent callers.
+func (s *Graph) Topology() *graph.Graph {
+	s.topoOnce.Do(func() {
+		g := graph.New(s.N)
+		// Enumerate edges by colour class: for each d ∈ D the proper edges
+		// are the pairs {i, d−i}, i < d−i. O(N·|D|) instead of O(N²).
+		for _, dElem := range s.D {
+			for i := 0; i < s.N; i++ {
+				j := numtheory.Mod(dElem-i, s.N)
+				if i < j {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		s.topo = g
+	})
+	return s.topo
+}
+
+// HasEdge reports whether (i, j) is an edge of S_q, i.e. i ≠ j and
+// (i+j) mod N ∈ D, without materialising the topology.
+func (s *Graph) HasEdge(i, j int) bool {
+	if i == j || i < 0 || j < 0 || i >= s.N || j >= s.N {
+		return false
+	}
+	return s.inD[(i+j)%s.N]
+}
+
+// HalfInverse returns 2⁻¹ mod N = (N+1)/2 (Lemma 6.7).
+func (s *Graph) HalfInverse() int { return s.halfInv }
+
+// InD reports whether x mod N is a difference-set element.
+func (s *Graph) InD(x int) bool { return s.inD[numtheory.Mod(x, s.N)] }
+
+// EdgeSum returns the edge sum (i+j) mod N of an edge (Definition 6.4). It
+// panics if (i,j) is not an edge of S_q.
+func (s *Graph) EdgeSum(i, j int) int {
+	if !s.HasEdge(i, j) {
+		panic(fmt.Sprintf("singer: (%d,%d) is not an edge", i, j))
+	}
+	return (i + j) % s.N
+}
+
+// Class returns the W/V1/V2 classification of vertex v.
+func (s *Graph) Class(v int) VertexClass { return s.types[v] }
+
+// ReflectionPoints returns the sorted reflection points (Definition 6.5);
+// there are exactly q+1, one per difference-set element (Corollary 6.8).
+func (s *Graph) ReflectionPoints() []int {
+	var out []int
+	for v := 0; v < s.N; v++ {
+		if s.types[v] == Reflection {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ReflectionOf returns the reflection point 2⁻¹·d for a difference-set
+// element d (Corollary 6.8). It panics if d ∉ D.
+func (s *Graph) ReflectionOf(d int) int {
+	if !s.InD(d) {
+		panic(fmt.Sprintf("singer: %d not in difference set", d))
+	}
+	return s.halfInv * d % s.N
+}
+
+// SelfLoopColor returns the difference-set element d whose self-loop sits
+// at reflection point v (i.e. 2v mod N), or -1 if v is not a reflection
+// point.
+func (s *Graph) SelfLoopColor(v int) int { return s.reflector[v] }

@@ -1,0 +1,240 @@
+package singer
+
+import (
+	"testing"
+
+	"polarfly/internal/numtheory"
+)
+
+func buildS(t *testing.T, q int) *Graph {
+	t.Helper()
+	s, err := New(q)
+	if err != nil {
+		t.Fatalf("New(%d): %v", q, err)
+	}
+	return s
+}
+
+func TestFig2aDifferenceSetQ3(t *testing.T) {
+	// Figure 2a: D = {0,1,3,9} over Z_13, reflection points {0,7,8,11}.
+	d, err := DifferenceSet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 3, 9}
+	if len(d) != len(want) {
+		t.Fatalf("D = %v, want %v", d, want)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("D = %v, want %v", d, want)
+		}
+	}
+	s := buildS(t, 3)
+	refl := s.ReflectionPoints()
+	wantRefl := []int{0, 7, 8, 11}
+	for i := range wantRefl {
+		if refl[i] != wantRefl[i] {
+			t.Fatalf("reflections = %v, want %v", refl, wantRefl)
+		}
+	}
+}
+
+func TestFig2bDifferenceSetQ4(t *testing.T) {
+	// Figure 2b: D = {0,1,4,14,16} over Z_21, reflection points {0,2,7,8,11}.
+	d, err := DifferenceSet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 4, 14, 16}
+	if len(d) != len(want) {
+		t.Fatalf("D = %v, want %v", d, want)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("D = %v, want %v", d, want)
+		}
+	}
+	s := buildS(t, 4)
+	refl := s.ReflectionPoints()
+	wantRefl := []int{0, 2, 7, 8, 11}
+	if len(refl) != len(wantRefl) {
+		t.Fatalf("reflections = %v, want %v", refl, wantRefl)
+	}
+	for i := range wantRefl {
+		if refl[i] != wantRefl[i] {
+			t.Fatalf("reflections = %v, want %v", refl, wantRefl)
+		}
+	}
+}
+
+func TestDifferenceSetProperty(t *testing.T) {
+	// Definition 6.2 for every prime power q in a broad range.
+	hi := 32
+	if testing.Short() {
+		hi = 13
+	}
+	for _, q := range numtheory.PrimePowersUpTo(2, hi) {
+		d, err := DifferenceSet(q)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		n := q*q + q + 1
+		if len(d) != q+1 {
+			t.Errorf("q=%d: |D|=%d, want %d", q, len(d), q+1)
+		}
+		if !IsDifferenceSet(d, n) {
+			t.Errorf("q=%d: %v fails the difference-set property", q, d)
+		}
+	}
+}
+
+func TestIsDifferenceSetRejects(t *testing.T) {
+	if IsDifferenceSet([]int{0, 1, 2, 9}, 13) {
+		t.Error("{0,1,2,9} accepted over Z_13")
+	}
+	if IsDifferenceSet([]int{0, 1, 3}, 13) {
+		t.Error("undersized set accepted")
+	}
+	if !IsDifferenceSet([]int{0, 1, 3, 9}, 13) {
+		t.Error("valid set rejected")
+	}
+}
+
+func TestFromDifferenceSetValidation(t *testing.T) {
+	if _, err := FromDifferenceSet(3, []int{0, 1, 2, 9}); err == nil {
+		t.Error("invalid set accepted")
+	}
+	if _, err := FromDifferenceSet(3, []int{0, 1, 3}); err == nil {
+		t.Error("undersized set accepted")
+	}
+	if _, err := FromDifferenceSet(3, []int{0, 1, 3, 9}); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+}
+
+func TestGraphStructure(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 7, 8, 9} {
+		s := buildS(t, q)
+		if s.N != q*q+q+1 {
+			t.Fatalf("q=%d: N=%d", q, s.N)
+		}
+		// Edge count: q(q+1)²/2 (same as ER_q, Cor. 7.1 proof).
+		if want := q * (q + 1) * (q + 1) / 2; s.Topology().M() != want {
+			t.Errorf("q=%d: M=%d, want %d", q, s.Topology().M(), want)
+		}
+		// Reflection points have degree q (self-loop dropped), others q+1.
+		for v := 0; v < s.N; v++ {
+			want := q + 1
+			if s.Class(v) == Reflection {
+				want = q
+			}
+			if d := s.Topology().Degree(v); d != want {
+				t.Errorf("q=%d: deg(%d)=%d, want %d", q, v, d, want)
+			}
+		}
+		if d := s.Topology().Diameter(); d != 2 {
+			t.Errorf("q=%d: diameter %d", q, d)
+		}
+		if !s.Topology().HasUniqueTwoPaths() {
+			t.Errorf("q=%d: duplicate 2-paths", q)
+		}
+	}
+}
+
+func TestEdgeSum(t *testing.T) {
+	s := buildS(t, 3)
+	for _, e := range s.Topology().Edges() {
+		sum := s.EdgeSum(e.U, e.V)
+		if !s.InD(sum) {
+			t.Fatalf("edge (%d,%d) has sum %d ∉ D", e.U, e.V, sum)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("EdgeSum on non-edge should panic")
+		}
+	}()
+	// 0 and 2: 0+2=2 ∉ {0,1,3,9}.
+	s.EdgeSum(0, 2)
+}
+
+func TestCorollary68ReflectionPoints(t *testing.T) {
+	// Quadrics/reflections are exactly 2⁻¹·d for d ∈ D, one per element.
+	for _, q := range []int{3, 4, 5, 7, 8, 9, 11, 13} {
+		s := buildS(t, q)
+		refl := s.ReflectionPoints()
+		if len(refl) != q+1 {
+			t.Fatalf("q=%d: %d reflection points", q, len(refl))
+		}
+		seen := make(map[int]bool)
+		for _, d := range s.D {
+			w := s.ReflectionOf(d)
+			if s.Class(w) != Reflection {
+				t.Errorf("q=%d: 2⁻¹·%d = %d is not a reflection point", q, d, w)
+			}
+			if s.SelfLoopColor(w) != d {
+				t.Errorf("q=%d: self-loop colour of %d = %d, want %d", q, w, s.SelfLoopColor(w), d)
+			}
+			seen[w] = true
+		}
+		if len(seen) != q+1 {
+			t.Errorf("q=%d: map d→2⁻¹d not injective", q)
+		}
+	}
+}
+
+func TestCorollary69Classification(t *testing.T) {
+	// V1 = {d_i − 2⁻¹·d_j : d_i ≠ d_j}; V2 = rest. Check the counts match
+	// Table 1 and the explicit formula.
+	for _, q := range []int{3, 5, 7, 9, 11} { // odd q per Table 1
+		s := buildS(t, q)
+		v1want := make(map[int]bool)
+		for _, di := range s.D {
+			for _, dj := range s.D {
+				if di == dj {
+					continue
+				}
+				v1want[numtheory.Mod(di-s.HalfInverse()*dj, s.N)] = true
+			}
+		}
+		var w, v1, v2 int
+		for v := 0; v < s.N; v++ {
+			switch s.Class(v) {
+			case Reflection:
+				w++
+			case Class1:
+				v1++
+				if !v1want[v] {
+					t.Errorf("q=%d: vertex %d classified V1 but not of form d_i − 2⁻¹d_j", q, v)
+				}
+			case Class2:
+				v2++
+				if v1want[v] {
+					t.Errorf("q=%d: vertex %d of V1 form classified V2", q, v)
+				}
+			}
+		}
+		if w != q+1 || v1 != q*(q+1)/2 || v2 != q*(q-1)/2 {
+			t.Errorf("q=%d: counts (%d,%d,%d), want (%d,%d,%d)", q, w, v1, v2, q+1, q*(q+1)/2, q*(q-1)/2)
+		}
+	}
+}
+
+func TestHalfInverse(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 7} {
+		s := buildS(t, q)
+		if got := 2 * s.HalfInverse() % s.N; got != 1 {
+			t.Errorf("q=%d: 2·2⁻¹ = %d mod %d", q, got, s.N)
+		}
+	}
+}
+
+func TestVertexClassString(t *testing.T) {
+	if Reflection.String() != "W" || Class1.String() != "V1" || Class2.String() != "V2" {
+		t.Error("VertexClass.String broken")
+	}
+	if VertexClass(7).String() == "" {
+		t.Error("unknown class should render")
+	}
+}

@@ -1,0 +1,106 @@
+package torus
+
+import "testing"
+
+func TestShapes(t *testing.T) {
+	cases := []struct {
+		k, dims, n, radix, diam, edges int
+	}{
+		{4, 2, 16, 4, 4, 32},  // 4-ary 2-cube
+		{3, 2, 9, 4, 2, 18},   // 3-ary 2-cube
+		{4, 3, 64, 6, 6, 192}, // 4-ary 3-cube
+		{2, 3, 8, 3, 3, 12},   // binary 3-cube = hypercube
+		{8, 1, 8, 2, 4, 8},    // plain ring
+	}
+	for _, c := range cases {
+		tr, err := New(c.k, c.dims)
+		if err != nil {
+			t.Fatalf("%d-ary %d-cube: %v", c.k, c.dims, err)
+		}
+		if tr.N() != c.n {
+			t.Errorf("%d-ary %d-cube: N=%d, want %d", c.k, c.dims, tr.N(), c.n)
+		}
+		if tr.Radix() != c.radix {
+			t.Errorf("%d-ary %d-cube: radix=%d, want %d", c.k, c.dims, tr.Radix(), c.radix)
+		}
+		if tr.Diameter() != c.diam {
+			t.Errorf("%d-ary %d-cube: diameter=%d, want %d", c.k, c.dims, tr.Diameter(), c.diam)
+		}
+		if got := tr.G.Diameter(); got != c.diam {
+			t.Errorf("%d-ary %d-cube: BFS diameter=%d, formula %d", c.k, c.dims, got, c.diam)
+		}
+		if tr.G.M() != c.edges {
+			t.Errorf("%d-ary %d-cube: M=%d, want %d", c.k, c.dims, tr.G.M(), c.edges)
+		}
+		for v := 0; v < tr.N(); v++ {
+			if d := tr.G.Degree(v); d != tr.Radix() {
+				t.Fatalf("%d-ary %d-cube: degree(%d)=%d", c.k, c.dims, v, d)
+			}
+		}
+	}
+	if _, err := New(1, 2); err == nil {
+		t.Error("1-ary accepted")
+	}
+	if _, err := New(3, 0); err == nil {
+		t.Error("0 dims accepted")
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	tr, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < tr.N(); v++ {
+		if got := tr.Index(tr.Coords(v)); got != v {
+			t.Fatalf("round trip %d → %v → %d", v, tr.Coords(v), got)
+		}
+	}
+}
+
+func TestRings(t *testing.T) {
+	tr, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 2; d++ {
+		ring := tr.Ring(5, d)
+		if len(ring) != 4 {
+			t.Fatalf("ring length %d", len(ring))
+		}
+		if ring[0] != 5 {
+			t.Fatalf("ring should start at base")
+		}
+		for i := 0; i < 4; i++ {
+			u, v := ring[i], ring[(i+1)%4]
+			if !tr.G.HasEdge(u, v) {
+				t.Fatalf("dim-%d ring hop (%d,%d) not an edge", d, u, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad dimension should panic")
+		}
+	}()
+	tr.Ring(0, 5)
+}
+
+func TestEdgeDisjointRingCover(t *testing.T) {
+	for _, c := range []struct{ k, dims int }{{3, 2}, {4, 2}, {5, 2}, {3, 3}, {4, 3}, {2, 3}, {8, 1}} {
+		tr, err := New(c.k, c.dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.EdgeDisjointRingCover(); err != nil {
+			t.Errorf("%d-ary %d-cube: %v", c.k, c.dims, err)
+		}
+	}
+}
+
+func TestMultiPortBandwidth(t *testing.T) {
+	tr, _ := New(4, 3)
+	if got := tr.MultiPortAllreduceBandwidth(1.0); got != 6.0 {
+		t.Errorf("bandwidth %f, want 6", got)
+	}
+}

@@ -1,0 +1,114 @@
+package trees
+
+import (
+	"math/rand"
+
+	"polarfly/internal/graph"
+)
+
+// This file provides the router-resource analyses of §5.1 and §7.1 and the
+// uncoordinated-forest baseline of §3 ("one can always find large sets of
+// spanning trees; a usable solution minimises edge overlap").
+
+// DirectedLoad counts, for every directed link (child → parent direction),
+// how many trees send reduction traffic across it. The §5.1 router needs
+// one virtual channel (or tracked packet state) per overlapping stream on
+// a port.
+func DirectedLoad(forest []*Tree) map[[2]int]int {
+	load := make(map[[2]int]int)
+	for _, t := range forest {
+		for v, p := range t.Parent {
+			if p >= 0 {
+				load[[2]int{v, p}]++
+			}
+		}
+	}
+	return load
+}
+
+// MaxReductionsPerInputPort returns the worst-case number of distinct
+// reduction streams entering any single router input port. Lemma 7.8
+// guarantees 1 for the Algorithm 3 forest (opposed flows), so a single
+// wide-radix arithmetic engine per router suffices; uncoordinated forests
+// typically need per-port stream multiplexing.
+func MaxReductionsPerInputPort(forest []*Tree) int {
+	max := 0
+	for _, c := range DirectedLoad(forest) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// VCRequirement returns the number of virtual channels per link direction
+// needed to keep the embedding's logical streams separate: the worst-case
+// directed congestion counting both reduction and broadcast traffic
+// (broadcast traffic on a link (u→v) belongs to trees where u is the
+// parent, i.e. the reduction load of (v→u)).
+func VCRequirement(forest []*Tree) int {
+	load := DirectedLoad(forest)
+	max := 0
+	for key, c := range load {
+		total := c + load[[2]int{key[1], key[0]}]
+		if total > max {
+			max = total
+		}
+	}
+	return max
+}
+
+// ReductionStatesPerRouter returns, for each router, the number of
+// (tree, child-port) reduction states it must hold — the router SRAM/logic
+// proxy discussed in §5.1.
+func ReductionStatesPerRouter(forest []*Tree, n int) []int {
+	states := make([]int, n)
+	for _, t := range forest {
+		for _, p := range t.Parent {
+			if p >= 0 {
+				states[p]++
+			}
+		}
+	}
+	return states
+}
+
+// RandomForest builds k spanning trees by independent randomized BFS from
+// random roots (random neighbor visiting order). This is the uncoordinated
+// multi-tree baseline: lots of trees, no congestion control — the §3
+// motivation for why the paper's structured embeddings are necessary.
+func RandomForest(g *graph.Graph, k int, seed int64) ([]*Tree, error) {
+	rng := rand.New(rand.NewSource(seed))
+	forest := make([]*Tree, 0, k)
+	n := g.N()
+	for i := 0; i < k; i++ {
+		root := rng.Intn(n)
+		parent := make([]int, n)
+		for v := range parent {
+			parent[v] = -2
+		}
+		parent[root] = -1
+		queue := []int{root}
+		for len(queue) > 0 {
+			// Pop a random frontier vertex for tree-shape diversity.
+			idx := rng.Intn(len(queue))
+			v := queue[idx]
+			queue[idx] = queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			nbrs := g.Neighbors(v)
+			rng.Shuffle(len(nbrs), func(a, b int) { nbrs[a], nbrs[b] = nbrs[b], nbrs[a] })
+			for _, u := range nbrs {
+				if parent[u] == -2 {
+					parent[u] = v
+					queue = append(queue, u)
+				}
+			}
+		}
+		t, err := FromParent(root, parent)
+		if err != nil {
+			return nil, err
+		}
+		forest = append(forest, t)
+	}
+	return forest, nil
+}

@@ -1,0 +1,74 @@
+package trees
+
+import (
+	"fmt"
+
+	"polarfly/internal/graph"
+)
+
+// This file implements the "obvious" alternative the paper implicitly
+// rejects: depth-2 spanning trees. On a diameter-2 graph with unique
+// 2-paths (Theorem 6.1) the depth-2 spanning tree rooted at any vertex is
+// *forced* — distance-1 vertices must hang off the root and each
+// distance-2 vertex has exactly one possible parent — so there is no
+// freedom left to steer congestion. Measuring these trees against
+// Algorithm 3 shows why the paper spends one extra level of depth: the
+// forced trees overlap heavily around high-traffic intermediates, while
+// the depth-3 construction provably caps congestion at 2.
+//
+// The forest also serves as a best-effort multi-tree embedding for even q,
+// where the paper's low-depth layout is not specified.
+
+// UniqueBFSTree returns the unique depth-≤2 spanning tree of g rooted at
+// root. It errors if some vertex is farther than 2 hops from the root, or
+// if a distance-2 vertex has more than one candidate parent (i.e. g does
+// not have unique 2-paths from this root).
+func UniqueBFSTree(g *graph.Graph, root int) (*Tree, error) {
+	n := g.N()
+	parent := make([]int, n)
+	for v := range parent {
+		parent[v] = -2
+	}
+	parent[root] = -1
+	for _, u := range g.Neighbors(root) {
+		parent[u] = root
+	}
+	for z := 0; z < n; z++ {
+		if parent[z] != -2 {
+			continue
+		}
+		candidate := -1
+		for _, u := range g.Neighbors(z) {
+			if u != root && parent[u] == root {
+				if candidate != -1 {
+					return nil, fmt.Errorf("trees: vertex %d has two 2-paths from root %d (via %d and %d)",
+						z, root, candidate, u)
+				}
+				candidate = u
+			}
+		}
+		if candidate == -1 {
+			return nil, fmt.Errorf("trees: vertex %d is more than 2 hops from root %d", z, root)
+		}
+		parent[z] = candidate
+	}
+	return FromParent(root, parent)
+}
+
+// DepthTwoForest builds the forced depth-2 trees for the given roots.
+func DepthTwoForest(g *graph.Graph, roots []int) ([]*Tree, error) {
+	forest := make([]*Tree, 0, len(roots))
+	seen := make(map[int]bool)
+	for _, r := range roots {
+		if seen[r] {
+			return nil, fmt.Errorf("trees: duplicate root %d", r)
+		}
+		seen[r] = true
+		t, err := UniqueBFSTree(g, r)
+		if err != nil {
+			return nil, err
+		}
+		forest = append(forest, t)
+	}
+	return forest, nil
+}

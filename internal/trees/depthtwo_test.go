@@ -1,0 +1,95 @@
+package trees
+
+import (
+	"testing"
+
+	"polarfly/internal/graph"
+)
+
+func TestUniqueBFSTreeOnPolarFly(t *testing.T) {
+	for _, q := range []int{3, 5, 7} {
+		l := layout(t, q)
+		g := l.PG.G
+		for root := 0; root < g.N(); root += 7 {
+			tr, err := UniqueBFSTree(g, root)
+			if err != nil {
+				t.Fatalf("q=%d root=%d: %v", q, root, err)
+			}
+			if err := tr.ValidateSpanning(g); err != nil {
+				t.Fatalf("q=%d root=%d: %v", q, root, err)
+			}
+			if tr.MaxDepth() > 2 {
+				t.Errorf("q=%d root=%d: depth %d", q, root, tr.MaxDepth())
+			}
+			// The tree is forced: it must equal the deterministic BFS tree.
+			bfs, err := SingleTreeBaseline(g, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range tr.Parent {
+				if tr.Parent[v] != bfs.Parent[v] {
+					t.Fatalf("q=%d root=%d: depth-2 tree not unique at vertex %d", q, root, v)
+				}
+			}
+		}
+	}
+}
+
+func TestUniqueBFSTreeErrors(t *testing.T) {
+	// Path graph: vertex 3 is 3 hops from vertex 0.
+	p := graph.New(4)
+	p.AddEdge(0, 1)
+	p.AddEdge(1, 2)
+	p.AddEdge(2, 3)
+	if _, err := UniqueBFSTree(p, 0); err == nil {
+		t.Error("deep graph accepted")
+	}
+	// C4 has two 2-paths between opposite vertices.
+	c4 := graph.New(4)
+	c4.AddEdge(0, 1)
+	c4.AddEdge(1, 2)
+	c4.AddEdge(2, 3)
+	c4.AddEdge(3, 0)
+	if _, err := UniqueBFSTree(c4, 0); err == nil {
+		t.Error("ambiguous 2-paths accepted")
+	}
+}
+
+func TestDepthTwoForestCongestionGrows(t *testing.T) {
+	// The motivating measurement: forced depth-2 trees congest roughly
+	// linearly in the tree count, unlike Algorithm 3's constant 2.
+	for _, q := range []int{5, 7, 9, 11} {
+		l := layout(t, q)
+		roots := make([]int, q)
+		for i := range roots {
+			roots[i] = i
+		}
+		forest, err := DepthTwoForest(l.PG.G, roots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range forest {
+			if err := tr.ValidateSpanning(l.PG.G); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if c := MaxCongestion(forest); c <= 2 {
+			t.Errorf("q=%d: depth-2 forest congestion %d unexpectedly low", q, c)
+		}
+		low, err := LowDepthForest(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if MaxCongestion(forest) <= MaxCongestion(low) {
+			t.Errorf("q=%d: depth-2 congestion %d not worse than Algorithm 3's %d",
+				q, MaxCongestion(forest), MaxCongestion(low))
+		}
+	}
+}
+
+func TestDepthTwoForestRejectsDuplicateRoots(t *testing.T) {
+	l := layout(t, 5)
+	if _, err := DepthTwoForest(l.PG.G, []int{0, 0}); err == nil {
+		t.Error("duplicate roots accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package trees
+
+import (
+	"fmt"
+
+	"polarfly/internal/singer"
+)
+
+// HamiltonianForest derives the edge-disjoint Allreduce forest of §7.2:
+// up to ⌊(q+1)/2⌋ pairwise edge-disjoint Hamiltonian paths of the Singer
+// graph S_q, each rooted at its midpoint so the tree depth is (N−1)/2
+// (Lemma 7.17). The search reproduces the paper's procedure of up to
+// `tries` random maximal independent sets over the Hamiltonian pair graph
+// (the paper uses 30 and reports success for all q < 128); it returns an
+// error if the target ⌊(q+1)/2⌋ is not reached.
+func HamiltonianForest(s *singer.Graph, tries int, seed int64) ([]*Tree, error) {
+	target := s.MaxDisjointUpperBound()
+	pairs, ok := s.DisjointHamiltonianPairs(target, tries, seed)
+	if !ok {
+		// The randomized procedure missed (tries too small, or an
+		// adversarial seed): fall back to the exact maximum independent
+		// set over the pair graph. §7.3 reports 30 random instances always
+		// suffice for q < 128, so the fallback exists for robustness, not
+		// for the paper's design points. The exact solver is exponential,
+		// so it is only attempted while the pair graph stays small.
+		const exactLimit = 200
+		if len(s.HamiltonianPairs()) > exactLimit {
+			return nil, fmt.Errorf("trees: q=%d: found only %d of %d edge-disjoint Hamiltonian paths in %d tries (pair graph too large for the exact fallback)",
+				s.Q, len(pairs), target, tries)
+		}
+		pairs = s.DisjointHamiltonianPairsExact()
+		if len(pairs) < target {
+			return nil, fmt.Errorf("trees: q=%d: only %d of %d edge-disjoint Hamiltonian paths exist",
+				s.Q, len(pairs), target)
+		}
+	}
+	return ForestFromPairs(s, pairs)
+}
+
+// ForestFromPairs converts an explicit set of Hamiltonian difference-
+// element pairs into midpoint-rooted spanning trees.
+func ForestFromPairs(s *singer.Graph, pairs []singer.Pair) ([]*Tree, error) {
+	forest := make([]*Tree, 0, len(pairs))
+	for _, p := range pairs {
+		if !s.IsHamiltonian(p) {
+			return nil, fmt.Errorf("trees: pair %+v is not Hamiltonian", p)
+		}
+		path := s.MaximalPath(p)
+		t, err := FromPath(path, (len(path)-1)/2)
+		if err != nil {
+			return nil, fmt.Errorf("trees: pair %+v: %w", p, err)
+		}
+		forest = append(forest, t)
+	}
+	return forest, nil
+}

@@ -1,0 +1,46 @@
+package trees
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render draws the tree as indented ASCII, children sorted ascending, for
+// human inspection of embeddings (used by cmd/treegen). Deep trees are
+// elided below maxDepth levels (pass a negative maxDepth for no limit).
+func (t *Tree) Render(maxDepth int) string {
+	var b strings.Builder
+	var rec func(v, depth int)
+	rec = func(v, depth int) {
+		fmt.Fprintf(&b, "%s%d", strings.Repeat("  ", depth), v)
+		if depth == 0 {
+			b.WriteString(" (root)")
+		}
+		b.WriteByte('\n')
+		if maxDepth >= 0 && depth >= maxDepth {
+			if len(t.Children(v)) > 0 {
+				fmt.Fprintf(&b, "%s… %d subtree(s) elided\n", strings.Repeat("  ", depth+1), len(t.Children(v)))
+			}
+			return
+		}
+		children := append([]int(nil), t.Children(v)...)
+		sort.Ints(children)
+		for _, c := range children {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.Root, 0)
+	return b.String()
+}
+
+// LevelSizes returns how many vertices sit at each depth, root first — a
+// compact structural fingerprint (e.g. the Algorithm 3 trees on odd q show
+// [1, q+1, q²−1, q−1]).
+func (t *Tree) LevelSizes() []int {
+	sizes := make([]int, t.MaxDepth()+1)
+	for _, d := range t.Depth {
+		sizes[d]++
+	}
+	return sizes
+}

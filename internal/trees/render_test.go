@@ -1,0 +1,73 @@
+package trees
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	tr, _ := FromParent(0, []int{-1, 0, 0, 1})
+	out := tr.Render(-1)
+	want := "0 (root)\n  1\n    3\n  2\n"
+	if out != want {
+		t.Errorf("Render = %q, want %q", out, want)
+	}
+	// Depth limit elides.
+	limited := tr.Render(0)
+	if !strings.Contains(limited, "elided") {
+		t.Errorf("limited render missing elision: %q", limited)
+	}
+	if strings.Count(limited, "\n") != 2 {
+		t.Errorf("limited render = %q", limited)
+	}
+}
+
+func TestLevelSizes(t *testing.T) {
+	tr, _ := FromParent(0, []int{-1, 0, 0, 1})
+	got := tr.LevelSizes()
+	want := []int{1, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("LevelSizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LevelSizes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLevelSizesAlgorithm3Fingerprint(t *testing.T) {
+	// Algorithm 3 trees: exactly the root at level 0, exactly its q+1
+	// neighbors at level 1, all non-center vertices by level 2, and only
+	// other cluster centers at level 3 (each center attaches at level 2 or
+	// 3 depending on where line 10 finds an available edge).
+	for _, q := range []int{5, 7, 9} {
+		l := layout(t, q)
+		forest, err := LowDepthForest(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ti, tr := range forest {
+			got := tr.LevelSizes()
+			if len(got) > 4 {
+				t.Fatalf("q=%d T_%d: %d levels", q, ti, len(got))
+			}
+			if got[0] != 1 || got[1] != q+1 {
+				t.Fatalf("q=%d T_%d: levels %v", q, ti, got)
+			}
+			sum := 0
+			for _, s := range got {
+				sum += s
+			}
+			if sum != q*q+q+1 {
+				t.Fatalf("q=%d T_%d: levels %v sum %d", q, ti, got, sum)
+			}
+			// Level 2 holds at least all q²−1 non-root non-level-1
+			// non-center vertices; the deficit vs q²−1+centers is exactly
+			// the level-3 population.
+			if len(got) == 4 && got[2]+got[3] != q*q+q+1-1-(q+1) {
+				t.Fatalf("q=%d T_%d: levels %v inconsistent", q, ti, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package trees
+
+import (
+	"testing"
+
+	"polarfly/internal/er"
+	"polarfly/internal/graph"
+)
+
+// TestTheorem76CaseAnalysis replays the proof of Theorem 7.6 on concrete
+// forests: every congested (shared) link must fall into one of the three
+// cases of the proof, and each case's structural claim must hold.
+func TestTheorem76CaseAnalysis(t *testing.T) {
+	for _, q := range []int{5, 7, 9, 11} {
+		l := layout(t, q)
+		pg := l.PG
+		forest, err := LowDepthForest(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isCenter := make(map[int]bool)
+		for _, c := range l.Centers {
+			isCenter[c] = true
+		}
+		isQuadric := func(v int) bool { return pg.Type(v) == er.Quadric }
+
+		for link, c := range Congestion(forest) {
+			if c < 2 {
+				continue
+			}
+			if c > 2 {
+				t.Fatalf("q=%d: link %v congestion %d", q, link, c)
+			}
+			u, v := link.U, link.V
+			switch {
+			case isCenter[u] || isCenter[v]:
+				// Case 1: a center endpoint. One of the two trees must be
+				// the one rooted at that center.
+				center := u
+				if isCenter[v] {
+					center = v
+				}
+				ci := l.ClusterOf[center]
+				owners := treesContaining(forest, link)
+				rootOwned := false
+				for _, ti := range owners {
+					if ti == ci {
+						rootOwned = true
+					}
+				}
+				if !rootOwned {
+					t.Errorf("q=%d: center link %v not owned by the center's tree", q, link)
+				}
+			case isQuadric(u) || isQuadric(v):
+				// Case 2: a non-starter quadric endpoint; the other
+				// endpoint is a non-center non-quadric.
+				w := u
+				other := v
+				if isQuadric(v) {
+					w, other = v, u
+				}
+				if w == l.Starter {
+					t.Errorf("q=%d: starter quadric on congested link %v", q, link)
+				}
+				if isQuadric(other) || isCenter[other] {
+					t.Errorf("q=%d: case-2 link %v has wrong other endpoint", q, link)
+				}
+				// The two owning trees must be the quadric's cluster and
+				// the other endpoint's cluster.
+				owners := treesContaining(forest, link)
+				wantA := l.CenterOfQuadric[w]
+				wantB := l.ClusterOf[other]
+				if !sameSet(owners, []int{wantA, wantB}) {
+					t.Errorf("q=%d: case-2 link %v owned by %v, want {%d,%d}", q, link, owners, wantA, wantB)
+				}
+			default:
+				// Case 3: both endpoints plain cluster vertices in distinct
+				// clusters; owners are exactly those two clusters.
+				ci, cj := l.ClusterOf[u], l.ClusterOf[v]
+				if ci == cj {
+					t.Errorf("q=%d: case-3 link %v inside one cluster", q, link)
+				}
+				owners := treesContaining(forest, link)
+				if !sameSet(owners, []int{ci, cj}) {
+					t.Errorf("q=%d: case-3 link %v owned by %v, want {%d,%d}", q, link, owners, ci, cj)
+				}
+			}
+		}
+	}
+}
+
+func treesContaining(forest []*Tree, e graph.Edge) []int {
+	var out []int
+	for i, t := range forest {
+		for _, te := range t.Edges() {
+			if te == e {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[int]bool)
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}

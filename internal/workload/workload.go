@@ -1,0 +1,128 @@
+// Package workload generates deterministic Allreduce input workloads for
+// tests, examples and benchmarks: uniform random vectors, ML-style gradient
+// streams (the bandwidth-bound motivation of §1), and HPC-style short
+// vectors (the latency-bound regime), plus parameter-sweep helpers for the
+// Figure 5 reproductions.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"polarfly/internal/numtheory"
+)
+
+// Vectors returns n deterministic pseudo-random input vectors of length m
+// with entries in [-lim, lim].
+func Vectors(n, m int, lim int64, seed int64) [][]int64 {
+	if lim <= 0 {
+		panic("workload: limit must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int64, n)
+	for v := range out {
+		out[v] = make([]int64, m)
+		for k := range out[v] {
+			out[v][k] = rng.Int63n(2*lim+1) - lim
+		}
+	}
+	return out
+}
+
+// GradientStep mimics one data-parallel training step: every worker holds a
+// gradient whose entries are the base model gradient perturbed per worker,
+// quantised to integers (as integer-summing in-network reduction units
+// would see them). Deterministic in (step, worker).
+func GradientStep(n, m int, step int) [][]int64 {
+	out := make([][]int64, n)
+	for w := range out {
+		rng := rand.New(rand.NewSource(int64(step)*1e6 + int64(w)))
+		out[w] = make([]int64, m)
+		for k := range out[w] {
+			// Heavy-tailed-ish gradient magnitudes around zero.
+			v := rng.NormFloat64() * 1000
+			out[w][k] = int64(v)
+		}
+	}
+	return out
+}
+
+// ScalarPerNode returns the classic HPC reduction input: one value per
+// node, node i contributing i+1 (so the expected sum is n(n+1)/2, easy to
+// eyeball in examples).
+func ScalarPerNode(n int) [][]int64 {
+	out := make([][]int64, n)
+	for i := range out {
+		out[i] = []int64{int64(i + 1)}
+	}
+	return out
+}
+
+// SweepPoint is one radix in a Figure 5-style sweep.
+type SweepPoint struct {
+	// Q is the prime power; the router radix is Q+1 and N = Q²+Q+1.
+	Q int
+	// Radix is Q+1.
+	Radix int
+	// N is the node count.
+	N int
+}
+
+// RadixSweep enumerates the feasible PolarFly design points with radix in
+// [loRadix, hiRadix], i.e. prime powers q = radix−1. The paper sweeps
+// radix 3..129 (q = 2..128).
+func RadixSweep(loRadix, hiRadix int) []SweepPoint {
+	if loRadix < 3 {
+		loRadix = 3
+	}
+	var out []SweepPoint
+	for _, q := range numtheory.PrimePowersUpTo(loRadix-1, hiRadix-1) {
+		out = append(out, SweepPoint{Q: q, Radix: q + 1, N: q*q + q + 1})
+	}
+	return out
+}
+
+// MessageSizeSweep returns a geometric sweep of vector lengths from lo to
+// hi (inclusive when hi is a power-of-factor multiple of lo).
+func MessageSizeSweep(lo, hi, factor int) []int {
+	if lo < 1 || factor < 2 {
+		panic(fmt.Sprintf("workload: invalid sweep lo=%d factor=%d", lo, factor))
+	}
+	var out []int
+	for m := lo; m <= hi; m *= factor {
+		out = append(out, m)
+	}
+	return out
+}
+
+// TransformerLayerSizes returns per-layer gradient element counts for a
+// GPT-style decoder stack — the §1 motivation names GPT-3 as the canonical
+// bandwidth-bound Allreduce workload. Each layer contributes the attention
+// projections (4·d²) and the MLP block (8·d²) plus biases and norms; the
+// embedding matrix (vocab·d) is prepended. Counts are element counts, not
+// bytes, and are intended for layer-by-layer gradient Allreduce
+// simulations where vectors are reduced as each layer finishes its
+// backward pass.
+func TransformerLayerSizes(layers, dModel, vocab int) []int {
+	if layers < 1 || dModel < 1 || vocab < 1 {
+		panic("workload: invalid transformer shape")
+	}
+	out := make([]int, 0, layers+1)
+	out = append(out, vocab*dModel) // embedding / unembedding gradient
+	perLayer := 4*dModel*dModel +   // Q,K,V,O projections
+		8*dModel*dModel + // MLP up+down (4·d hidden)
+		9*dModel // biases + 2 layer norms (scale+shift) + attn bias
+	for i := 0; i < layers; i++ {
+		out = append(out, perLayer)
+	}
+	return out
+}
+
+// TotalElements sums a layer-size schedule.
+func TotalElements(sizes []int) int {
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	return total
+}

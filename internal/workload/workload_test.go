@@ -1,0 +1,129 @@
+package workload
+
+import "testing"
+
+func TestVectorsDeterministicAndBounded(t *testing.T) {
+	a := Vectors(4, 32, 50, 7)
+	b := Vectors(4, 32, 50, 7)
+	c := Vectors(4, 32, 50, 8)
+	if len(a) != 4 || len(a[0]) != 32 {
+		t.Fatal("shape wrong")
+	}
+	different := false
+	for v := range a {
+		for k := range a[v] {
+			if a[v][k] != b[v][k] {
+				t.Fatal("same seed gave different vectors")
+			}
+			if a[v][k] != c[v][k] {
+				different = true
+			}
+			if a[v][k] < -50 || a[v][k] > 50 {
+				t.Fatalf("value %d out of bounds", a[v][k])
+			}
+		}
+	}
+	if !different {
+		t.Error("different seeds gave identical vectors")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive limit should panic")
+		}
+	}()
+	Vectors(1, 1, 0, 1)
+}
+
+func TestGradientStepDeterministic(t *testing.T) {
+	a := GradientStep(3, 16, 5)
+	b := GradientStep(3, 16, 5)
+	c := GradientStep(3, 16, 6)
+	same := true
+	for w := range a {
+		for k := range a[w] {
+			if a[w][k] != b[w][k] {
+				t.Fatal("same step differs")
+			}
+			if a[w][k] != c[w][k] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different steps identical")
+	}
+}
+
+func TestScalarPerNode(t *testing.T) {
+	in := ScalarPerNode(5)
+	sum := int64(0)
+	for _, v := range in {
+		if len(v) != 1 {
+			t.Fatal("not scalar")
+		}
+		sum += v[0]
+	}
+	if sum != 15 {
+		t.Errorf("sum = %d, want 15", sum)
+	}
+}
+
+func TestRadixSweep(t *testing.T) {
+	pts := RadixSweep(3, 10)
+	// q ∈ {2,3,4,5,7,8,9} → radix {3,4,5,6,8,9,10}
+	wantQ := []int{2, 3, 4, 5, 7, 8, 9}
+	if len(pts) != len(wantQ) {
+		t.Fatalf("sweep = %+v", pts)
+	}
+	for i, pt := range pts {
+		if pt.Q != wantQ[i] || pt.Radix != wantQ[i]+1 || pt.N != wantQ[i]*wantQ[i]+wantQ[i]+1 {
+			t.Errorf("point %d = %+v", i, pt)
+		}
+	}
+	// Lower bound clamps to radix 3.
+	if got := RadixSweep(0, 4); got[0].Q != 2 {
+		t.Errorf("clamped sweep starts at %+v", got[0])
+	}
+}
+
+func TestTransformerLayerSizes(t *testing.T) {
+	sizes := TransformerLayerSizes(2, 8, 100)
+	if len(sizes) != 3 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if sizes[0] != 800 {
+		t.Errorf("embedding = %d, want 800", sizes[0])
+	}
+	perLayer := 4*64 + 8*64 + 72
+	if sizes[1] != perLayer || sizes[2] != perLayer {
+		t.Errorf("layers = %v, want %d each", sizes[1:], perLayer)
+	}
+	if TotalElements(sizes) != 800+2*perLayer {
+		t.Errorf("total = %d", TotalElements(sizes))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid shape should panic")
+		}
+	}()
+	TransformerLayerSizes(0, 1, 1)
+}
+
+func TestMessageSizeSweep(t *testing.T) {
+	got := MessageSizeSweep(4, 64, 4)
+	want := []int{4, 16, 64}
+	if len(got) != len(want) {
+		t.Fatalf("sweep = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid sweep parameters should panic")
+		}
+	}()
+	MessageSizeSweep(0, 10, 2)
+}

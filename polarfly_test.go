@@ -1,0 +1,235 @@
+package polarfly
+
+import (
+	"math"
+	"testing"
+
+	"polarfly/internal/workload"
+)
+
+func sys(t *testing.T, q int) *System {
+	t.Helper()
+	s, err := New(q)
+	if err != nil {
+		t.Fatalf("New(%d): %v", q, err)
+	}
+	return s
+}
+
+func TestNewAndTopologyAccessors(t *testing.T) {
+	s := sys(t, 7)
+	if s.Q() != 7 || s.Nodes() != 57 || s.Radix() != 8 {
+		t.Errorf("q=%d N=%d radix=%d", s.Q(), s.Nodes(), s.Radix())
+	}
+	links := s.Links()
+	if len(links) != 7*8*8/2 {
+		t.Errorf("%d links, want %d", len(links), 7*8*8/2)
+	}
+	quadrics, others := 0, 0
+	for v := 0; v < s.Nodes(); v++ {
+		switch s.Degree(v) {
+		case 7:
+			quadrics++
+			if s.VertexClass(v) != "W" {
+				t.Errorf("degree-7 vertex %d classed %s", v, s.VertexClass(v))
+			}
+		case 8:
+			others++
+		default:
+			t.Errorf("vertex %d has degree %d", v, s.Degree(v))
+		}
+	}
+	if quadrics != 8 || others != 49 {
+		t.Errorf("quadrics=%d others=%d", quadrics, others)
+	}
+	if _, err := New(6); err == nil {
+		t.Error("New(6) should fail")
+	}
+}
+
+func TestFeasibleRadixes(t *testing.T) {
+	got := FeasibleRadixes(3, 12)
+	want := []int{3, 4, 5, 6, 8, 9, 10, 12}
+	if len(got) != len(want) {
+		t.Fatalf("radixes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("radixes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDifferenceSet(t *testing.T) {
+	s := sys(t, 3)
+	d := s.DifferenceSet()
+	want := []int{0, 1, 3, 9}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("D = %v", d)
+		}
+	}
+	// Returned slice is a copy.
+	d[0] = 99
+	if s.DifferenceSet()[0] != 0 {
+		t.Error("DifferenceSet leaks internal state")
+	}
+}
+
+func TestPlanProperties(t *testing.T) {
+	s := sys(t, 5)
+	low, err := s.Plan(LowDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(low.Trees) != 5 || low.MaxDepth > 3 || low.MaxCongestion > 2 {
+		t.Errorf("low-depth plan: %+v", low)
+	}
+	if low.AggregateBandwidth < 2.5-1e-9 || low.AggregateBandwidth > low.OptimalBandwidth+1e-9 {
+		t.Errorf("low-depth aggregate %f", low.AggregateBandwidth)
+	}
+	ham, err := s.Plan(Hamiltonian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ham.Trees) != 3 || ham.MaxCongestion != 1 {
+		t.Errorf("hamiltonian plan: %+v", ham)
+	}
+	if math.Abs(ham.AggregateBandwidth-ham.OptimalBandwidth) > 1e-9 {
+		t.Errorf("hamiltonian should be optimal for odd q: %f vs %f",
+			ham.AggregateBandwidth, ham.OptimalBandwidth)
+	}
+	single, err := s.Plan(SingleTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Trees) != 1 || single.AggregateBandwidth != 1.0 {
+		t.Errorf("single plan: %+v", single)
+	}
+	// Tree parent arrays are valid spanning structures.
+	for _, tr := range low.Trees {
+		if tr.Parent[tr.Root] != -1 {
+			t.Error("root parent not -1")
+		}
+		if len(tr.Parent) != s.Nodes() {
+			t.Error("parent array wrong size")
+		}
+	}
+	// Method string round trip.
+	if LowDepth.String() != "low-depth" || Hamiltonian.String() != "hamiltonian" || SingleTree.String() != "single-tree" {
+		t.Error("Method.String broken")
+	}
+}
+
+func TestPlanSplitAndPredict(t *testing.T) {
+	s := sys(t, 5)
+	p, err := s.Plan(Hamiltonian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := p.Split(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, x := range split {
+		sum += x
+	}
+	if sum != 100 || len(split) != 3 {
+		t.Errorf("split = %v", split)
+	}
+	if math.Abs(p.PredictCycles(300)-100) > 1e-9 { // 300 elems / 3 B
+		t.Errorf("PredictCycles = %f", p.PredictCycles(300))
+	}
+}
+
+func TestAllreduceEndToEnd(t *testing.T) {
+	s := sys(t, 3)
+	inputs := workload.Vectors(s.Nodes(), 128, 1000, 99)
+	want := Reduce(inputs)
+	for _, m := range []Method{SingleTree, LowDepth, Hamiltonian} {
+		p, err := s.Plan(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, stats, err := s.Allreduce(p, inputs, Options{LinkLatency: 2, VCDepth: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		for k := range want {
+			if out[k] != want[k] {
+				t.Fatalf("%v: element %d = %d, want %d", m, k, out[k], want[k])
+			}
+		}
+		if stats.Cycles <= 0 || stats.EffectiveBandwidth <= 0 || stats.FlitsSent <= 0 {
+			t.Errorf("%v: degenerate stats %+v", m, stats)
+		}
+	}
+}
+
+func TestAllreduceMultiTreeBeatsSingle(t *testing.T) {
+	s := sys(t, 5)
+	inputs := workload.Vectors(s.Nodes(), 1024, 1000, 5)
+	opt := Options{LinkLatency: 3, VCDepth: 6}
+	single, _ := s.Plan(SingleTree)
+	low, _ := s.Plan(LowDepth)
+	_, sStats, err := s.Allreduce(single, inputs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lStats, err := s.Allreduce(low, inputs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup := float64(sStats.Cycles) / float64(lStats.Cycles); speedup < 2.0 {
+		t.Errorf("low-depth speedup %f < 2 over single tree", speedup)
+	}
+}
+
+func TestPlanWrongSystemRejected(t *testing.T) {
+	a := sys(t, 3)
+	b := sys(t, 3)
+	p, err := a.Plan(SingleTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := workload.Vectors(b.Nodes(), 4, 10, 1)
+	if _, _, err := b.Allreduce(p, inputs, DefaultOptions()); err == nil {
+		t.Error("cross-system plan accepted")
+	}
+}
+
+func TestHamiltonianPathsAPI(t *testing.T) {
+	s := sys(t, 3)
+	pairs := s.HamiltonianPairs()
+	if len(pairs) != 6 { // φ(13)/2
+		t.Errorf("%d pairs, want 6", len(pairs))
+	}
+	path := s.HamiltonianPath(0, 1)
+	if len(path) != 13 {
+		t.Errorf("path length %d", len(path))
+	}
+	seen := map[int]bool{}
+	for _, v := range path {
+		seen[v] = true
+	}
+	if len(seen) != 13 {
+		t.Error("path not Hamiltonian")
+	}
+}
+
+func TestEdgeConnectivityFacade(t *testing.T) {
+	if got := sys(t, 5).EdgeConnectivity(); got != 5 {
+		t.Errorf("λ(ER_5) = %d, want 5", got)
+	}
+}
+
+func TestEvenQLowDepthUnavailable(t *testing.T) {
+	s := sys(t, 4)
+	if _, err := s.Plan(LowDepth); err == nil {
+		t.Error("even q LowDepth should fail")
+	}
+	if _, err := s.Plan(Hamiltonian); err != nil {
+		t.Errorf("even q Hamiltonian failed: %v", err)
+	}
+}
