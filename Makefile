@@ -1,0 +1,12 @@
+.PHONY: build test verify
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# verify is the pre-commit gate: vet + build + race-enabled simulator and
+# telemetry tests + the full suite.
+verify:
+	./scripts/verify.sh

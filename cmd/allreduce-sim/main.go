@@ -7,43 +7,111 @@
 //	allreduce-sim -q 7 -m 4096                 # compare all embeddings
 //	allreduce-sim -q 7 -m 4096 -hosts          # include host-based MPI-style baselines
 //	allreduce-sim -q 7 -m 64 -latency 20       # latency-bound regime
+//	allreduce-sim -q 7 -m 4096 -trace-out t.json -metrics-out m.json
+//	                                           # export a chrome://tracing /
+//	                                           # Perfetto trace and per-link metrics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"polarfly/internal/core"
 	"polarfly/internal/netsim"
+	"polarfly/internal/obsv"
 )
 
 func main() {
-	q := flag.Int("q", 7, "prime power order")
-	m := flag.Int("m", 4096, "vector elements")
-	latency := flag.Int("latency", 10, "link latency in cycles")
-	vc := flag.Int("vc", 10, "virtual channel depth in flits")
-	hosts := flag.Bool("hosts", false, "also run host-based baselines")
-	alpha := flag.Float64("alpha", 500, "host-based per-round software overhead (cycles)")
-	seed := flag.Int64("seed", core.DefaultSeed, "workload seed")
-	sweep := flag.Bool("sweep", false, "sweep vector sizes geometrically up to -m and report the latency/bandwidth crossover")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable args and streams, so the command can be
+// smoke-tested end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("allreduce-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	q := fs.Int("q", 7, "prime power order")
+	m := fs.Int("m", 4096, "vector elements")
+	latency := fs.Int("latency", 10, "link latency in cycles")
+	vc := fs.Int("vc", 10, "virtual channel depth in flits")
+	hosts := fs.Bool("hosts", false, "also run host-based baselines")
+	alpha := fs.Float64("alpha", 500, "host-based per-round software overhead (cycles)")
+	seed := fs.Int64("seed", core.DefaultSeed, "workload seed")
+	sweep := fs.Bool("sweep", false, "sweep vector sizes geometrically up to -m and report the latency/bandwidth crossover")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
+	metricsOut := fs.String("metrics-out", "", "write per-link/per-tree telemetry JSON to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (runtime/pprof) to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "allreduce-sim:", err)
+		return 1
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "allreduce-sim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "allreduce-sim:", err)
+			}
+		}()
+	}
 
 	if *sweep {
-		runSweep(*q, *m, *latency, *vc, *seed)
-		return
+		return runSweep(*q, *m, *latency, *vc, *seed, stdout, stderr)
 	}
 
 	cfg := netsim.Config{LinkLatency: *latency, VCDepth: *vc}
-	rows, err := core.SimulationComparison(*q, *m, cfg, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "allreduce-sim:", err)
-		os.Exit(1)
+
+	// With -trace-out/-metrics-out, attach one collector per embedding.
+	var hook func(core.EmbeddingKind) func(netsim.TraceEvent)
+	collectors := make(map[core.EmbeddingKind]*obsv.Collector)
+	var kindOrder []core.EmbeddingKind
+	if *traceOut != "" || *metricsOut != "" {
+		hook = func(kind core.EmbeddingKind) func(netsim.TraceEvent) {
+			c := obsv.NewCollector()
+			c.LinkLatency = *latency
+			c.SpanMergeGap = *latency
+			collectors[kind] = c
+			kindOrder = append(kindOrder, kind)
+			return c.Observe
+		}
 	}
-	fmt.Printf("PolarFly q=%d (N=%d, radix=%d), m=%d elements, link latency=%d, VC depth=%d\n",
+
+	rows, err := core.SimulationComparisonHooked(*q, *m, cfg, *seed, hook)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "PolarFly q=%d (N=%d, radix=%d), m=%d elements, link latency=%d, VC depth=%d\n",
 		*q, (*q)*(*q)+(*q)+1, *q+1, *m, *latency, *vc)
-	fmt.Printf("%-12s %8s %10s %10s %8s %6s %6s %9s\n",
-		"embedding", "trees", "model B", "meas. B", "cycles", "depth", "cong", "speedup")
+	fmt.Fprintf(stdout, "%-12s %8s %10s %10s %8s %6s %6s %11s %9s\n",
+		"embedding", "trees", "model B", "meas. B", "cycles", "depth", "cong", "util(m/p)", "speedup")
+	cyclesByKind := make(map[core.EmbeddingKind]int)
 	for _, r := range rows {
 		trees := 1
 		switch r.Kind {
@@ -52,44 +120,112 @@ func main() {
 		case core.Hamiltonian:
 			trees = (*q + 1) / 2
 		}
-		fmt.Printf("%-12v %8d %10.3f %10.3f %8d %6d %6d %8.2fx\n",
-			r.Kind, trees, r.ModelBW, r.MeasuredBW, r.Cycles, r.MaxDepth, r.MaxCongestion, r.SpeedupVsOne)
+		cyclesByKind[r.Kind] = r.Cycles
+		fmt.Fprintf(stdout, "%-12v %8d %10.3f %10.3f %8d %6d %6d %5.2f/%4.2f %8.2fx\n",
+			r.Kind, trees, r.ModelBW, r.MeasuredBW, r.Cycles, r.MaxDepth, r.MaxCongestion,
+			r.MaxLinkUtil, r.ModelMaxLinkUtil, r.SpeedupVsOne)
+	}
+	for kind, c := range collectors {
+		c.SetCycles(cyclesByKind[kind])
+	}
+
+	if *traceOut != "" {
+		ct := obsv.NewChromeTrace()
+		for _, kind := range kindOrder {
+			ct.Add(kind.String(), collectors[kind])
+		}
+		if err := writeFile(*traceOut, ct.Write); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "\nchrome trace written to %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		out := metricsFile{Q: *q, M: *m, LinkLatency: *latency, VCDepth: *vc,
+			Embeddings: make(map[string]embeddingMetrics, len(kindOrder))}
+		for _, kind := range kindOrder {
+			reg := obsv.NewRegistry()
+			rep := collectors[kind].Metrics(reg)
+			out.Embeddings[kind.String()] = embeddingMetrics{Summary: rep, Metrics: reg.Snapshot()}
+		}
+		if err := writeFile(*metricsOut, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(out)
+		}); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "metrics written to %s\n", *metricsOut)
 	}
 
 	if *hosts {
 		hrows, err := core.HostComparison(*q, *m, *alpha, float64(*latency), 1.0, *seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "allreduce-sim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		fmt.Printf("\nhost-based baselines (α=%.0f cycles/round):\n", *alpha)
-		fmt.Printf("%-20s %10s %7s\n", "algorithm", "cycles", "rounds")
+		fmt.Fprintf(stdout, "\nhost-based baselines (α=%.0f cycles/round):\n", *alpha)
+		fmt.Fprintf(stdout, "%-20s %10s %7s\n", "algorithm", "cycles", "rounds")
 		for _, r := range hrows {
-			fmt.Printf("%-20s %10.0f %7d\n", r.Algorithm, r.Time, r.Rounds)
+			fmt.Fprintf(stdout, "%-20s %10.0f %7d\n", r.Algorithm, r.Time, r.Rounds)
 		}
 	}
+	return 0
 }
+
+// metricsFile is the -metrics-out schema: one telemetry section per
+// embedding, each with the structured summary and a flat metric snapshot.
+type metricsFile struct {
+	Q           int                         `json:"q"`
+	M           int                         `json:"m"`
+	LinkLatency int                         `json:"link_latency"`
+	VCDepth     int                         `json:"vc_depth"`
+	Embeddings  map[string]embeddingMetrics `json:"embeddings"`
+}
+
+type embeddingMetrics struct {
+	Summary *obsv.Report  `json:"summary"`
+	Metrics obsv.Snapshot `json:"metrics"`
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sweepKinds is the fixed iteration order for winner selection, so ties
+// resolve identically on every run.
+var sweepKinds = []core.EmbeddingKind{core.SingleTree, core.LowDepth, core.Hamiltonian}
 
 // runSweep prints per-embedding cycle counts over a geometric vector-size
 // sweep, marking the winner at each point — the latency/bandwidth
 // crossover study of Figure 5's discussion.
-func runSweep(q, maxM, latency, vc int, seed int64) {
+func runSweep(q, maxM, latency, vc int, seed int64, stdout, stderr io.Writer) int {
 	cfg := netsim.Config{LinkLatency: latency, VCDepth: vc}
-	fmt.Printf("vector-size sweep, PolarFly q=%d, link latency=%d\n", q, latency)
-	fmt.Printf("%8s %12s %12s %12s %10s\n", "m", "single", "low-depth", "hamiltonian", "winner")
+	fmt.Fprintf(stdout, "vector-size sweep, PolarFly q=%d, link latency=%d\n", q, latency)
+	fmt.Fprintf(stdout, "%8s %12s %12s %12s %10s\n", "m", "single", "low-depth", "hamiltonian", "winner")
 	for m := 8; m <= maxM; m *= 4 {
 		rows, err := core.SimulationComparison(q, m, cfg, seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "allreduce-sim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "allreduce-sim:", err)
+			return 1
 		}
 		cycles := map[core.EmbeddingKind]int{}
 		for _, r := range rows {
 			cycles[r.Kind] = r.Cycles
 		}
-		winner, best := core.SingleTree, 1<<30
-		for kind, c := range cycles {
-			if c < best {
+		winner, best := core.SingleTree, 0
+		for _, kind := range sweepKinds {
+			c, ok := cycles[kind]
+			if !ok {
+				continue
+			}
+			if best == 0 || c < best {
 				winner, best = kind, c
 			}
 		}
@@ -97,7 +233,8 @@ func runSweep(q, maxM, latency, vc int, seed int64) {
 		if c, ok := cycles[core.LowDepth]; ok {
 			low = fmt.Sprintf("%d", c)
 		}
-		fmt.Printf("%8d %12d %12s %12d %10v\n",
+		fmt.Fprintf(stdout, "%8d %12d %12s %12d %10v\n",
 			m, cycles[core.SingleTree], low, cycles[core.Hamiltonian], winner)
 	}
+	return 0
 }

@@ -163,6 +163,27 @@ func (in *Instance) EmbedSeeded(kind EmbeddingKind, tries int, seed int64) (*Emb
 	return e, nil
 }
 
+// ModelMaxLinkLoad is the Algorithm 1 prediction of the busiest link's
+// steady-state load, in link bandwidths: every tree streams B_i flits per
+// cycle through each direction of each of its edges, so a directed link's
+// load is the sum of B_i over the trees crossing it. Waterfilling
+// saturates the bottleneck link, so on the paper's forests this is 1.0;
+// the simulator's measured utilization approaches it from below as
+// pipeline fill/drain amortises.
+func (e *Embedding) ModelMaxLinkLoad() float64 {
+	load := make(map[graph.Edge]float64)
+	max := 0.0
+	for i, t := range e.Forest {
+		for _, edge := range t.Edges() {
+			load[edge] += e.Model.PerTree[i]
+			if load[edge] > max {
+				max = load[edge]
+			}
+		}
+	}
+	return max
+}
+
 // AllreduceResult is the outcome of a simulated in-network Allreduce.
 type AllreduceResult struct {
 	// Outputs[v] is node v's reduced vector (verified equal across nodes by
@@ -179,6 +200,8 @@ type AllreduceResult struct {
 	FlitsSent int
 	// PeakBufferFlits is the maximum simultaneously buffered flits.
 	PeakBufferFlits int
+	// LinkStats is the simulator's per-directed-link telemetry summary.
+	LinkStats []netsim.LinkStat
 }
 
 // Allreduce simulates an in-network Allreduce of the given inputs over the
@@ -211,6 +234,7 @@ func (in *Instance) Allreduce(e *Embedding, inputs [][]int64, cfg netsim.Config)
 		Split:           split,
 		FlitsSent:       res.FlitsSent,
 		PeakBufferFlits: res.PeakBufferFlits,
+		LinkStats:       res.LinkStats,
 	}, nil
 }
 

@@ -200,11 +200,26 @@ type SimRow struct {
 	MaxDepth      int
 	MaxCongestion int
 	SpeedupVsOne  float64 // single-tree cycles / this embedding's cycles
+	// MaxLinkUtil is the measured utilization of the hottest directed
+	// link; ModelMaxLinkUtil is the Algorithm 1 bottleneck prediction
+	// (1.0 on a waterfilled forest).
+	MaxLinkUtil      float64
+	ModelMaxLinkUtil float64
 }
 
 // SimulationComparison runs all three embeddings (two for even q) on the
 // same inputs and fabric configuration.
 func SimulationComparison(q, m int, cfg netsim.Config, seed int64) ([]SimRow, error) {
+	return SimulationComparisonHooked(q, m, cfg, seed, nil)
+}
+
+// SimulationComparisonHooked is SimulationComparison with an optional
+// per-embedding trace tap: when hook is non-nil it is called before each
+// run and may return a netsim trace callback (nil to skip that
+// embedding). This is how cmd/allreduce-sim attaches one obsv collector
+// per embedding without altering the comparison itself.
+func SimulationComparisonHooked(q, m int, cfg netsim.Config, seed int64,
+	hook func(EmbeddingKind) func(netsim.TraceEvent)) ([]SimRow, error) {
 	inst, err := NewInstance(q)
 	if err != nil {
 		return nil, err
@@ -221,7 +236,11 @@ func SimulationComparison(q, m int, cfg netsim.Config, seed int64) ([]SimRow, er
 		if err != nil {
 			return nil, err
 		}
-		res, err := inst.Allreduce(e, inputs, cfg)
+		runCfg := cfg
+		if hook != nil {
+			runCfg.Trace = hook(kind)
+		}
+		res, err := inst.Allreduce(e, inputs, runCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -234,13 +253,21 @@ func SimulationComparison(q, m int, cfg netsim.Config, seed int64) ([]SimRow, er
 				}
 			}
 		}
+		maxUtil := 0.0
+		for _, ls := range res.LinkStats {
+			if ls.Utilization > maxUtil {
+				maxUtil = ls.Utilization
+			}
+		}
 		row := SimRow{
 			Q: q, M: m, Kind: kind,
-			ModelBW:       e.Model.Aggregate,
-			MeasuredBW:    float64(m) / float64(res.Cycles),
-			Cycles:        res.Cycles,
-			MaxDepth:      e.MaxDepth,
-			MaxCongestion: e.Model.MaxCongestion,
+			ModelBW:          e.Model.Aggregate,
+			MeasuredBW:       float64(m) / float64(res.Cycles),
+			Cycles:           res.Cycles,
+			MaxDepth:         e.MaxDepth,
+			MaxCongestion:    e.Model.MaxCongestion,
+			MaxLinkUtil:      maxUtil,
+			ModelMaxLinkUtil: e.ModelMaxLinkLoad(),
 		}
 		if kind == SingleTree {
 			singleCycles = res.Cycles

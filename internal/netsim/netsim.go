@@ -41,7 +41,7 @@ type Config struct {
 	// ProgressTimeout aborts the run if no flit moves for this many
 	// consecutive cycles (a deadlock diagnostic; the credit protocol is
 	// deadlock-free, so hitting it indicates a malformed embedding).
-	// Defaults to 10000 when zero.
+	// Defaults to DefaultProgressTimeout when zero.
 	ProgressTimeout int
 	// EngineRate caps how many reduction flits a router's arithmetic
 	// engine may produce per cycle (combined across all trees reducing at
@@ -60,13 +60,20 @@ type Config struct {
 	LinkBandwidth int
 }
 
+// DefaultProgressTimeout is the deadlock-diagnostic threshold applied by
+// every entry point when Config.ProgressTimeout is zero.
+const DefaultProgressTimeout = 10000
+
 // DefaultConfig mirrors a plausible router point: 10-cycle links and
 // buffers matching the latency-bandwidth product.
 func DefaultConfig() Config {
-	return Config{LinkLatency: 10, VCDepth: 10, ProgressTimeout: 10000}
+	return Config{LinkLatency: 10, VCDepth: 10, ProgressTimeout: DefaultProgressTimeout}
 }
 
-func (c Config) validate() error {
+// validate checks the configuration and fills documented defaults
+// (ProgressTimeout) in place, so every entry point shares one source of
+// truth for them.
+func (c *Config) validate() error {
 	if c.LinkLatency < 1 {
 		return fmt.Errorf("netsim: LinkLatency must be ≥ 1, got %d", c.LinkLatency)
 	}
@@ -78,6 +85,12 @@ func (c Config) validate() error {
 	}
 	if c.LinkBandwidth < 0 {
 		return fmt.Errorf("netsim: LinkBandwidth must be ≥ 0, got %d", c.LinkBandwidth)
+	}
+	if c.ProgressTimeout < 0 {
+		return fmt.Errorf("netsim: ProgressTimeout must be ≥ 0, got %d", c.ProgressTimeout)
+	}
+	if c.ProgressTimeout == 0 {
+		c.ProgressTimeout = DefaultProgressTimeout
 	}
 	return nil
 }
@@ -142,6 +155,44 @@ type Result struct {
 	// all virtual channels (a proxy for router SRAM requirements; §5.1
 	// motivates minimising congestion to keep this small).
 	PeakBufferFlits int
+	// LinkStats summarises every directed link, ordered by (From, To).
+	// Always populated; the counters cost nothing beyond what the cycle
+	// loop already touches.
+	LinkStats []LinkStat
+}
+
+// LinkStat is the per-directed-link telemetry summary of one run.
+type LinkStat struct {
+	// From and To identify the directed link.
+	From, To int
+	// Flits is the number of flits injected into this link.
+	Flits int
+	// BusyCycles counts cycles in which at least one flit was injected;
+	// with LinkBandwidth 1 it equals Flits.
+	BusyCycles int
+	// StallCycles counts cycles in which at least one of the link's
+	// virtual channels had a flit ready but no credit to send it.
+	StallCycles int
+	// PeakBufferFlits is the maximum simultaneous receive-buffer
+	// occupancy across the link's virtual channels.
+	PeakBufferFlits int
+	// Trees is the number of distinct trees with a stream on this link —
+	// the directed congestion the paper's Lemma 7.8 reasons about.
+	Trees int
+	// Utilization is BusyCycles divided by the run's total cycles.
+	Utilization float64
+}
+
+// MaxLinkUtilization returns the highest per-link utilization of the run,
+// the measured counterpart of the Algorithm 1 bottleneck prediction.
+func (r *Result) MaxLinkUtilization() float64 {
+	max := 0.0
+	for _, ls := range r.LinkStats {
+		if ls.Utilization > max {
+			max = ls.Utilization
+		}
+	}
+	return max
 }
 
 // phase of a flow.
@@ -161,6 +212,11 @@ type flow struct {
 	sent     int // flits injected by the sender
 	arrived  int // flits delivered to the receiver buffer
 	consumed int // flits retired from the receiver buffer (credits freed)
+
+	// stallCycle is the last cycle a credit stall was recorded for this
+	// stream, so each (stream, cycle) stalls at most once even though the
+	// arbitration scan may revisit the flow.
+	stallCycle int
 
 	// buf holds values for flits [bufBase, bufBase+len(buf)).
 	buf     []int64
@@ -187,9 +243,18 @@ type inflight struct {
 
 // link is one directed physical link with its VCs and arbitration state.
 type link struct {
+	from, to int
 	flows    []*flow
 	rr       int // round-robin pointer
 	pipeline []inflight
+
+	// Telemetry accumulators for Result.LinkStats.
+	flits       int
+	busyCycles  int
+	stallCycles int
+	stallMark   int // last cycle counted in stallCycles
+	peakBuf     int
+	lastBuf     int // occupancy at the end of the previous cycle
 }
 
 // nodeTree is the per-(node, tree) dataflow state.

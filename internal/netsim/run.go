@@ -13,9 +13,6 @@ func Run(spec Spec, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if cfg.ProgressTimeout == 0 {
-		cfg.ProgressTimeout = 10000
-	}
 	s, err := newSim(spec, cfg)
 	if err != nil {
 		return nil, err
@@ -79,7 +76,7 @@ func newSim(spec Spec, cfg Config) (*sim, error) {
 		key := [2]int{from, to}
 		l, ok := s.linkMap[key]
 		if !ok {
-			l = &link{}
+			l = &link{from: from, to: to}
 			s.linkMap[key] = l
 		}
 		return l
@@ -296,6 +293,22 @@ func (s *sim) rootCompute(now int) {
 	}
 }
 
+// noteStall records a credit stall: the stream has a flit ready but its
+// VC window is full. Each stream and each link count at most one stall
+// per cycle, because the arbitration scan may revisit a blocked flow.
+func (s *sim) noteStall(l *link, f *flow, now int) {
+	if f.stallCycle == now {
+		return
+	}
+	f.stallCycle = now
+	if l.stallMark != now {
+		l.stallMark = now
+		l.stallCycles++
+	}
+	s.emit(TraceEvent{Cycle: now, Kind: TraceStall, Tree: f.tree, Phase: f.phase,
+		From: f.from, To: f.to, Flit: f.sent, Value: int64(f.sent - f.consumed)})
+}
+
 func (s *sim) checkTreeDone(ti, now int) {
 	if s.result.TreeDone[ti] >= 0 {
 		return
@@ -370,6 +383,7 @@ func (s *sim) run() (*Result, error) {
 					continue // nothing to send yet
 				}
 				if f.sent-f.consumed >= s.cfg.VCDepth {
+					s.noteStall(l, f, now)
 					continue // no credit
 				}
 				if f.phase == phaseReduce && s.cfg.EngineRate > 0 {
@@ -396,13 +410,29 @@ func (s *sim) run() (*Result, error) {
 				i = -1
 				nf = len(l.flows)
 			}
+			l.flits += sentThisCycle
+			if sentThisCycle > 0 {
+				l.busyCycles++
+			}
 		}
 
-		// Track peak buffering for the resource-requirement discussion.
+		// Track peak buffering (globally and per link) for the
+		// resource-requirement discussion, and publish occupancy changes
+		// to the trace.
 		buffered := 0
 		for _, l := range s.links {
+			lb := 0
 			for _, f := range l.flows {
-				buffered += len(f.buf)
+				lb += len(f.buf)
+			}
+			buffered += lb
+			if lb > l.peakBuf {
+				l.peakBuf = lb
+			}
+			if lb != l.lastBuf {
+				l.lastBuf = lb
+				s.emit(TraceEvent{Cycle: now, Kind: TraceBufferOccupancy,
+					Tree: -1, Phase: -1, From: l.from, To: l.to, Flit: -1, Value: int64(lb)})
 			}
 		}
 		if buffered > s.result.PeakBufferFlits {
@@ -448,6 +478,27 @@ func (s *sim) run() (*Result, error) {
 			copy(out[s.offsets[ti]:], s.nodes[ti][v].out)
 		}
 		s.result.Outputs[v] = out
+	}
+
+	// Per-link summary; s.links is already in (from, to) order.
+	s.result.LinkStats = make([]LinkStat, 0, len(s.links))
+	for _, l := range s.links {
+		treeSet := make(map[int]bool)
+		for _, f := range l.flows {
+			treeSet[f.tree] = true
+		}
+		ls := LinkStat{
+			From: l.from, To: l.to,
+			Flits:           l.flits,
+			BusyCycles:      l.busyCycles,
+			StallCycles:     l.stallCycles,
+			PeakBufferFlits: l.peakBuf,
+			Trees:           len(treeSet),
+		}
+		if now > 0 {
+			ls.Utilization = float64(l.busyCycles) / float64(now)
+		}
+		s.result.LinkStats = append(s.result.LinkStats, ls)
 	}
 	return &s.result, nil
 }

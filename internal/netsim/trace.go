@@ -12,6 +12,16 @@ const (
 	TraceArrive
 	// TraceRootCompute: a root reduction engine produced a final flit.
 	TraceRootCompute
+	// TraceStall: a virtual channel had a flit ready to inject but was
+	// blocked on VC credit (the receiver's buffer window is full). Emitted
+	// at most once per (stream, cycle); Flit is the blocked flit index and
+	// Value the number of outstanding (unconsumed) flits on the stream.
+	TraceStall
+	// TraceBufferOccupancy: the total number of flits buffered across all
+	// virtual channels of one directed link changed this cycle. From/To
+	// are the link endpoints, Value the new occupancy; Tree, Phase and
+	// Flit are -1 (the event is per-link, not per-stream).
+	TraceBufferOccupancy
 )
 
 func (k TraceEventKind) String() string {
@@ -22,6 +32,10 @@ func (k TraceEventKind) String() string {
 		return "arrive"
 	case TraceRootCompute:
 		return "compute"
+	case TraceStall:
+		return "stall"
+	case TraceBufferOccupancy:
+		return "occupancy"
 	}
 	return fmt.Sprintf("TraceEventKind(%d)", int(k))
 }

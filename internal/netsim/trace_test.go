@@ -1,6 +1,9 @@
 package netsim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestTraceEventStream(t *testing.T) {
 	spec := lineSpec(t, 4, 8)
@@ -12,7 +15,7 @@ func TestTraceEventStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sends, arrives, computes := 0, 0, 0
+	sends, arrives, computes, occupancies := 0, 0, 0, 0
 	lastCycle := 0
 	for _, ev := range events {
 		if ev.Cycle < lastCycle {
@@ -26,10 +29,19 @@ func TestTraceEventStream(t *testing.T) {
 			arrives++
 		case TraceRootCompute:
 			computes++
+		case TraceBufferOccupancy:
+			occupancies++
+			if ev.Tree != -1 || ev.Phase != -1 || ev.Flit != -1 {
+				t.Fatalf("occupancy event carries stream fields: %+v", ev)
+			}
+			continue // per-link event, no stream-local flit index
 		}
 		if ev.Flit < 0 || ev.Flit >= 8 {
 			t.Fatalf("flit index %d out of range", ev.Flit)
 		}
+	}
+	if occupancies == 0 {
+		t.Error("no buffer-occupancy events traced")
 	}
 	if sends != res.FlitsSent {
 		t.Errorf("%d send events, %d flits sent", sends, res.FlitsSent)
@@ -62,8 +74,87 @@ func TestTraceEventStream(t *testing.T) {
 
 func TestTraceKindString(t *testing.T) {
 	if TraceSend.String() != "send" || TraceArrive.String() != "arrive" ||
-		TraceRootCompute.String() != "compute" || TraceEventKind(9).String() == "" {
+		TraceRootCompute.String() != "compute" || TraceStall.String() != "stall" ||
+		TraceBufferOccupancy.String() != "occupancy" || TraceEventKind(9).String() == "" {
 		t.Error("TraceEventKind.String broken")
+	}
+}
+
+// TestTraceStallEvents throttles credits below the latency-bandwidth
+// product so the pipeline must stall, and checks the stall events are
+// well-formed and deduplicated per (stream, cycle).
+func TestTraceStallEvents(t *testing.T) {
+	spec := lineSpec(t, 4, 32)
+	var events []TraceEvent
+	cfg := Config{LinkLatency: 8, VCDepth: 2, Trace: func(ev TraceEvent) {
+		events = append(events, ev)
+	}}
+	res, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutputs(t, spec, res)
+	type key struct{ tree, phase, from, to, cycle int }
+	seen := make(map[key]bool)
+	stalls := 0
+	for _, ev := range events {
+		if ev.Kind != TraceStall {
+			continue
+		}
+		stalls++
+		k := key{ev.Tree, ev.Phase, ev.From, ev.To, ev.Cycle}
+		if seen[k] {
+			t.Fatalf("duplicate stall for stream in one cycle: %+v", ev)
+		}
+		seen[k] = true
+		if ev.Value != int64(cfg.VCDepth) {
+			t.Errorf("stall with %d outstanding flits, want a full window of %d", ev.Value, cfg.VCDepth)
+		}
+	}
+	if stalls == 0 {
+		t.Fatal("VCDepth 2 under latency 8 produced no stall events")
+	}
+	// The per-link summary must agree with the trace: some link stalled.
+	maxStall := 0
+	for _, ls := range res.LinkStats {
+		if ls.StallCycles > maxStall {
+			maxStall = ls.StallCycles
+		}
+	}
+	if maxStall == 0 {
+		t.Error("LinkStats report no stall cycles despite stall events")
+	}
+}
+
+// TestTraceDeterminism runs the same spec twice and requires the two
+// event streams — including the new stall and occupancy kinds — to be
+// byte-identical when rendered.
+func TestTraceDeterminism(t *testing.T) {
+	record := func(cfg Config) []string {
+		var lines []string
+		cfg.Trace = func(ev TraceEvent) {
+			lines = append(lines, fmt.Sprintf("%+v", ev))
+		}
+		spec := lineSpec(t, 5, 24)
+		if _, err := Run(spec, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return lines
+	}
+	for _, cfg := range []Config{
+		{LinkLatency: 2, VCDepth: 4},
+		{LinkLatency: 8, VCDepth: 2},  // stall-heavy
+		{LinkLatency: 3, VCDepth: 64}, // stall-free
+	} {
+		a, b := record(cfg), record(cfg)
+		if len(a) != len(b) {
+			t.Fatalf("cfg %+v: %d events vs %d", cfg, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cfg %+v: event %d differs:\n%s\n%s", cfg, i, a[i], b[i])
+			}
+		}
 	}
 }
 

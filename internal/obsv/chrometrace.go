@@ -1,0 +1,144 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The Chrome trace-event format (loadable by chrome://tracing and
+// Perfetto): a JSON object with a traceEvents array of duration ("X") and
+// metadata ("M") events. We map every directed link to a process (track
+// group) and every (tree, phase) stream on it to a thread (track), so
+// link sharing between trees is directly visible as parallel tracks under
+// one link. Cycles are rendered as microseconds.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func linkName(from, to int) string { return fmt.Sprintf("%d->%d", from, to) }
+
+func phaseName(phase int) string {
+	if phase == 0 {
+		return "reduce"
+	}
+	return "bcast"
+}
+
+// ChromeTrace assembles one trace file from one or more collectors, each
+// under a section label (e.g. one per embedding), with disjoint pid
+// ranges so tracks never collide.
+type ChromeTrace struct {
+	sections []chromeSection
+}
+
+type chromeSection struct {
+	label     string
+	collector *Collector
+}
+
+// NewChromeTrace returns an empty trace builder.
+func NewChromeTrace() *ChromeTrace { return &ChromeTrace{} }
+
+// Add appends a collector's spans under the given section label.
+func (ct *ChromeTrace) Add(label string, c *Collector) {
+	ct.sections = append(ct.sections, chromeSection{label: label, collector: c})
+}
+
+// Write renders the trace-event JSON. Deterministic for given inputs.
+func (ct *ChromeTrace) Write(w io.Writer) error {
+	file := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	pidBase := 0
+	for _, sec := range ct.sections {
+		c := sec.collector
+		c.flush()
+
+		// Assign one pid per directed link, in link order.
+		links := make(map[[2]int]bool)
+		for _, sp := range c.spans {
+			links[[2]int{sp.From, sp.To}] = true
+		}
+		keys := make([][2]int, 0, len(links))
+		for k := range links {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		pids := make(map[[2]int]int, len(keys))
+		for i, k := range keys {
+			pid := pidBase + i + 1
+			pids[k] = pid
+			name := "link " + linkName(k[0], k[1])
+			if sec.label != "" {
+				name = sec.label + " " + name
+			}
+			file.TraceEvents = append(file.TraceEvents,
+				chromeEvent{Name: "process_name", Ph: "M", Pid: pid,
+					Args: map[string]any{"name": name}},
+				chromeEvent{Name: "process_sort_index", Ph: "M", Pid: pid,
+					Args: map[string]any{"sort_index": pid}},
+			)
+		}
+		pidBase += len(keys) + 1
+
+		// Name the (tree, phase) threads that actually appear.
+		type track struct {
+			pid, tid    int
+			tree, phase int
+		}
+		seen := make(map[track]bool)
+		for _, sp := range c.spans {
+			tr := track{pid: pids[[2]int{sp.From, sp.To}], tid: sp.Tree*2 + sp.Phase + 1, tree: sp.Tree, phase: sp.Phase}
+			if seen[tr] {
+				continue
+			}
+			seen[tr] = true
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: tr.pid, Tid: tr.tid,
+				Args: map[string]any{"name": fmt.Sprintf("tree %d %s", tr.tree, phaseName(tr.phase))},
+			})
+		}
+
+		// Flit bursts as duration events; stall runs alongside them.
+		for _, sp := range c.spans {
+			pid := pids[[2]int{sp.From, sp.To}]
+			tid := sp.Tree*2 + sp.Phase + 1
+			ev := chromeEvent{Ph: "X", Pid: pid, Tid: tid, Ts: int64(sp.Start)}
+			switch sp.Kind {
+			case SpanTransmit:
+				// A burst occupies the link from its first injection to the
+				// last flit's arrival.
+				ev.Name = fmt.Sprintf("xmit tree %d %s", sp.Tree, phaseName(sp.Phase))
+				ev.Cat = "xmit"
+				ev.Dur = int64(sp.End - sp.Start + c.LinkLatency)
+				ev.Args = map[string]any{"flits": sp.Flits}
+			case SpanStall:
+				ev.Name = fmt.Sprintf("stall tree %d %s", sp.Tree, phaseName(sp.Phase))
+				ev.Cat = "stall"
+				ev.Dur = int64(sp.End - sp.Start + 1)
+				ev.Args = map[string]any{"cycles": sp.End - sp.Start + 1}
+			}
+			file.TraceEvents = append(file.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}

@@ -1,0 +1,185 @@
+package obsv_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"polarfly/internal/graph"
+	"polarfly/internal/netsim"
+	"polarfly/internal/obsv"
+	"polarfly/internal/trees"
+	"polarfly/internal/workload"
+)
+
+// lineSpec builds an n-node path topology with one midpoint-rooted tree.
+func lineSpec(n, m int) netsim.Spec {
+	g := graph.New(n)
+	path := make([]int, n)
+	for i := 0; i < n; i++ {
+		path[i] = i
+		if i+1 < n {
+			g.AddEdge(i, i+1)
+		}
+	}
+	tr, err := trees.FromPath(path, (n-1)/2)
+	if err != nil {
+		panic(err)
+	}
+	return netsim.Spec{
+		Topology: g,
+		Forest:   []*trees.Tree{tr},
+		Split:    []int{m},
+		Inputs:   workload.Vectors(n, m, 1000, 1),
+	}
+}
+
+// chromeJSON is the subset of the trace-event format the tests decode.
+type chromeJSON struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   int64          `json:"ts"`
+		Dur  int64          `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	spec, cfg := lineSpec(4, 16), netsim.Config{LinkLatency: 3, VCDepth: 2}
+	c := obsv.NewCollector()
+	c.Attach(&cfg)
+	res, err := netsim.Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCycles(res.Cycles)
+
+	ct := obsv.NewChromeTrace()
+	ct.Add("line", c)
+	var buf bytes.Buffer
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file chromeJSON
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+
+	pidsNamed := make(map[int]bool)
+	flits := 0
+	sawXmit, sawStall := false, false
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				pidsNamed[ev.Pid] = true
+			}
+		case "X":
+			if !pidsNamed[ev.Pid] {
+				t.Fatalf("duration event on unnamed pid %d", ev.Pid)
+			}
+			if ev.Ts < 0 || ev.Dur <= 0 {
+				t.Fatalf("bad span ts=%d dur=%d", ev.Ts, ev.Dur)
+			}
+			if int(ev.Ts)+int(ev.Dur) > res.Cycles+cfg.LinkLatency {
+				t.Fatalf("span [%d, %d] exceeds run of %d cycles", ev.Ts, ev.Ts+ev.Dur, res.Cycles)
+			}
+			switch ev.Cat {
+			case "xmit":
+				sawXmit = true
+				flits += int(ev.Args["flits"].(float64))
+			case "stall":
+				sawStall = true
+			default:
+				t.Fatalf("unknown span category %q", ev.Cat)
+			}
+		default:
+			t.Fatalf("unknown event phase %q", ev.Ph)
+		}
+	}
+	if !sawXmit {
+		t.Error("no transmit spans exported")
+	}
+	if !sawStall {
+		t.Error("no stall spans exported despite VCDepth < latency")
+	}
+	if flits != res.FlitsSent {
+		t.Errorf("spans cover %d flits, simulator sent %d", flits, res.FlitsSent)
+	}
+	// 2·(n−1) directed links carry traffic on a line with allreduce.
+	if len(pidsNamed) != 6 {
+		t.Errorf("%d link tracks, want 6", len(pidsNamed))
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	render := func() string {
+		spec, cfg := lineSpec(5, 12), netsim.Config{LinkLatency: 4, VCDepth: 2}
+		c := obsv.NewCollector()
+		c.Attach(&cfg)
+		res, err := netsim.Run(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetCycles(res.Cycles)
+		ct := obsv.NewChromeTrace()
+		ct.Add("a", c)
+		var buf bytes.Buffer
+		if err := ct.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Error("chrome trace output is nondeterministic")
+	}
+}
+
+func TestChromeTraceMultiSectionPidsDisjoint(t *testing.T) {
+	mk := func() *obsv.Collector {
+		spec, cfg := lineSpec(3, 8), netsim.Config{LinkLatency: 2, VCDepth: 4}
+		c := obsv.NewCollector()
+		c.Attach(&cfg)
+		if _, err := netsim.Run(spec, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	ct := obsv.NewChromeTrace()
+	ct.Add("first", mk())
+	ct.Add("second", mk())
+	var buf bytes.Buffer
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file chromeJSON
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[int]string)
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			name := ev.Args["name"].(string)
+			if prev, ok := names[ev.Pid]; ok && prev != name {
+				t.Fatalf("pid %d named both %q and %q", ev.Pid, prev, name)
+			}
+			names[ev.Pid] = name
+		}
+	}
+	first, second := 0, 0
+	for _, name := range names {
+		switch name[:5] {
+		case "first":
+			first++
+		case "secon":
+			second++
+		}
+	}
+	if first != 4 || second != 4 {
+		t.Errorf("expected 4 link tracks per section, got %d and %d", first, second)
+	}
+}

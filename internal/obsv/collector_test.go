@@ -1,0 +1,193 @@
+package obsv_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"polarfly/internal/core"
+	"polarfly/internal/netsim"
+	"polarfly/internal/obsv"
+	"polarfly/internal/workload"
+)
+
+// collectRun executes one embedding on PolarFly q with a collector
+// attached and returns the collector, its report, and the sim result.
+func collectRun(t *testing.T, q, m int, kind core.EmbeddingKind, cfg netsim.Config) (*obsv.Collector, *obsv.Report, *core.AllreduceResult) {
+	t.Helper()
+	inst, err := core.NewInstance(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := inst.Embed(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := obsv.NewCollector()
+	c.Attach(&cfg)
+	inputs := workload.Vectors(inst.N(), m, 1000, core.DefaultSeed)
+	res, err := inst.Allreduce(e, inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCycles(res.Cycles)
+	return c, c.Report(), res
+}
+
+// TestTheorem76CongestionObserved attaches the collector to a q=7
+// low-depth run and verifies the measured congestion quantities:
+// Theorem 7.6's edge congestion ≤ 2 and Lemma 7.8's opposed reduction
+// flows (no (directed link, phase) stream shared by two trees).
+func TestTheorem76CongestionObserved(t *testing.T) {
+	_, rep, res := collectRun(t, 7, 64, core.LowDepth, netsim.Config{LinkLatency: 4, VCDepth: 8})
+	if rep.MaxEdgeCongestion < 1 || rep.MaxEdgeCongestion > 2 {
+		t.Errorf("measured max edge congestion %d, Theorem 7.6 bounds it by 2", rep.MaxEdgeCongestion)
+	}
+	if rep.SharedSamePhaseLinks != 0 {
+		t.Errorf("%d (link, phase) streams shared by two trees; Lemma 7.8 forbids same-direction sharing",
+			rep.SharedSamePhaseLinks)
+	}
+	if rep.TotalFlits != res.FlitsSent {
+		t.Errorf("collector saw %d flits, simulator sent %d", rep.TotalFlits, res.FlitsSent)
+	}
+	if rep.MaxLinkUtilization <= 0 || rep.MaxLinkUtilization > 1 {
+		t.Errorf("max link utilization %g out of (0, 1]", rep.MaxLinkUtilization)
+	}
+}
+
+// TestTheorem719ZeroContentionObserved verifies the Hamiltonian forest is
+// edge-disjoint in the measured traffic: every undirected link carries
+// one tree, and no directed link carries flits from two trees.
+func TestTheorem719ZeroContentionObserved(t *testing.T) {
+	_, rep, _ := collectRun(t, 7, 64, core.Hamiltonian, netsim.Config{LinkLatency: 4, VCDepth: 8})
+	if rep.MaxEdgeCongestion != 1 {
+		t.Errorf("measured max edge congestion %d, Theorem 7.19's forest is edge-disjoint", rep.MaxEdgeCongestion)
+	}
+	if rep.SharedDirectedLinks != 0 {
+		t.Errorf("%d directed links carry two trees; want zero shared-link contention", rep.SharedDirectedLinks)
+	}
+	for _, cell := range rep.Heatmap {
+		if len(cell.Trees) != 1 {
+			t.Fatalf("heatmap link %d–%d used by trees %v, want exactly one", cell.U, cell.V, cell.Trees)
+		}
+	}
+}
+
+// TestTelemetryDoesNotPerturbSimulation is the acceptance criterion that
+// attaching the collector changes no simulation result.
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	inst, err := core.NewInstance(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := inst.Embed(core.LowDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := workload.Vectors(inst.N(), 48, 1000, core.DefaultSeed)
+	plain, err := inst.Allreduce(e, inputs, netsim.Config{LinkLatency: 3, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := netsim.Config{LinkLatency: 3, VCDepth: 4}
+	c := obsv.NewCollector()
+	c.Attach(&cfg)
+	observed, err := inst.Allreduce(e, inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != observed.Cycles {
+		t.Errorf("collector changed cycle count: %d vs %d", plain.Cycles, observed.Cycles)
+	}
+	if plain.FlitsSent != observed.FlitsSent {
+		t.Errorf("collector changed flits sent: %d vs %d", plain.FlitsSent, observed.FlitsSent)
+	}
+	for v := range plain.Outputs {
+		for k := range plain.Outputs[v] {
+			if plain.Outputs[v][k] != observed.Outputs[v][k] {
+				t.Fatalf("collector changed output at node %d element %d", v, k)
+			}
+		}
+	}
+}
+
+// TestCollectorAgreesWithLinkStats cross-checks the trace-derived
+// telemetry against the simulator's own Result.LinkStats counters.
+func TestCollectorAgreesWithLinkStats(t *testing.T) {
+	spec, cfg := lineSpec(5, 32), netsim.Config{LinkLatency: 6, VCDepth: 2}
+	c := obsv.NewCollector()
+	c.Attach(&cfg)
+	res, err := netsim.Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCycles(res.Cycles)
+	rep := c.Report()
+	if len(rep.Links) != len(res.LinkStats) {
+		t.Fatalf("collector saw %d links, simulator reports %d", len(rep.Links), len(res.LinkStats))
+	}
+	for i, ls := range res.LinkStats {
+		lr := rep.Links[i]
+		if lr.From != ls.From || lr.To != ls.To {
+			t.Fatalf("link %d order mismatch: collector %d→%d vs sim %d→%d", i, lr.From, lr.To, ls.From, ls.To)
+		}
+		if lr.Flits != ls.Flits {
+			t.Errorf("link %d→%d: collector %d flits, sim %d", ls.From, ls.To, lr.Flits, ls.Flits)
+		}
+		if lr.BusyCycles != ls.BusyCycles {
+			t.Errorf("link %d→%d: collector %d busy cycles, sim %d", ls.From, ls.To, lr.BusyCycles, ls.BusyCycles)
+		}
+		if lr.StallCycles != ls.StallCycles {
+			t.Errorf("link %d→%d: collector %d stall cycles, sim %d", ls.From, ls.To, lr.StallCycles, ls.StallCycles)
+		}
+		if lr.PeakBufferFlits != ls.PeakBufferFlits {
+			t.Errorf("link %d→%d: collector peak buffer %d, sim %d", ls.From, ls.To, lr.PeakBufferFlits, ls.PeakBufferFlits)
+		}
+		if lr.Utilization != ls.Utilization {
+			t.Errorf("link %d→%d: collector utilization %g, sim %g", ls.From, ls.To, lr.Utilization, ls.Utilization)
+		}
+	}
+	// The tight VC window must have produced stalls and a histogram.
+	if rep.StallRuns.Count == 0 {
+		t.Error("no stall runs recorded under VCDepth 2, latency 6")
+	}
+}
+
+func TestMetricsExport(t *testing.T) {
+	c, rep, _ := collectRun(t, 3, 16, core.Hamiltonian, netsim.Config{LinkLatency: 2, VCDepth: 4})
+	reg := obsv.NewRegistry()
+	rep2 := c.Metrics(reg)
+	if rep2.TotalFlits != rep.TotalFlits {
+		t.Errorf("second report drifted: %d vs %d flits", rep2.TotalFlits, rep.TotalFlits)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["sim.flits_total"] != int64(rep.TotalFlits) {
+		t.Errorf("sim.flits_total = %d, want %d", snap.Counters["sim.flits_total"], rep.TotalFlits)
+	}
+	if snap.Gauges["sim.max_edge_congestion"] != 1 {
+		t.Errorf("sim.max_edge_congestion = %g, want 1 for the Hamiltonian forest",
+			snap.Gauges["sim.max_edge_congestion"])
+	}
+	found := false
+	for name := range snap.Gauges {
+		if len(name) > 5 && name[:5] == "link." {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no per-link metrics exported")
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded obsv.Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	var rbuf bytes.Buffer
+	if err := json.NewEncoder(&rbuf).Encode(rep); err != nil {
+		t.Fatalf("report is not JSON-serialisable: %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("flits")
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Errorf("counter = %d, want 6", got)
+	}
+	if reg.Counter("flits") != c {
+		t.Error("Counter not idempotent by name")
+	}
+
+	g := reg.Gauge("util")
+	g.Set(0.75)
+	if got := g.Value(); got != 0.75 {
+		t.Errorf("gauge = %g, want 0.75", got)
+	}
+
+	h := reg.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	// 0.5,1 → le=1; 1.5 → le=2; 3 → le=4; 100 → overflow.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 5 || s.Sum != 106 {
+		t.Errorf("count %d sum %g, want 5 and 106", s.Count, s.Sum)
+	}
+}
+
+func TestRegistryTypeCollision(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("x")
+}
+
+func TestSnapshotDeterministicExports(t *testing.T) {
+	build := func() Snapshot {
+		reg := NewRegistry()
+		reg.Counter("b.count").Add(2)
+		reg.Counter("a.count").Add(1)
+		reg.Gauge("z.util").Set(0.5)
+		reg.Histogram("h.lat", []float64{1, 10}).Observe(3)
+		return reg.Snapshot()
+	}
+	var j1, j2, t1, t2 bytes.Buffer
+	s1, s2 := build(), build()
+	if err := s1.WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if j1.String() != j2.String() {
+		t.Error("JSON snapshots of identical registries differ")
+	}
+	if err := s1.WriteText(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WriteText(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if t1.String() != t2.String() {
+		t.Error("text snapshots of identical registries differ")
+	}
+
+	var decoded Snapshot
+	if err := json.Unmarshal(j1.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if decoded.Counters["a.count"] != 1 || decoded.Counters["b.count"] != 2 {
+		t.Errorf("decoded counters %+v", decoded.Counters)
+	}
+	for _, want := range []string{"a.count 1", "z.util 0.5", "h.lat{le=1} 0", "h.lat{le=10} 1", "h.lat{le=+Inf} 0", "h.lat_count 1"} {
+		if !strings.Contains(t1.String(), want) {
+			t.Errorf("text export missing %q:\n%s", want, t1.String())
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# verify.sh — the pre-commit gate: vet, build, race-enabled tests for the
+# simulator and telemetry layers, then the full suite (tier 1).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./internal/netsim ./internal/obsv"
+go test -race ./internal/netsim ./internal/obsv
+
+echo "== go test ./..."
+go test ./...
+
+echo "verify: OK"
