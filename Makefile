@@ -1,4 +1,4 @@
-.PHONY: build test verify
+.PHONY: build test lint verify
 
 build:
 	go build ./...
@@ -6,7 +6,12 @@ build:
 test:
 	go test ./...
 
-# verify is the pre-commit gate: vet + build + race-enabled simulator and
-# telemetry tests + the full suite.
+# lint runs the project's static-analysis suite (determinism, float
+# comparison, enum exhaustiveness, error handling). Exit 1 on findings.
+lint:
+	go run ./cmd/repolint ./...
+
+# verify is the pre-commit gate: vet + build + repolint + race-enabled
+# tests for the concurrency-bearing packages + the full suite.
 verify:
 	./scripts/verify.sh

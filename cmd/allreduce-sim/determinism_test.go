@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSweepOutputDeterministic locks in PR 1's -sweep determinism fix
+// under the repolint tooling: three full runs at q=7 must produce
+// byte-identical stdout, including tie-broken winner selection. Any map-
+// order leak anywhere in the sweep path (embedding, waterfill, simulator,
+// winner pick) shows up here as a diff.
+func TestSweepOutputDeterministic(t *testing.T) {
+	runOnce := func() (string, string) {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-q", "7", "-m", "128", "-sweep"}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+	first, firstErr := runOnce()
+	if first == "" {
+		t.Fatal("sweep produced no output")
+	}
+	for i := 2; i <= 3; i++ {
+		out, errOut := runOnce()
+		if out != first {
+			t.Fatalf("run %d stdout differs from run 1:\n--- run 1 ---\n%s\n--- run %d ---\n%s", i, first, i, out)
+		}
+		if errOut != firstErr {
+			t.Fatalf("run %d stderr differs from run 1", i)
+		}
+	}
+}

@@ -56,12 +56,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// closeProfile closes a profile file, surfacing the error a bare
+	// deferred Close would swallow: an unflushed profile reads as truncated.
+	closeProfile := func(f *os.File) {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "allreduce-sim:", err)
+		}
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			return fail(err)
 		}
-		defer f.Close()
+		defer closeProfile(f)
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return fail(err)
 		}
@@ -74,7 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "allreduce-sim:", err)
 				return
 			}
-			defer f.Close()
+			defer closeProfile(f)
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(stderr, "allreduce-sim:", err)
@@ -115,7 +122,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, r := range rows {
 		trees := 1
 		switch r.Kind {
-		case core.LowDepth:
+		case core.SingleTree:
+			trees = 1
+		case core.LowDepth, core.DepthTwo:
 			trees = *q
 		case core.Hamiltonian:
 			trees = (*q + 1) / 2
@@ -192,7 +201,9 @@ func writeFile(path string, write func(io.Writer) error) error {
 		return err
 	}
 	if err := write(f); err != nil {
-		f.Close()
+		// The write error is the root cause; the best-effort close only
+		// releases the descriptor.
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

@@ -1,0 +1,218 @@
+// repolint runs the project's static-analysis suite (internal/analysis)
+// over the module: determinism, float-comparison, enum-exhaustiveness and
+// error-handling invariants that the simulator's correctness claims rest
+// on. It is stdlib-only by design.
+//
+// Usage:
+//
+//	repolint ./...                  # analyze the whole module
+//	repolint ./internal/netsim      # restrict to package subtrees
+//	repolint -json ./...            # machine-readable diagnostics
+//	repolint -allow repolint.allow  # explicit allowlist file (default if present)
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
+// Individual findings are suppressed in source with
+// "//lint:ignore <analyzer> <reason>" on the same or preceding line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"polarfly/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams so the command can be tested end to
+// end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	allowFile := fs.String("allow", "", "allowlist file (default: repolint.allow at the module root, if present)")
+	list := fs.Bool("analyzers", false, "list the analyzer suite and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, rootErr := findModuleRoot()
+	if rootErr != nil && !onlyDirArgs(fs.Args()) {
+		fmt.Fprintln(stderr, "repolint:", rootErr)
+		return 2
+	}
+
+	var allow []analysis.AllowRule
+	path := *allowFile
+	if path == "" {
+		if candidate := filepath.Join(root, "repolint.allow"); fileExists(candidate) {
+			path = candidate
+		}
+	}
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
+		}
+		if allow, err = analysis.ParseAllowFile(string(data)); err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
+		}
+	}
+
+	var pkgs []*analysis.Package
+	if rootErr == nil {
+		loaded, err := analysis.LoadModule(root)
+		if err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
+		}
+		pkgs = loaded
+	}
+
+	// Directory arguments outside the module walk (fixtures under
+	// testdata, or standalone trees with no go.mod) are loaded directly.
+	inModule := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		inModule[p.Dir] = true
+	}
+	var patterns []string
+	var extra []*analysis.Package
+	for _, arg := range fs.Args() {
+		abs, err := filepath.Abs(strings.TrimSuffix(strings.TrimSuffix(arg, "..."), "/"))
+		if err == nil && dirExists(abs) && !inModule[abs] && !strings.HasSuffix(arg, "...") {
+			pkg, err := analysis.LoadDir(abs, "fixture/"+filepath.Base(abs))
+			if err != nil {
+				fmt.Fprintln(stderr, "repolint:", err)
+				return 2
+			}
+			extra = append(extra, pkg)
+			continue
+		}
+		patterns = append(patterns, arg)
+	}
+	if filtered := filterPackages(pkgs, patterns, root); filtered != nil {
+		pkgs = filtered
+	}
+	if len(extra) > 0 {
+		if len(patterns) == 0 {
+			pkgs = extra
+		} else {
+			pkgs = append(pkgs, extra...)
+		}
+	}
+
+	diags := analysis.Run(pkgs, analysis.All(), allow)
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "repolint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// filterPackages restricts pkgs to the subtrees named by patterns like
+// "./...", "./internal/netsim" or "polarfly/internal/netsim/...". A nil
+// return means "no restriction".
+func filterPackages(pkgs []*analysis.Package, patterns []string, root string) []*analysis.Package {
+	if len(patterns) == 0 {
+		return nil
+	}
+	var prefixes []string
+	for _, p := range patterns {
+		p = strings.TrimSuffix(p, "...")
+		p = strings.TrimSuffix(p, "/")
+		p = strings.TrimPrefix(p, "./")
+		if p == "" || p == "." {
+			return nil // whole module
+		}
+		prefixes = append(prefixes, p)
+	}
+	var out []*analysis.Package
+	for _, pkg := range pkgs {
+		rel := strings.TrimPrefix(strings.TrimPrefix(pkg.Path, pkg.ModulePath), "/")
+		for _, prefix := range prefixes {
+			if rel == prefix || strings.HasPrefix(rel, prefix+"/") ||
+				pkg.Path == prefix || strings.HasPrefix(pkg.Path, prefix+"/") {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if fileExists(filepath.Join(dir, "go.mod")) {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fileExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && !st.IsDir()
+}
+
+func dirExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+// onlyDirArgs reports whether every positional argument names an existing
+// directory, in which case repolint can run without a surrounding module.
+func onlyDirArgs(args []string) bool {
+	if len(args) == 0 {
+		return false
+	}
+	for _, a := range args {
+		if !dirExists(strings.TrimSuffix(a, "/")) {
+			return false
+		}
+	}
+	return true
+}

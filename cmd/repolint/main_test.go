@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the gate the Makefile's lint target enforces: the
+// shipped tree must produce zero diagnostics.
+func TestRepoIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("repolint ./... exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestFixturesFail asserts each analyzer's bad fixture trips the CLI with
+// a non-zero exit and a diagnostic naming the analyzer.
+func TestFixturesFail(t *testing.T) {
+	for _, name := range []string{"maporder", "nondeterminism", "floatcmp", "exhaustive", "errcheck"} {
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			dir := "../../internal/analysis/testdata/" + name + "/bad"
+			code := run([]string{dir}, &stdout, &stderr)
+			if code != 1 {
+				t.Fatalf("exit %d for %s, want 1\nstdout:\n%s\nstderr:\n%s",
+					code, dir, stdout.String(), stderr.String())
+			}
+			if !strings.Contains(stdout.String(), "["+name+"]") {
+				t.Errorf("output missing [%s] diagnostics:\n%s", name, stdout.String())
+			}
+		})
+	}
+}
+
+// TestJSONOutput checks -json yields a machine-readable diagnostic array.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "../../internal/analysis/testdata/floatcmp/bad"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("empty diagnostic array for a bad fixture")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "floatcmp" || d.Line == 0 || d.File == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestAnalyzersFlag lists the suite.
+func TestAnalyzersFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"maporder", "nondeterminism", "floatcmp", "exhaustive", "errcheck"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("analyzer listing missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestBadFlag surfaces usage errors as exit 2.
+func TestBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("exit %d for unknown flag, want 2", code)
+	}
+}

@@ -49,7 +49,15 @@ func main() {
 	}
 
 	opts := polarfly.Options{LinkLatency: 5, VCDepth: 10}
-	for name, plan := range map[string]*polarfly.Plan{"tenant A (3 trees)": a, "tenant B (2 trees)": b} {
+	tenants := []struct {
+		name string
+		plan *polarfly.Plan
+	}{
+		{"tenant A (3 trees)", a},
+		{"tenant B (2 trees)", b},
+	}
+	for _, t := range tenants {
+		name, plan := t.name, t.plan
 		_, stats, err := sys.Allreduce(plan, inputs(), opts)
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,268 @@
+// Package analysis is a project-specific static-analysis suite built only
+// on the standard library's go/ast, go/parser, go/token and go/types. It
+// enforces the invariants the simulator's correctness claims rest on —
+// bit-for-bit determinism, tolerance-based float comparisons in the
+// Algorithm 1 waterfill model, exhaustive handling of trace-event kinds —
+// plus basic error-handling hygiene. cmd/repolint is the CLI front end.
+//
+// The suite exists because review alone does not scale: PR 1 shipped (and
+// then had to fix) a real nondeterminism bug where -sweep winner selection
+// iterated a Go map in random order. The maporder analyzer mechanically
+// rejects that whole bug class.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description of what the analyzer enforces.
+	Doc string
+	// Run inspects the package in pass and reports diagnostics via
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// ModulePath is the import path of the module under analysis.
+	ModulePath string
+
+	local map[*types.Package]bool
+	sink  *diagSink
+}
+
+// IsLocal reports whether pkg is part of the analyzed module (as opposed
+// to the standard library).
+func (p *Pass) IsLocal(pkg *types.Package) bool {
+	return pkg != nil && p.local[pkg]
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.sink.add(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+}
+
+// AllowRule exempts one analyzer within a package-path subtree. Rules come
+// from the allowlist file (see ParseAllowFile).
+type AllowRule struct {
+	// Analyzer is an analyzer name or "*".
+	Analyzer string
+	// PathPrefix is matched against the package import path with the
+	// module prefix stripped, so "cmd/" covers every main package under
+	// cmd regardless of the module name.
+	PathPrefix string
+}
+
+// ParseAllowFile parses allowlist content: one "analyzer path-prefix" rule
+// per line, with blank lines and #-comments ignored.
+func ParseAllowFile(content string) ([]AllowRule, error) {
+	var rules []AllowRule
+	for i, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("allowlist line %d: want \"analyzer path-prefix\", got %q", i+1, line)
+		}
+		rules = append(rules, AllowRule{Analyzer: fields[0], PathPrefix: fields[1]})
+	}
+	return rules, nil
+}
+
+func (r AllowRule) matches(analyzer, relPath string) bool {
+	if r.Analyzer != "*" && r.Analyzer != analyzer {
+		return false
+	}
+	return strings.HasPrefix(relPath, r.PathPrefix)
+}
+
+// diagSink collects diagnostics across passes and applies suppressions.
+type diagSink struct {
+	diags []Diagnostic
+}
+
+func (s *diagSink) add(d Diagnostic) {
+	d.File = d.Pos.Filename
+	d.Line = d.Pos.Line
+	d.Column = d.Pos.Column
+	s.diags = append(s.diags, d)
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+	valid    bool // has both an analyzer name and a reason
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// scanIgnores extracts //lint:ignore directives from a file's comments.
+// Malformed directives (no analyzer, no reason, or an unknown analyzer
+// name) are reported as "lint" diagnostics so suppressions can't silently
+// rot.
+func scanIgnores(fset *token.FileSet, f *ast.File, known map[string]bool, sink *diagSink) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			fields := strings.Fields(rest)
+			d := ignoreDirective{file: pos.Filename, line: pos.Line}
+			switch {
+			case len(fields) == 0:
+				sink.add(Diagnostic{Analyzer: "lint", Pos: pos,
+					Message: "malformed //lint:ignore: want \"//lint:ignore analyzer reason\""})
+			case len(fields) == 1:
+				sink.add(Diagnostic{Analyzer: "lint", Pos: pos,
+					Message: fmt.Sprintf("//lint:ignore %s is missing a reason", fields[0])})
+			case !known[fields[0]]:
+				sink.add(Diagnostic{Analyzer: "lint", Pos: pos,
+					Message: fmt.Sprintf("//lint:ignore names unknown analyzer %q", fields[0])})
+			default:
+				d.analyzer = fields[0]
+				d.valid = true
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run executes analyzers over pkgs, drops diagnostics covered by a valid
+// //lint:ignore directive (same line or the line above) or an allow rule,
+// and returns the survivors sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, allow []AllowRule) []Diagnostic {
+	known := make(map[string]bool, len(analyzers)+1)
+	known["lint"] = true
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	local := make(map[*types.Package]bool, len(pkgs))
+	for _, p := range pkgs {
+		local[p.Types] = true
+	}
+
+	sink := &diagSink{}
+	var ignores []ignoreDirective
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ignores = append(ignores, scanIgnores(p.Fset, f, known, sink)...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       p.Fset,
+				Files:      p.Files,
+				Pkg:        p.Types,
+				Info:       p.Info,
+				ModulePath: p.ModulePath,
+				local:      local,
+				sink:       sink,
+			}
+			a.Run(pass)
+		}
+	}
+
+	suppressed := func(d Diagnostic) bool {
+		for _, ig := range ignores {
+			if ig.valid && ig.analyzer == d.Analyzer && ig.file == d.File &&
+				(ig.line == d.Line || ig.line == d.Line-1) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Diagnostic
+	for _, d := range sink.diags {
+		if suppressed(d) {
+			continue
+		}
+		if allowedByRule(d, pkgs, allow) {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// allowedByRule reports whether d falls inside a package subtree an allow
+// rule exempts for its analyzer.
+func allowedByRule(d Diagnostic, pkgs []*Package, allow []AllowRule) bool {
+	if len(allow) == 0 {
+		return false
+	}
+	rel := ""
+	for _, p := range pkgs {
+		for _, name := range p.FileNames {
+			if name == d.File {
+				rel = strings.TrimPrefix(strings.TrimPrefix(p.Path, p.ModulePath), "/")
+				if rel == "" {
+					rel = "."
+				}
+			}
+		}
+	}
+	if rel == "" {
+		return false
+	}
+	for _, r := range allow {
+		if r.matches(d.Analyzer, rel) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package analysis
+
+// All returns the full analyzer suite in reporting-name order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		ErrCheckLite,
+		Exhaustive,
+		FloatCmp,
+		MapOrder,
+		Nondeterminism,
+	}
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheckLite flags calls whose final error result is silently dropped —
+// an expression statement, defer, or go whose callee returns an error
+// nobody reads. A simulator that swallows an os.File.Close error can
+// report a truncated metrics file as success. Writes that cannot fail
+// (fmt printing, strings.Builder, bytes.Buffer) are exempt, and an
+// explicit `_ =` assignment is accepted as a visible decision.
+var ErrCheckLite = &Analyzer{
+	Name: "errcheck",
+	Doc:  "error results must be handled, or discarded explicitly with _ =",
+	Run:  runErrCheck,
+}
+
+// errcheckExempt lists callee prefixes whose dropped errors are
+// conventionally meaningless: fmt's print family only fails when the
+// io.Writer does, and the in-memory builders never fail.
+var errcheckExempt = []string{
+	"fmt.Print", "fmt.Printf", "fmt.Println",
+	"fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln",
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+}
+
+func runErrCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				c, ok := ast.Unparen(n.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				call = c
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			default:
+				return true
+			}
+			checkDiscardedError(pass, call)
+			return true
+		})
+	}
+}
+
+func checkDiscardedError(pass *Pass, call *ast.CallExpr) {
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok { // conversion or builtin
+		return
+	}
+	results := sig.Results()
+	if results.Len() == 0 || !isErrorType(results.At(results.Len()-1).Type()) {
+		return
+	}
+	name := pkgFuncName(calleeFunc(pass.Info, call))
+	for _, prefix := range errcheckExempt {
+		if name != "" && strings.HasPrefix(name, prefix) {
+			return
+		}
+	}
+	if name == "" {
+		name = types.ExprString(call.Fun)
+	}
+	pass.Reportf(call.Pos(), "error result of %s is discarded; handle it or assign to _ explicitly", name)
+}

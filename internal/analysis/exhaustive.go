@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive checks that every switch over a module-local enum — a named
+// integer type with two or more package-level constants, like the netsim
+// trace-event kinds — either covers all declared values or carries a
+// default clause. Without this, adding an event kind (PR 1 added
+// TraceStall and TraceBufferOccupancy) silently falls through existing
+// collectors instead of failing loudly.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over module-local enums must cover every declared value or have a default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tagType := pass.Info.TypeOf(sw.Tag)
+	named, ok := tagType.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || !pass.IsLocal(named.Obj().Pkg()) {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	members := enumMembers(named)
+	if len(members) < 2 {
+		return
+	}
+
+	covered := make([]constant.Value, 0, len(members))
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause: new values cannot fall through silently
+		}
+		for _, expr := range cc.List {
+			tv := pass.Info.Types[expr]
+			if tv.Value == nil {
+				return // non-constant case; can't reason about coverage
+			}
+			covered = append(covered, tv.Value)
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		v := m.Val()
+		hit := false
+		for _, c := range covered {
+			if constant.Compare(v, token.EQL, c) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			missing = append(missing, m.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch on %s misses %s; add cases or a default clause",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// enumMembers returns the package-level constants of exactly type t,
+// deduplicated by value (the first declared name wins, so aliases don't
+// demand redundant cases), sorted by constant value.
+func enumMembers(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var all []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		all = append(all, c)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Pos() < all[j].Pos() })
+	var out []*types.Const
+	for _, c := range all {
+		dup := false
+		for _, have := range out {
+			if constant.Compare(c.Val(), token.EQL, have.Val()) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// want is one expected diagnostic, parsed from a fixture's
+// `// want "substring"` comments.
+type want struct {
+	file string
+	line int
+	sub  string
+}
+
+// parseWants extracts the expectations from a loaded fixture package by
+// scanning its files' comments.
+func parseWants(t *testing.T, pkg *Package) []want {
+	t.Helper()
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, `// want "`)
+				if !ok {
+					continue
+				}
+				end := strings.Index(rest, `"`)
+				if end < 0 {
+					t.Fatalf("%s: malformed want comment %q", pkg.Fset.Position(c.Pos()), c.Text)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, want{file: pos.Filename, line: pos.Line, sub: rest[:end]})
+			}
+		}
+	}
+	return out
+}
+
+// runFixture loads testdata/<name> as a standalone package and runs a
+// single analyzer over it.
+func runFixture(t *testing.T, a *Analyzer, name string) ([]Diagnostic, *Package) {
+	t.Helper()
+	dir := filepath.Join("testdata", name)
+	pkg, err := LoadDir(dir, "fixture/"+strings.ReplaceAll(name, "/", "_"))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	return Run([]*Package{pkg}, []*Analyzer{a}, nil), pkg
+}
+
+// checkFixture asserts the analyzer's diagnostics match the fixture's
+// want comments one for one.
+func checkFixture(t *testing.T, a *Analyzer, name string, wantFindings bool) {
+	t.Helper()
+	diags, pkg := runFixture(t, a, name)
+	wants := parseWants(t, pkg)
+
+	if wantFindings && len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments; a bad fixture must assert at least one finding", name)
+	}
+	if !wantFindings && len(wants) > 0 {
+		t.Fatalf("clean fixture %s unexpectedly has want comments", name)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	unmatched := make(map[key][]string)
+	for _, d := range diags {
+		unmatched[key{d.File, d.Line}] = append(unmatched[key{d.File, d.Line}], d.Message)
+	}
+	for _, w := range wants {
+		k := key{w.file, w.line}
+		msgs := unmatched[k]
+		found := -1
+		for i, m := range msgs {
+			if strings.Contains(m, w.sub) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			t.Errorf("%s:%d: want diagnostic containing %q, got %v", w.file, w.line, w.sub, msgs)
+			continue
+		}
+		unmatched[k] = append(msgs[:found], msgs[found+1:]...)
+	}
+	for k, msgs := range unmatched {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected [%s] diagnostic: %s", k.file, k.line, a.Name, m)
+		}
+	}
+}
+
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		dir      string
+	}{
+		{MapOrder, "maporder"},
+		{Nondeterminism, "nondeterminism"},
+		{FloatCmp, "floatcmp"},
+		{Exhaustive, "exhaustive"},
+		{ErrCheckLite, "errcheck"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir+"/bad", func(t *testing.T) {
+			checkFixture(t, tc.analyzer, tc.dir+"/bad", true)
+		})
+		t.Run(tc.dir+"/clean", func(t *testing.T) {
+			checkFixture(t, tc.analyzer, tc.dir+"/clean", false)
+		})
+	}
+}
+
+// TestFixtureNamesMatchAnalyzers keeps the fixture tree and the registry
+// in sync: every analyzer in All() must appear in the case table above.
+func TestFixtureNamesMatchAnalyzers(t *testing.T) {
+	covered := map[string]bool{
+		"maporder": true, "nondeterminism": true, "floatcmp": true,
+		"exhaustive": true, "errcheck": true,
+	}
+	for _, a := range All() {
+		if !covered[a.Name] {
+			t.Errorf("analyzer %s has no fixture coverage", a.Name)
+		}
+	}
+	if len(All()) != len(covered) {
+		t.Errorf("registry has %d analyzers, fixtures cover %d", len(All()), len(covered))
+	}
+}
+
+func TestSuppressionDirectives(t *testing.T) {
+	// The floatcmp clean fixture exercises a working //lint:ignore; here a
+	// synthetic package checks malformed directives are themselves flagged.
+	dir := t.TempDir()
+	src := `package p
+
+//lint:ignore floatcmp
+func eq(a, b float64) bool {
+	return a == b
+}
+
+//lint:ignore nosuchanalyzer because reasons
+func eq2(a, b float64) bool {
+	return a == b
+}
+`
+	writeFixtureFile(t, dir, "p.go", src)
+	pkg, err := LoadDir(dir, "fixture/suppression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{FloatCmp}, nil)
+
+	var lintMsgs, floatMsgs []string
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			lintMsgs = append(lintMsgs, d.Message)
+		case "floatcmp":
+			floatMsgs = append(floatMsgs, d.Message)
+		}
+	}
+	if len(lintMsgs) != 2 {
+		t.Errorf("want 2 lint diagnostics for malformed directives, got %v", lintMsgs)
+	}
+	// Malformed directives must NOT suppress; both comparisons still fire.
+	if len(floatMsgs) != 2 {
+		t.Errorf("want 2 floatcmp diagnostics (malformed ignores don't suppress), got %v", floatMsgs)
+	}
+}
+
+func TestAllowRules(t *testing.T) {
+	rules, err := ParseAllowFile("# comment\n\nnondeterminism cmd/\n* examples/\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("want 2 rules, got %d", len(rules))
+	}
+	if !rules[0].matches("nondeterminism", "cmd/allreduce-sim") {
+		t.Error("rule should match its analyzer under cmd/")
+	}
+	if rules[0].matches("floatcmp", "cmd/allreduce-sim") {
+		t.Error("rule must not match other analyzers")
+	}
+	if !rules[1].matches("floatcmp", "examples/quickstart") {
+		t.Error("wildcard rule should match any analyzer")
+	}
+	if _, err := ParseAllowFile("just-one-field\n"); err == nil {
+		t.Error("malformed allow line should error")
+	}
+}
+
+func TestAllowRuleFiltersDiagnostics(t *testing.T) {
+	diags, pkg := runFixture(t, Nondeterminism, "nondeterminism/bad")
+	if len(diags) == 0 {
+		t.Fatal("expected findings without allow rules")
+	}
+	allowed := Run([]*Package{pkg}, []*Analyzer{Nondeterminism},
+		[]AllowRule{{Analyzer: "nondeterminism", PathPrefix: "."}})
+	if len(allowed) != 0 {
+		t.Errorf("allow rule for the package root should drop all findings, got %d", len(allowed))
+	}
+}
+
+func writeFixtureFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

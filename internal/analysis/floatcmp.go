@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands. Algorithm 1's
+// waterfill shares are quotients of subtracted floats, so exact equality
+// silently depends on rounding; model comparisons must use an epsilon
+// tolerance. Exact sentinel checks (comparing against a value that was
+// stored, never computed) are legitimate — suppress those with
+// //lint:ignore floatcmp and a reason.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "floating-point == / != must use a tolerance (or a justified suppression)",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.Info.TypeOf(be.X)) && !isFloat(pass.Info.TypeOf(be.Y)) {
+				return true
+			}
+			// Both sides constant folds at compile time; nothing can drift.
+			if pass.Info.Types[be.X].Value != nil && pass.Info.Types[be.Y].Value != nil {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"floating-point %s comparison; use an epsilon tolerance, or //lint:ignore floatcmp with a reason for exact sentinel checks", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

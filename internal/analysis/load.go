@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	// Path is the package's import path; ModulePath the module's.
+	Path       string
+	ModulePath string
+	Dir        string
+	// FileNames holds the absolute path of each file in Files, in order.
+	FileNames []string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// LoadModule parses and type-checks every non-test package of the Go
+// module rooted at root (the directory containing go.mod), using only the
+// standard library: local imports resolve to the loaded packages
+// themselves and standard-library imports are type-checked from GOROOT
+// source. Test files, testdata and vendor trees, and hidden directories
+// are skipped — repolint's contract covers shipped code; _test.go files
+// are free to trade determinism for brevity.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modulePath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	ld := &loader{
+		root:       root,
+		modulePath: modulePath,
+		fset:       token.NewFileSet(),
+		dirs:       make(map[string]string, len(dirs)),
+		pkgs:       make(map[string]*Package),
+		checking:   make(map[string]bool),
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+
+	paths := make([]string, 0, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modulePath
+		if rel != "." {
+			path = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		ld.dirs[path] = dir
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	var out []*Package
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// packageDirs returns every directory under root holding at least one
+// non-test .go file, skipping hidden, testdata and vendor subtrees.
+func packageDirs(root string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+type loader struct {
+	root       string
+	modulePath string
+	fset       *token.FileSet
+	std        types.Importer
+	dirs       map[string]string // import path -> directory
+	pkgs       map[string]*Package
+	checking   map[string]bool
+}
+
+// Import implements types.Importer: module-local paths resolve to loaded
+// packages, everything else is delegated to the source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.dirs[path]; ok {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	dir := l.dirs[path]
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, full)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:       path,
+		ModulePath: l.modulePath,
+		Dir:        dir,
+		FileNames:  names,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the given
+// import path, resolving only standard-library imports. It exists for
+// fixture tests; real runs use LoadModule.
+func LoadDir(dir, path string) (*Package, error) {
+	ld := &loader{
+		root:       dir,
+		modulePath: path,
+		fset:       token.NewFileSet(),
+		dirs:       map[string]string{path: dir},
+		pkgs:       make(map[string]*Package),
+		checking:   make(map[string]bool),
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	pkg, err := ld.load(path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return pkg, nil
+}

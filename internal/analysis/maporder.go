@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose iteration order can leak into an
+// order-sensitive sink: appending key- or value-derived elements to a
+// slice that is never sorted afterwards, comparison-guarded winner
+// selection that records the map key, or printing from inside the loop.
+// Go randomizes map iteration order per run, so any of these makes output
+// differ between identical runs — the exact bug class behind PR 1's
+// -sweep winner fix. Iterate a sorted key slice (or sort the result)
+// instead.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not reach order-sensitive sinks (append without sort, winner selection, printing)",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t := pass.Info.TypeOf(rs.X); t == nil {
+					return true
+				} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, fd.Body, rs)
+				return true
+			})
+		}
+	}
+}
+
+func checkMapRange(pass *Pass, scope *ast.BlockStmt, rs *ast.RangeStmt) {
+	define := rs.Tok == token.DEFINE
+	keyObj := rangeVarObject(pass.Info, rs.Key, define)
+	valObj := rangeVarObject(pass.Info, rs.Value, define)
+	if keyObj == nil && valObj == nil {
+		return
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAppendSink(pass, scope, rs, n, keyObj, valObj)
+		case *ast.IfStmt:
+			checkWinnerSink(pass, rs, n, keyObj)
+		case *ast.CallExpr:
+			checkPrintSink(pass, n, keyObj, valObj)
+		}
+		return true
+	})
+}
+
+// checkAppendSink flags s = append(s, x...) where x derives from the
+// iteration variables and s is declared outside the loop, unless s is
+// passed to a sort/slices call later in the enclosing function.
+func checkAppendSink(pass *Pass, scope *ast.BlockStmt, rs *ast.RangeStmt, as *ast.AssignStmt, keyObj, valObj types.Object) {
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			continue
+		}
+		derived := false
+		for _, arg := range call.Args[1:] {
+			if usesObject(pass.Info, arg, keyObj, valObj) {
+				derived = true
+			}
+		}
+		if !derived || i >= len(as.Lhs) {
+			continue
+		}
+		if declaredWithin(pass.Info, as.Lhs[i], rs) {
+			continue
+		}
+		slice := types.ExprString(as.Lhs[i])
+		if sortedAfter(pass, scope, rs.End(), slice) {
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"append of map-iteration data to %q without a later sort: element order follows randomized map order", slice)
+	}
+}
+
+// declaredWithin reports whether expr is a simple identifier whose
+// declaration lies inside the range statement (a loop-local accumulator).
+func declaredWithin(info *types.Info, expr ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+}
+
+// sortedAfter reports whether a sort or slices package call mentioning
+// slice (by expression text, anywhere in its arguments — including nested
+// wrappers like sort.Reverse(sort.IntSlice(s))) appears after pos in
+// scope.
+func sortedAfter(pass *Pass, scope *ast.BlockStmt, pos token.Pos, slice string) bool {
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		f := calleeFunc(pass.Info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(sub ast.Node) bool {
+				if e, ok := sub.(ast.Expr); ok && types.ExprString(e) == slice {
+					found = true
+				}
+				return !found
+			})
+		}
+		return true
+	})
+	return found
+}
+
+// checkWinnerSink flags comparison-guarded assignments that record the map
+// key in a variable outliving the loop: `if x < best { bestKey = k }` picks
+// an arbitrary winner among ties, in randomized map order.
+func checkWinnerSink(pass *Pass, rs *ast.RangeStmt, ifs *ast.IfStmt, keyObj types.Object) {
+	if keyObj == nil || !hasRelationalOp(ifs.Cond) {
+		return
+	}
+	ast.Inspect(ifs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) && len(as.Rhs) != 1 {
+				break
+			}
+			rhs := as.Rhs[0]
+			if len(as.Rhs) > i {
+				rhs = as.Rhs[i]
+			}
+			if !usesObject(pass.Info, rhs, keyObj) {
+				continue
+			}
+			switch ast.Unparen(lhs).(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+			default:
+				continue
+			}
+			if declaredWithin(pass.Info, lhs, rs) {
+				continue
+			}
+			pass.Reportf(as.Pos(),
+				"comparison-guarded assignment records map key %q: ties resolve in randomized map order; iterate sorted keys instead", keyObj.Name())
+		}
+		return true
+	})
+}
+
+func hasRelationalOp(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok {
+			switch be.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkPrintSink flags fmt printing of iteration data from inside the
+// loop: the output line order follows randomized map order.
+func checkPrintSink(pass *Pass, call *ast.CallExpr, keyObj, valObj types.Object) {
+	f := calleeFunc(pass.Info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "fmt" {
+		return
+	}
+	switch f.Name() {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if usesObject(pass.Info, arg, keyObj, valObj) {
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside a map range prints in randomized map order; iterate sorted keys instead", f.Name())
+			return
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nondeterminism bans ambient nondeterminism sources: wall-clock reads
+// (time.Now and friends), the globally seeded math/rand source, and
+// select statements with multiple communication cases (which resolve
+// uniformly at random when several are ready). Simulator and model
+// packages must be bit-for-bit reproducible — that is how the paper's
+// theorems are checked — so randomness must flow from an explicit seed
+// and time from the simulated cycle counter. The shipped allowlist file
+// exempts cmd/ and examples/, where wall-clock output is legitimate.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "no wall-clock time, unseeded math/rand, or racy select in deterministic packages",
+	Run:  runNondeterminism,
+}
+
+// seededConstructors are the math/rand entry points that do not touch the
+// global source; everything else at package level does.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func runNondeterminism(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondetCall(pass, n)
+			case *ast.SelectStmt:
+				comm := 0
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					pass.Reportf(n.Pos(),
+						"select with %d communication cases resolves uniformly at random when several are ready; restructure for a deterministic order", comm)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkNondetCall(pass *Pass, call *ast.CallExpr) {
+	f := calleeFunc(pass.Info, call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		switch f.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock; deterministic packages must use the simulated cycle counter", f.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // method on an explicitly seeded *rand.Rand
+		}
+		if !seededConstructors[f.Name()] {
+			pass.Reportf(call.Pos(),
+				"rand.%s draws from the global (unseeded) source; use rand.New(rand.NewSource(seed)) so runs are reproducible", f.Name())
+		}
+	}
+}

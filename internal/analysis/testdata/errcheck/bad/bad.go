@@ -1,0 +1,31 @@
+// Package fixture holds true positives for the errcheck analyzer.
+package fixture
+
+import (
+	"os"
+	"strconv"
+)
+
+// touch drops the Close error, so a failed flush reads as success.
+func touch(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close() // want "discarded"
+}
+
+// remove drops the error in statement position.
+func remove(path string) {
+	os.Remove(path) // want "discarded"
+}
+
+// parse drops the error of a multi-result call.
+func parse(s string) {
+	strconv.Atoi(s) // want "discarded"
+}
+
+// background drops the error of a goroutine's call.
+func background(path string) {
+	go os.Remove(path) // want "discarded"
+}

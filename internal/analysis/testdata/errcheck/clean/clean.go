@@ -1,0 +1,43 @@
+// Package fixture holds clean patterns the errcheck analyzer must accept.
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// report threads every error, closing explicitly on both paths.
+func report(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(f, "ok"); err != nil {
+		// The write error is the root cause; the close is best-effort.
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// build uses the in-memory writers whose errors are vacuous.
+func build() string {
+	var b strings.Builder
+	b.WriteString("hello")
+	fmt.Fprintf(&b, " %d", 42)
+	var buf bytes.Buffer
+	buf.WriteByte('\n')
+	return b.String() + buf.String()
+}
+
+// stdout printing is conventionally fire-and-forget.
+func stdout() {
+	fmt.Println("hi")
+}
+
+// void calls with no error result are out of scope.
+func void() {
+	stdout()
+}

@@ -1,0 +1,34 @@
+// Package fixture holds true positives for the exhaustive analyzer.
+package fixture
+
+// EventKind mirrors the shape of netsim.TraceEventKind: a module-local
+// integer enum.
+type EventKind int
+
+const (
+	Send EventKind = iota
+	Arrive
+	Compute
+	Stall
+)
+
+// collect misses Arrive and Stall and has no default, so a new event kind
+// silently falls through — the PR 1 TraceStall hazard.
+func collect(k EventKind) int {
+	switch k { // want "misses Arrive, Stall"
+	case Send:
+		return 1
+	case Compute:
+		return 2
+	}
+	return 0
+}
+
+// one misses a single value.
+func one(k EventKind) bool {
+	switch k { // want "misses Stall"
+	case Send, Arrive, Compute:
+		return true
+	}
+	return false
+}

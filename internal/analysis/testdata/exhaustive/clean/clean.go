@@ -1,0 +1,45 @@
+// Package fixture holds clean patterns the exhaustive analyzer must
+// accept.
+package fixture
+
+type EventKind int
+
+const (
+	Send EventKind = iota
+	Arrive
+	Compute
+	// Legacy aliases Send; covering one of the pair suffices.
+	Legacy = Send
+)
+
+// full covers every declared value.
+func full(k EventKind) string {
+	switch k {
+	case Send:
+		return "send"
+	case Arrive:
+		return "arrive"
+	case Compute:
+		return "compute"
+	}
+	return "?"
+}
+
+// defaulted routes unknown values explicitly.
+func defaulted(k EventKind) string {
+	switch k {
+	case Send:
+		return "send"
+	default:
+		return "other"
+	}
+}
+
+// plainInt is not an enum switch; untyped ints stay out of scope.
+func plainInt(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

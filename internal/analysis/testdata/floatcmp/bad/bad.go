@@ -1,0 +1,18 @@
+// Package fixture holds true positives for the floatcmp analyzer.
+package fixture
+
+// eq compares computed floats exactly: waterfill shares are quotients of
+// subtracted floats, so this silently depends on rounding.
+func eq(a, b float64) bool {
+	return a == b // want "floating-point"
+}
+
+// neq is the same bug with the other operator and width.
+func neq(a, b float32) bool {
+	return a != b // want "floating-point"
+}
+
+// mixed flags comparisons where only one side is floating-point.
+func mixed(share float64) bool {
+	return share == 0 // want "floating-point"
+}

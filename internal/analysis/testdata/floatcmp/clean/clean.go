@@ -1,0 +1,28 @@
+// Package fixture holds clean patterns the floatcmp analyzer must accept.
+package fixture
+
+import "math"
+
+const eps = 1e-9
+
+// eq uses a tolerance, as Algorithm 1 comparisons must.
+func eq(a, b float64) bool {
+	return math.Abs(a-b) < eps
+}
+
+// intEq is integer equality; nothing to flag.
+func intEq(a, b int) bool {
+	return a == b
+}
+
+// sentinel compares against a stored (never computed) marker value; the
+// suppression documents why exactness is correct here.
+func sentinel(v float64) bool {
+	//lint:ignore floatcmp -1 is a stored sentinel that is assigned, never computed, so exact comparison is the intent
+	return v == -1
+}
+
+// constFold compares two compile-time constants; nothing can drift.
+func constFold() bool {
+	return 0.5 == 1.0/2.0
+}

@@ -1,0 +1,44 @@
+// Package fixture holds true positives for the maporder analyzer: map
+// iteration feeding order-sensitive sinks with no deterministic sort.
+package fixture
+
+import "fmt"
+
+// keys leaks randomized map order into the returned slice.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "without a later sort"
+	}
+	return out
+}
+
+// winner records the map key under a comparison guard: ties (and with
+// float scores, near-ties) resolve differently run to run.
+func winner(scores map[string]int) string {
+	best := -1
+	name := ""
+	for k, v := range scores {
+		if v > best {
+			best = v
+			name = k // want "randomized map order"
+		}
+	}
+	return name
+}
+
+// show prints lines in randomized map order.
+func show(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "prints in randomized map order"
+	}
+}
+
+// values leaks order through the value variable too.
+func values(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want "without a later sort"
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+// Package fixture holds clean patterns the maporder analyzer must accept.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sortedKeys is the canonical deterministic iteration pattern.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedLater is fine even when the sort call wraps the slice in helpers.
+func sortedLater(m map[int]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// sum folds commutatively; iteration order cannot matter.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// maxValue keeps only the maximal value, which is order-independent; the
+// analyzer flags winner selection only when the KEY is recorded.
+func maxValue(m map[string]int) int {
+	best := -1
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// show prints via a sorted key slice, not the map range.
+func show(m map[string]int) {
+	for _, k := range sortedKeys(m) {
+		fmt.Println(k, m[k])
+	}
+}
+
+// localAccumulator appends to a slice scoped inside the loop body.
+func localAccumulator(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		doubled := make([]int, 0, len(vs))
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		n += len(doubled)
+	}
+	return n
+}

@@ -1,0 +1,38 @@
+// Package fixture holds true positives for the nondeterminism analyzer.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock, which differs on every run.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "wall clock"
+}
+
+// elapsed hides the clock read behind time.Since.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall clock"
+}
+
+// draw uses the globally seeded source.
+func draw() int {
+	return rand.Intn(10) // want "global"
+}
+
+// shuffle mutates via the global source too.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global"
+}
+
+// pick races two channels: when both are ready the case is chosen
+// uniformly at random.
+func pick(a, b chan int) int {
+	select { // want "select"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,26 @@
+// Package fixture holds clean patterns the nondeterminism analyzer must
+// accept: explicitly seeded randomness and single-channel selects.
+package fixture
+
+import "math/rand"
+
+// draw threads an explicit seed, so runs reproduce bit for bit.
+func draw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// methods on an explicitly constructed *rand.Rand are fine.
+func perm(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}
+
+// recv has one communication case; the default makes it a poll, not a race.
+func recv(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}

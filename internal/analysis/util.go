@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for builtins,
+// conversions and calls through function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// usesObject reports whether expr references any of the given objects.
+func usesObject(info *types.Info, expr ast.Expr, objs ...types.Object) bool {
+	if expr == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		use := info.Uses[id]
+		for _, o := range objs {
+			if o != nil && use == o {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rangeVarObject returns the types.Object bound to a range clause variable
+// (key or value), or nil when the variable is absent or blank.
+func rangeVarObject(info *types.Info, expr ast.Expr, define bool) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if define {
+		return info.Defs[id]
+	}
+	return info.Uses[id]
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// pkgFuncName returns "path.Name" for a package-level function or
+// "(recv).Name" via FullName for methods; empty for nil.
+func pkgFuncName(f *types.Func) string {
+	if f == nil {
+		return ""
+	}
+	return f.FullName()
+}

@@ -8,6 +8,7 @@ package bandwidth
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"polarfly/internal/graph"
 	"polarfly/internal/trees"
@@ -65,14 +66,19 @@ func Waterfill(forest [][]graph.Edge, linkB float64) Result {
 		}
 	}
 
-	// Main loop (lines 4-12).
+	// Main loop (lines 4-12). Candidate links are scanned in sorted order
+	// so the argmin breaks ties identically on every run; the final Result
+	// is tie-independent (property-tested), but intermediate state must
+	// not leak map iteration order.
+	edges := sortedEdges(congestion)
 	for remaining > 0 {
 		// Line 5: bottleneck link e_min = argmin L(e)/C(e) over links still
 		// carrying at least one active tree.
 		var emin graph.Edge
 		best := math.Inf(1)
 		found := false
-		for e, c := range congestion {
+		for _, e := range edges {
+			c := congestion[e]
 			if c <= 0 {
 				continue
 			}
@@ -110,6 +116,22 @@ func Waterfill(forest [][]graph.Edge, linkB float64) Result {
 		r.Aggregate += b
 	}
 	return r
+}
+
+// sortedEdges returns the keys of congestion ordered by (U, V), the
+// deterministic scan order for bottleneck selection.
+func sortedEdges(congestion map[graph.Edge]int) []graph.Edge {
+	out := make([]graph.Edge, 0, len(congestion))
+	for e := range congestion {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
 }
 
 func containsEdge(es []graph.Edge, e graph.Edge) bool {
@@ -160,11 +182,13 @@ func WaterfillHeterogeneous(forest [][]graph.Edge, caps map[graph.Edge]float64, 
 			remaining++
 		}
 	}
+	edges := sortedEdges(congestion)
 	for remaining > 0 {
 		var emin graph.Edge
 		best := math.Inf(1)
 		found := false
-		for e, c := range congestion {
+		for _, e := range edges {
+			c := congestion[e]
 			if c <= 0 {
 				continue
 			}
@@ -253,6 +277,7 @@ func SubvectorSplit(m int, perTree []float64) ([]int, error) {
 	if m == 0 {
 		return out, nil
 	}
+	//lint:ignore floatcmp total is a sum of non-negative inputs, so exact zero means "no bandwidth anywhere"; a tolerance would misclassify tiny real allocations
 	if total == 0 {
 		return nil, fmt.Errorf("bandwidth: all trees have zero bandwidth")
 	}
@@ -273,6 +298,7 @@ func SubvectorSplit(m int, perTree []float64) ([]int, error) {
 	for assigned < m {
 		best := -1
 		for i := range fracs {
+			//lint:ignore floatcmp exact-zero sentinel: zero-bandwidth trees must receive zero elements (documented contract), not a rounding-leftover element
 			if perTree[fracs[i].idx] == 0 {
 				continue
 			}

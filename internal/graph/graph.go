@@ -165,7 +165,9 @@ func (g *Graph) BFSDistances(src int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for u := range g.adj[v] {
+		// Sorted neighbor order keeps the queue (and any traversal built
+		// on it) deterministic; distances alone would not need it.
+		for _, u := range g.Neighbors(v) {
 			if dist[u] == -1 {
 				dist[u] = dist[v] + 1
 				queue = append(queue, u)
@@ -259,7 +261,10 @@ func (g *Graph) Girth() int {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for u := range g.adj[v] {
+			// Sorted neighbors pin down which BFS tree (and so which
+			// parent pointers) this scan builds, making the per-source
+			// cycle bound reproducible run to run.
+			for _, u := range g.Neighbors(v) {
 				if dist[u] == -1 {
 					dist[u] = dist[v] + 1
 					parent[u] = v

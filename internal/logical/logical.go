@@ -183,11 +183,24 @@ func Bandwidth(embs []*Embedding, linkB float64) []float64 {
 			remaining++
 		}
 	}
+	// Sorted candidate links make the bottleneck argmin break ties the
+	// same way on every run instead of following map iteration order.
+	links := make([][2]int, 0, len(totalMult))
+	for l := range totalMult {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
 	for remaining > 0 {
 		// Bottleneck link: minimum avail/totalMult.
 		var lmin [2]int
 		best := -1.0
-		for l, tm := range totalMult {
+		for _, l := range links {
+			tm := totalMult[l]
 			if tm <= 0 {
 				continue
 			}

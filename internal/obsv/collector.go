@@ -150,6 +150,10 @@ func (c *Collector) Observe(ev netsim.TraceEvent) {
 		}
 	case netsim.TraceRootCompute:
 		c.tree(ev.Tree).computeFlits++
+	case netsim.TraceArrive:
+		// Deliveries mirror sends one link latency later; counting both
+		// would double every link aggregate, so arrivals are observed but
+		// deliberately not accumulated.
 	}
 }
 

@@ -268,6 +268,7 @@ func (s Snapshot) WriteText(w io.Writer) error {
 }
 
 func formatFloat(v float64) string {
+	//lint:ignore floatcmp exact integrality test chooses the rendering; both branches print the same value, so no tolerance is wanted
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return fmt.Sprintf("%d", int64(v))
 	}

@@ -1,6 +1,7 @@
 #!/bin/sh
-# verify.sh — the pre-commit gate: vet, build, race-enabled tests for the
-# simulator and telemetry layers, then the full suite (tier 1).
+# verify.sh — the pre-commit gate: vet, build, repolint (the project's
+# static-analysis suite), race-enabled tests for the concurrency-bearing
+# packages, then the full suite (tier 1).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,8 +11,11 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race ./internal/netsim ./internal/obsv"
-go test -race ./internal/netsim ./internal/obsv
+echo "== repolint ./..."
+go run ./cmd/repolint ./...
+
+echo "== go test -race -count=1 ./internal/netsim ./internal/obsv ./internal/core ./internal/collectives"
+go test -race -count=1 ./internal/netsim ./internal/obsv ./internal/core ./internal/collectives
 
 echo "== go test ./..."
 go test ./...
