@@ -1,4 +1,4 @@
-.PHONY: build test lint verify
+.PHONY: build test lint verify bench bench-smoke scorecard
 
 build:
 	go build ./...
@@ -15,3 +15,20 @@ lint:
 # tests for the concurrency-bearing packages + the full suite.
 verify:
 	./scripts/verify.sh
+
+# bench runs the full benchmark suite through benchreport (5 repetitions
+# for spread statistics) and writes BENCH_local.json at the repo root.
+bench:
+	go run ./cmd/benchreport run -label local -count 5
+
+# bench-smoke is the CI-sized variant: one iteration per benchmark, just
+# enough to prove the pipeline (go test -bench → parser → snapshot)
+# stays healthy. Writes BENCH_smoke.json.
+bench-smoke:
+	go run ./cmd/benchreport run -label smoke -count 1 -benchtime 1x
+
+# scorecard sweeps q ∈ {3,5,7,11} through the cycle simulator and checks
+# measured bandwidth against the Algorithm 1 model and the Theorem
+# 7.6 / 7.19 floors. Writes BENCH_scorecard.json; exits 1 on violation.
+scorecard:
+	go run ./cmd/benchreport scorecard

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -116,8 +117,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "PolarFly q=%d (N=%d, radix=%d), m=%d elements, link latency=%d, VC depth=%d\n",
 		*q, (*q)*(*q)+(*q)+1, *q+1, *m, *latency, *vc)
-	fmt.Fprintf(stdout, "%-12s %8s %10s %10s %8s %6s %6s %11s %9s\n",
-		"embedding", "trees", "model B", "meas. B", "cycles", "depth", "cong", "util(m/p)", "speedup")
+	fmt.Fprintf(stdout, "%-12s %8s %10s %10s %8s %6s %6s %11s %9s %9s %13s\n",
+		"embedding", "trees", "model B", "meas. B", "cycles", "depth", "cong", "util(m/p)", "util err", "speedup", "red/bc cyc")
 	cyclesByKind := make(map[core.EmbeddingKind]int)
 	for _, r := range rows {
 		trees := 1
@@ -130,9 +131,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			trees = (*q + 1) / 2
 		}
 		cyclesByKind[r.Kind] = r.Cycles
-		fmt.Fprintf(stdout, "%-12v %8d %10.3f %10.3f %8d %6d %6d %5.2f/%4.2f %8.2fx\n",
+		fmt.Fprintf(stdout, "%-12v %8d %10.3f %10.3f %8d %6d %6d %5.2f/%4.2f %+8.2f%% %8.2fx %6d/%6d\n",
 			r.Kind, trees, r.ModelBW, r.MeasuredBW, r.Cycles, r.MaxDepth, r.MaxCongestion,
-			r.MaxLinkUtil, r.ModelMaxLinkUtil, r.SpeedupVsOne)
+			r.MaxLinkUtil, r.ModelMaxLinkUtil, 100*r.UtilRelErr, r.SpeedupVsOne,
+			r.ReduceCycles, r.BcastCycles)
 	}
 	for kind, c := range collectors {
 		c.SetCycles(cyclesByKind[kind])
@@ -219,7 +221,8 @@ var sweepKinds = []core.EmbeddingKind{core.SingleTree, core.LowDepth, core.Hamil
 func runSweep(q, maxM, latency, vc int, seed int64, stdout, stderr io.Writer) int {
 	cfg := netsim.Config{LinkLatency: latency, VCDepth: vc}
 	fmt.Fprintf(stdout, "vector-size sweep, PolarFly q=%d, link latency=%d\n", q, latency)
-	fmt.Fprintf(stdout, "%8s %12s %12s %12s %10s\n", "m", "single", "low-depth", "hamiltonian", "winner")
+	fmt.Fprintf(stdout, "%8s %12s %12s %12s %10s %10s\n",
+		"m", "single", "low-depth", "hamiltonian", "winner", "util err")
 	for m := 8; m <= maxM; m *= 4 {
 		rows, err := core.SimulationComparison(q, m, cfg, seed)
 		if err != nil {
@@ -227,8 +230,14 @@ func runSweep(q, maxM, latency, vc int, seed int64, stdout, stderr io.Writer) in
 			return 1
 		}
 		cycles := map[core.EmbeddingKind]int{}
+		// worstErr is the design point's measured-vs-model utilization
+		// error: the largest-magnitude relative error across embeddings.
+		worstErr := 0.0
 		for _, r := range rows {
 			cycles[r.Kind] = r.Cycles
+			if e := r.UtilRelErr; math.Abs(e) > math.Abs(worstErr) {
+				worstErr = e
+			}
 		}
 		winner, best := core.SingleTree, 0
 		for _, kind := range sweepKinds {
@@ -244,8 +253,8 @@ func runSweep(q, maxM, latency, vc int, seed int64, stdout, stderr io.Writer) in
 		if c, ok := cycles[core.LowDepth]; ok {
 			low = fmt.Sprintf("%d", c)
 		}
-		fmt.Fprintf(stdout, "%8d %12d %12s %12d %10v\n",
-			m, cycles[core.SingleTree], low, cycles[core.Hamiltonian], winner)
+		fmt.Fprintf(stdout, "%8d %12d %12s %12d %10v %+9.2f%%\n",
+			m, cycles[core.SingleTree], low, cycles[core.Hamiltonian], winner, 100*worstErr)
 	}
 	return 0
 }

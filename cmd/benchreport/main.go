@@ -1,0 +1,320 @@
+// benchreport runs, snapshots, and gates on the repository's benchmarks
+// and measured-vs-model scorecard.
+//
+// Usage:
+//
+//	benchreport run -label main -count 5            # run `go test -bench`, write BENCH_main.json
+//	benchreport run -label pr -in bench.txt         # parse pre-captured bench output instead
+//	benchreport compare BENCH_main.json BENCH_pr.json -threshold 0.10
+//	                                                # diff two snapshots; exit 1 on regression
+//	benchreport scorecard -q 3,5,7,11               # simulate every design point, check the
+//	                                                # Alg. 1 / Thm 7.6 / Thm 7.19 contract
+//
+// Snapshots are written to BENCH_<label>.json (schema polarfly-bench/v1,
+// see internal/perf); a markdown rendering goes to stdout. Exit codes:
+// 0 clean, 1 failed benchmarks / gating regression / scorecard violation,
+// 2 usage error.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"polarfly/internal/perf"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: benchreport <command> [flags]
+
+commands:
+  run        run (or parse with -in) go test benchmarks and snapshot them
+  compare    diff two snapshots and gate on regressions
+  scorecard  run the measured-vs-model simulation sweep
+
+run 'benchreport <command> -h' for the command's flags`)
+}
+
+// run is main with injectable args and streams, so the command can be
+// tested end to end without a subprocess.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "compare":
+		return cmdCompare(args[1:], stdout, stderr)
+	case "scorecard":
+		return cmdScorecard(args[1:], stdout, stderr)
+	case "help", "-h", "-help", "--help":
+		usage(stdout)
+		return 0
+	}
+	fmt.Fprintf(stderr, "benchreport: unknown command %q\n", args[0])
+	usage(stderr)
+	return 2
+}
+
+// sanitizeLabel maps a label to the filename-safe alphabet so
+// "feature/x y" cannot escape the output directory or break globbing.
+func sanitizeLabel(label string) string {
+	var b strings.Builder
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('-')
+		}
+	}
+	if b.Len() == 0 {
+		return "snapshot"
+	}
+	return b.String()
+}
+
+func snapshotPath(dir, label string) string {
+	return filepath.Join(dir, "BENCH_"+sanitizeLabel(label)+".json")
+}
+
+func writeSnapshot(path string, s *perf.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchreport run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	label := fs.String("label", "local", "snapshot label; output file is BENCH_<label>.json")
+	in := fs.String("in", "", "parse this pre-captured `go test -bench` output file ('-' for stdin) instead of running go test")
+	benchRe := fs.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := fs.String("benchtime", "", "go test -benchtime value (e.g. 1x, 100ms); empty for the default")
+	count := fs.Int("count", 5, "go test -count repetitions (run-to-run spread needs >1)")
+	pkgs := fs.String("pkg", "./...", "package pattern passed to go test")
+	outDir := fs.String("out", ".", "directory for the BENCH_<label>.json snapshot")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+
+	var raw io.Reader
+	benchFailed := false
+	switch {
+	case *in == "-":
+		raw = os.Stdin
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return fail(err)
+		}
+		defer func() { _ = f.Close() }()
+		raw = f
+	default:
+		gt := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem"}
+		if *benchtime != "" {
+			gt = append(gt, "-benchtime", *benchtime)
+		}
+		if *count > 1 {
+			gt = append(gt, "-count", strconv.Itoa(*count))
+		}
+		gt = append(gt, *pkgs)
+		var buf bytes.Buffer
+		cmd := exec.Command("go", gt...)
+		// Tee the raw bench output to stderr so progress is visible while
+		// the buffer feeds the parser; stdout stays reserved for markdown.
+		cmd.Stdout = io.MultiWriter(&buf, stderr)
+		cmd.Stderr = stderr
+		if err := cmd.Run(); err != nil {
+			// go test exits 1 when a benchmark fails; the output still
+			// parses, so record the failure instead of bailing.
+			if _, ok := err.(*exec.ExitError); !ok {
+				return fail(err)
+			}
+			benchFailed = true
+		}
+		raw = &buf
+	}
+
+	parsed, err := perf.ParseBench(raw)
+	if err != nil {
+		return fail(err)
+	}
+	snap := &perf.Snapshot{
+		Schema:     perf.SnapshotSchema,
+		Label:      *label,
+		Kind:       perf.KindBench,
+		GoVersion:  runtime.Version(),
+		Packages:   parsed.Packages,
+		Failed:     append(parsed.Failed, parsed.FailedPackages...),
+		Benchmarks: perf.Summarize(parsed.Results),
+	}
+	path := snapshotPath(*outDir, *label)
+	if err := writeSnapshot(path, snap); err != nil {
+		return fail(err)
+	}
+	if err := perf.WriteBenchMarkdown(stdout, snap); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stderr, "benchreport: wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+	if benchFailed || !parsed.OK() {
+		fmt.Fprintf(stderr, "benchreport: run had failures: %s\n", strings.Join(snap.Failed, ", "))
+		return 1
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchreport: no benchmarks matched")
+		return 1
+	}
+	return 0
+}
+
+func cmdCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchreport compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.10, "relative change below which a delta is noise")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchreport compare [-threshold f] OLD.json NEW.json")
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	load := func(path string) (*perf.Snapshot, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = f.Close() }()
+		return perf.DecodeSnapshot(f)
+	}
+	oldSnap, err := load(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
+	newSnap, err := load(fs.Arg(1))
+	if err != nil {
+		return fail(err)
+	}
+	cmp := perf.Compare(oldSnap, newSnap, *threshold)
+	if err := perf.WriteCompareMarkdown(stdout, cmp); err != nil {
+		return fail(err)
+	}
+	if !cmp.OK() {
+		fmt.Fprintf(stderr, "benchreport: %d gating regression(s) beyond %.0f%%\n",
+			cmp.Regressions, 100**threshold)
+		return 1
+	}
+	return 0
+}
+
+func cmdScorecard(args []string, stdout, stderr io.Writer) int {
+	def := perf.DefaultScorecardConfig()
+	fs := flag.NewFlagSet("benchreport scorecard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	qList := fs.String("q", joinInts(def.Qs), "comma-separated PolarFly orders to sweep")
+	m := fs.Int("m", def.M, "Allreduce vector elements")
+	latency := fs.Int("latency", def.LinkLatency, "link latency in cycles")
+	vc := fs.Int("vc", def.VCDepth, "virtual channel depth in flits")
+	seed := fs.Int64("seed", def.Seed, "workload seed")
+	tol := fs.Float64("tol", def.Tolerance, "measured-vs-model tolerance (relative)")
+	label := fs.String("label", "scorecard", "snapshot label; output file is BENCH_<label>.json")
+	outDir := fs.String("out", ".", "directory for the BENCH_<label>.json snapshot")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	qs, err := parseInts(*qList)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchreport: -q:", err)
+		return 2
+	}
+	cfg := perf.ScorecardConfig{
+		Qs: qs, M: *m, LinkLatency: *latency, VCDepth: *vc,
+		Seed: *seed, Tolerance: *tol,
+	}
+	points, err := perf.Scorecard(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	snap := &perf.Snapshot{
+		Schema:          perf.SnapshotSchema,
+		Label:           *label,
+		Kind:            perf.KindScorecard,
+		GoVersion:       runtime.Version(),
+		Scorecard:       points,
+		ScorecardConfig: &cfg,
+	}
+	path := snapshotPath(*outDir, *label)
+	if err := writeSnapshot(path, snap); err != nil {
+		return fail(err)
+	}
+	if err := perf.WriteScorecardMarkdown(stdout, snap); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stderr, "benchreport: wrote %s (%d design points)\n", path, len(points))
+	if fails := perf.ScorecardFailures(points, cfg.Tolerance); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(stderr, "benchreport: FAIL:", f)
+		}
+		return 1
+	}
+	return 0
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

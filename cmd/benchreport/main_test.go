@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"polarfly/internal/perf"
+)
+
+// writeFixture drops a pre-captured bench output file into dir.
+func writeFixture(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const benchFixture = `goos: linux
+pkg: polarfly
+BenchmarkAlpha-8 	 100	 1000 ns/op	 64 B/op	 2 allocs/op
+BenchmarkAlpha-8 	 100	 1100 ns/op	 64 B/op	 2 allocs/op
+BenchmarkBeta-8  	  50	 2000 ns/op	128 B/op	 4 allocs/op
+BenchmarkBeta-8  	  50	 2100 ns/op	128 B/op	 4 allocs/op
+PASS
+ok  	polarfly	1.234s
+`
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func loadSnapshot(t *testing.T, path string) *perf.Snapshot {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	s, err := perf.DecodeSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunFromFixture(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFixture(t, dir, "bench.txt", benchFixture)
+	code, stdout, _ := runCLI(t, "run", "-in", in, "-label", "base", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	snap := loadSnapshot(t, filepath.Join(dir, "BENCH_base.json"))
+	if snap.Kind != perf.KindBench || snap.Label != "base" {
+		t.Errorf("snapshot kind=%q label=%q", snap.Kind, snap.Label)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("%d benchmarks, want 2", len(snap.Benchmarks))
+	}
+	if snap.Benchmarks[0].Name != "BenchmarkAlpha" || snap.Benchmarks[0].Procs != 8 || snap.Benchmarks[0].Runs != 2 {
+		t.Errorf("first summary %+v", snap.Benchmarks[0])
+	}
+	if snap.GoVersion == "" {
+		t.Error("GoVersion not recorded")
+	}
+	if !strings.Contains(stdout, "BenchmarkAlpha") || !strings.Contains(stdout, "| --- |") {
+		t.Errorf("markdown table missing from stdout:\n%s", stdout)
+	}
+}
+
+func TestRunFromFixtureWithFailures(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFixture(t, dir, "bench.txt", benchFixture+
+		"--- FAIL: BenchmarkBroken\nFAIL\tpolarfly/internal/netsim\t1.0s\n")
+	code, _, stderr := runCLI(t, "run", "-in", in, "-label", "bad", "-out", dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 for a run with failed benchmarks", code)
+	}
+	if !strings.Contains(stderr, "BenchmarkBroken") {
+		t.Errorf("stderr does not name the failed benchmark:\n%s", stderr)
+	}
+	snap := loadSnapshot(t, filepath.Join(dir, "BENCH_bad.json"))
+	if len(snap.Failed) != 2 { // benchmark + package
+		t.Errorf("snapshot failed list %v, want benchmark and package", snap.Failed)
+	}
+}
+
+// TestCompareExitCodes is the acceptance check: identical snapshots exit
+// 0; an injected ns/op regression exits 1.
+func TestCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFixture(t, dir, "bench.txt", benchFixture)
+	if code, _, _ := runCLI(t, "run", "-in", in, "-label", "old", "-out", dir); code != 0 {
+		t.Fatal("baseline run failed")
+	}
+	oldPath := filepath.Join(dir, "BENCH_old.json")
+
+	// Identical snapshots: exit 0.
+	code, stdout, _ := runCLI(t, "compare", oldPath, oldPath)
+	if code != 0 {
+		t.Errorf("compare(identical) exit %d, want 0\n%s", code, stdout)
+	}
+
+	// Inject a 3× ns/op regression into BenchmarkAlpha and re-compare.
+	snap := loadSnapshot(t, oldPath)
+	for i := range snap.Benchmarks {
+		for j := range snap.Benchmarks[i].Metrics {
+			if snap.Benchmarks[i].Name == "BenchmarkAlpha" && snap.Benchmarks[i].Metrics[j].Unit == "ns/op" {
+				m := &snap.Benchmarks[i].Metrics[j]
+				m.Min *= 3
+				m.Median *= 3
+				m.Mean *= 3
+				m.Max *= 3
+			}
+		}
+	}
+	snap.Label = "regressed"
+	newPath := filepath.Join(dir, "BENCH_regressed.json")
+	f, err := os.Create(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runCLI(t, "compare", oldPath, newPath)
+	if code != 1 {
+		t.Errorf("compare(regressed) exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "**regression**") {
+		t.Errorf("markdown does not flag the regression:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "regression") {
+		t.Errorf("stderr does not mention the regression:\n%s", stderr)
+	}
+}
+
+func TestCompareRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	bad := writeFixture(t, dir, "bad.json", `{"schema":"other/v9","label":"x"}`)
+	if code, _, stderr := runCLI(t, "compare", bad, bad); code != 1 ||
+		!strings.Contains(stderr, "schema") {
+		t.Errorf("exit %d stderr %q, want schema rejection", code, stderr)
+	}
+}
+
+// TestScorecardSmoke runs the real simulator at the smallest design point.
+func TestScorecardSmoke(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runCLI(t, "scorecard", "-q", "3", "-m", "4096", "-out", dir, "-label", "smoke")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	snap := loadSnapshot(t, filepath.Join(dir, "BENCH_smoke.json"))
+	if snap.Kind != perf.KindScorecard || len(snap.Scorecard) != 3 {
+		t.Fatalf("kind=%q points=%d, want scorecard with 3 points", snap.Kind, len(snap.Scorecard))
+	}
+	if snap.ScorecardConfig == nil || snap.ScorecardConfig.M != 4096 {
+		t.Errorf("scorecard config not persisted: %+v", snap.ScorecardConfig)
+	}
+	if !strings.Contains(stdout, "thm7.6") || !strings.Contains(stdout, "thm7.19") {
+		t.Errorf("markdown does not cite the theorem bounds:\n%s", stdout)
+	}
+}
+
+// TestScorecardFailsOutsideTolerance: an absurdly tight tolerance must
+// trip the gate (pipeline fill keeps measured below model).
+func TestScorecardFailsOutsideTolerance(t *testing.T) {
+	dir := t.TempDir()
+	code, _, stderr := runCLI(t, "scorecard", "-q", "3", "-m", "256", "-tol", "0.0001", "-out", dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 at near-zero tolerance\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "FAIL") {
+		t.Errorf("stderr does not list the violations:\n%s", stderr)
+	}
+}
+
+func TestUsageAndUnknownCommand(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Error("no-args exit != 2")
+	}
+	if code, _, stderr := runCLI(t, "frobnicate"); code != 2 || !strings.Contains(stderr, "unknown command") {
+		t.Errorf("unknown command: exit %d stderr %q", code, stderr)
+	}
+	if code, stdout, _ := runCLI(t, "help"); code != 0 || !strings.Contains(stdout, "scorecard") {
+		t.Error("help does not document the subcommands")
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	cases := map[string]string{
+		"main":        "main",
+		"feature/x y": "feature-x-y",
+		"v1.2_rc-3":   "v1.2_rc-3",
+		"":            "snapshot",
+		"../escape":   "..-escape",
+	}
+	for in, want := range cases {
+		if got := sanitizeLabel(in); got != want {
+			t.Errorf("sanitizeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSnapshotJSONDeterminism: the same fixture parsed twice must produce
+// byte-identical JSON (modulo nothing — no timestamps in the schema).
+func TestSnapshotJSONDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	in := writeFixture(t, dir, "bench.txt", benchFixture)
+	read := func(label string) []byte {
+		if code, _, stderr := runCLI(t, "run", "-in", in, "-label", label, "-out", dir); code != 0 {
+			t.Fatalf("run failed: %s", stderr)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, "BENCH_"+label+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Neutralise the only run-dependent field.
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "label")
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if a, b := read("one"), read("two"); !bytes.Equal(a, b) {
+		t.Errorf("snapshots differ between identical runs:\n%s\n%s", a, b)
+	}
+}

@@ -202,6 +202,9 @@ type AllreduceResult struct {
 	PeakBufferFlits int
 	// LinkStats is the simulator's per-directed-link telemetry summary.
 	LinkStats []netsim.LinkStat
+	// TreeReduceDone[i] is the cycle tree i's root computed its final
+	// reduced flit — the per-tree reduce/broadcast phase boundary.
+	TreeReduceDone []int
 }
 
 // Allreduce simulates an in-network Allreduce of the given inputs over the
@@ -235,6 +238,7 @@ func (in *Instance) Allreduce(e *Embedding, inputs [][]int64, cfg netsim.Config)
 		FlitsSent:       res.FlitsSent,
 		PeakBufferFlits: res.PeakBufferFlits,
 		LinkStats:       res.LinkStats,
+		TreeReduceDone:  res.TreeReduceDone,
 	}, nil
 }
 

@@ -202,9 +202,18 @@ type SimRow struct {
 	SpeedupVsOne  float64 // single-tree cycles / this embedding's cycles
 	// MaxLinkUtil is the measured utilization of the hottest directed
 	// link; ModelMaxLinkUtil is the Algorithm 1 bottleneck prediction
-	// (1.0 on a waterfilled forest).
+	// (1.0 on a waterfilled forest). UtilRelErr is their explicit
+	// relative error (measured − model)/model, so readers and the perf
+	// scorecard get the model-accuracy number directly instead of
+	// diffing two absolute columns.
 	MaxLinkUtil      float64
 	ModelMaxLinkUtil float64
+	UtilRelErr       float64
+	// ReduceCycles is the cycle the slowest tree's root finished
+	// reducing; BcastCycles is the remainder of the run. The split
+	// attributes measured-vs-model error to a phase.
+	ReduceCycles int
+	BcastCycles  int
 }
 
 // SimulationComparison runs all three embeddings (two for even q) on the
@@ -259,6 +268,12 @@ func SimulationComparisonHooked(q, m int, cfg netsim.Config, seed int64,
 				maxUtil = ls.Utilization
 			}
 		}
+		reduceDone := 0
+		for _, rd := range res.TreeReduceDone {
+			if rd > reduceDone {
+				reduceDone = rd
+			}
+		}
 		row := SimRow{
 			Q: q, M: m, Kind: kind,
 			ModelBW:          e.Model.Aggregate,
@@ -268,6 +283,11 @@ func SimulationComparisonHooked(q, m int, cfg netsim.Config, seed int64,
 			MaxCongestion:    e.Model.MaxCongestion,
 			MaxLinkUtil:      maxUtil,
 			ModelMaxLinkUtil: e.ModelMaxLinkLoad(),
+			ReduceCycles:     reduceDone,
+			BcastCycles:      res.Cycles - reduceDone,
+		}
+		if row.ModelMaxLinkUtil > 0 {
+			row.UtilRelErr = (row.MaxLinkUtil - row.ModelMaxLinkUtil) / row.ModelMaxLinkUtil
 		}
 		if kind == SingleTree {
 			singleCycles = res.Cycles

@@ -151,6 +151,11 @@ type Result struct {
 	// TreeDone[i] is the cycle at which tree i's broadcast finished
 	// everywhere.
 	TreeDone []int
+	// TreeReduceDone[i] is the cycle at which tree i's root computed its
+	// final reduced flit — the reduce/broadcast phase boundary. It is -1
+	// when the run had no reduce phase (OpBroadcast) and 0 for zero-split
+	// trees.
+	TreeReduceDone []int
 	// PeakBufferFlits is the maximum total buffered flits observed across
 	// all virtual channels (a proxy for router SRAM requirements; §5.1
 	// motivates minimising congestion to keep this small).

@@ -452,3 +452,44 @@ func TestExpectedOutput(t *testing.T) {
 		t.Error("ExpectedOutput(nil) should be nil")
 	}
 }
+
+// TestTreeReduceDone pins the reduce/broadcast boundary in Result: the
+// root computes its last flit strictly after the reduce streams start and
+// strictly before the broadcast finishes, and the broadcast-only op
+// reports no reduce phase.
+func TestTreeReduceDone(t *testing.T) {
+	spec := lineSpec(t, 5, 64)
+	res, err := Run(spec, Config{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TreeReduceDone) != 1 {
+		t.Fatalf("TreeReduceDone has %d entries, want 1", len(res.TreeReduceDone))
+	}
+	rd := res.TreeReduceDone[0]
+	if rd <= 0 || rd >= res.Cycles {
+		t.Errorf("reduce phase ended at cycle %d, want inside (0, %d)", rd, res.Cycles)
+	}
+	if rd > res.TreeDone[0] {
+		t.Errorf("reduce phase ended at %d, after the tree finished at %d", rd, res.TreeDone[0])
+	}
+
+	spec.Op = OpBroadcast
+	bres, err := Run(spec, Config{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.TreeReduceDone[0] != -1 {
+		t.Errorf("broadcast-only run reports reduce end %d, want -1", bres.TreeReduceDone[0])
+	}
+
+	spec.Op = OpReduce
+	rres, err := Run(spec, Config{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.TreeReduceDone[0] != rres.Cycles {
+		t.Errorf("reduce-only run: reduce ended at %d, run at %d; they must coincide",
+			rres.TreeReduceDone[0], rres.Cycles)
+	}
+}

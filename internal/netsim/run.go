@@ -141,8 +141,12 @@ func newSim(spec Spec, cfg Config) (*sim, error) {
 		}
 	}
 	s.result.TreeDone = make([]int, len(spec.Forest))
+	s.result.TreeReduceDone = make([]int, len(spec.Forest))
 	for i := range s.result.TreeDone {
 		s.result.TreeDone[i] = -1
+		if spec.Op == OpBroadcast {
+			s.result.TreeReduceDone[i] = -1 // no reduce phase
+		}
 		s.checkTreeDone(i, 0) // zero-split or trivially-complete trees
 	}
 
@@ -283,6 +287,9 @@ func (s *sim) rootCompute(now int) {
 			nt.rootResult[k] = v
 			nt.out[k] = v
 			nt.rootComputed++
+			if nt.rootComputed == mt {
+				s.result.TreeReduceDone[ti] = now
+			}
 			nt.delivered++
 			s.engineUsed[root]++
 			s.pending--

@@ -59,6 +59,13 @@ type linkTelemetry struct {
 
 type treeTelemetry struct {
 	reduceFlits, bcastFlits, computeFlits int
+
+	// rootDoneCycle is the cycle of the tree's last root-compute event —
+	// the moment the final reduce-phase flit arrived at the tree root.
+	// lastBcastCycle is the last broadcast-phase delivery. Together they
+	// split the tree's span into a reduce and a broadcast phase.
+	rootDoneCycle  int
+	lastBcastCycle int
 }
 
 // NewCollector returns an empty collector.
@@ -149,11 +156,22 @@ func (c *Collector) Observe(ev netsim.TraceEvent) {
 			lt.peakBuffer = int(ev.Value)
 		}
 	case netsim.TraceRootCompute:
-		c.tree(ev.Tree).computeFlits++
+		tt := c.tree(ev.Tree)
+		tt.computeFlits++
+		if ev.Cycle > tt.rootDoneCycle {
+			tt.rootDoneCycle = ev.Cycle
+		}
 	case netsim.TraceArrive:
 		// Deliveries mirror sends one link latency later; counting both
-		// would double every link aggregate, so arrivals are observed but
-		// deliberately not accumulated.
+		// would double every link aggregate, so arrivals are not added to
+		// the link counters. Broadcast arrivals do mark the phase split:
+		// the last one closes the tree's broadcast phase.
+		if ev.Phase == 1 {
+			tt := c.tree(ev.Tree)
+			if ev.Cycle > tt.lastBcastCycle {
+				tt.lastBcastCycle = ev.Cycle
+			}
+		}
 	}
 }
 
@@ -311,12 +329,24 @@ type StreamFlits struct {
 	Flits int `json:"flits"`
 }
 
-// TreeReport is the exported per-tree aggregate.
+// TreeReport is the exported per-tree aggregate. The phase split places
+// the boundary at the tree root's last reduce arrival: ReduceCycles is
+// the cycle the root computed its final flit, BcastCycles the tail from
+// there to the last broadcast delivery. The phases pipeline — early
+// flits broadcast while late flits still reduce — so the split
+// attributes each tree's span to the phase its slowest flit was in, not
+// to exclusive occupancy.
 type TreeReport struct {
 	Tree         int `json:"tree"`
 	ReduceFlits  int `json:"reduce_flits"`
 	BcastFlits   int `json:"bcast_flits"`
 	ComputeFlits int `json:"compute_flits"`
+	// ReduceCycles is the cycle of the last root-compute event (0 when the
+	// run had no reduce phase).
+	ReduceCycles int `json:"reduce_cycles"`
+	// BcastCycles is the span from the root's last compute to the last
+	// broadcast delivery (0 when the run had no broadcast phase).
+	BcastCycles int `json:"bcast_cycles"`
 }
 
 // HeatmapCell aggregates one undirected physical link of the congestion
@@ -350,6 +380,12 @@ type Report struct {
 	SharedSamePhaseLinks int `json:"shared_same_phase_links"`
 	// MaxLinkUtilization is the hottest directed link's utilization.
 	MaxLinkUtilization float64 `json:"max_link_utilization"`
+	// ReducePhaseCycles is the run-level reduce/broadcast boundary: the
+	// latest root-compute cycle across all trees. BcastPhaseCycles is the
+	// remainder of the run. Model error can be attributed to a phase by
+	// comparing these against the model's symmetric m/ΣB_i halves.
+	ReducePhaseCycles int `json:"reduce_phase_cycles"`
+	BcastPhaseCycles  int `json:"bcast_phase_cycles"`
 	// StallRuns is a histogram of consecutive-stall run lengths (cycles).
 	StallRuns HistogramSnapshot `json:"stall_runs"`
 }
@@ -472,20 +508,30 @@ func (c *Collector) Report() *Report {
 	sort.Ints(tkeys)
 	for _, t := range tkeys {
 		tt := c.trees[t]
-		r.Trees = append(r.Trees, TreeReport{
+		tr := TreeReport{
 			Tree: t, ReduceFlits: tt.reduceFlits, BcastFlits: tt.bcastFlits, ComputeFlits: tt.computeFlits,
-		})
+			ReduceCycles: tt.rootDoneCycle,
+		}
+		if tt.lastBcastCycle > tt.rootDoneCycle {
+			tr.BcastCycles = tt.lastBcastCycle - tt.rootDoneCycle
+		}
+		if tr.ReduceCycles > r.ReducePhaseCycles {
+			r.ReducePhaseCycles = tr.ReduceCycles
+		}
+		r.Trees = append(r.Trees, tr)
+	}
+	if r.Cycles > r.ReducePhaseCycles {
+		r.BcastPhaseCycles = r.Cycles - r.ReducePhaseCycles
 	}
 
-	hist := &Histogram{bounds: stallBuckets(), counts: make([]int64, len(stallBuckets())+1)}
+	bounds := DefaultStallBuckets()
+	hist := &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
 	for _, run := range c.runLengths {
 		hist.Observe(float64(run))
 	}
 	r.StallRuns = hist.snapshot()
 	return r
 }
-
-func stallBuckets() []float64 { return ExpBuckets(1, 2, 12) }
 
 // Metrics populates a fresh Registry from the collector's aggregates, so
 // the telemetry can be exported through the standard snapshot formats.
@@ -499,13 +545,15 @@ func (c *Collector) Metrics(reg *Registry) *Report {
 	reg.Gauge("sim.max_link_utilization").Set(rep.MaxLinkUtilization)
 	reg.Gauge("sim.max_edge_congestion").Set(float64(rep.MaxEdgeCongestion))
 	reg.Gauge("sim.shared_directed_links").Set(float64(rep.SharedDirectedLinks))
+	reg.Gauge("sim.reduce_phase_cycles").Set(float64(rep.ReducePhaseCycles))
+	reg.Gauge("sim.bcast_phase_cycles").Set(float64(rep.BcastPhaseCycles))
 	for _, lr := range rep.Links {
 		name := "link." + linkName(lr.From, lr.To)
 		reg.Counter(name + ".flits").Add(int64(lr.Flits))
 		reg.Counter(name + ".stall_cycles").Add(int64(lr.StallCycles))
 		reg.Gauge(name + ".utilization").Set(lr.Utilization)
 	}
-	h := reg.Histogram("sim.stall_run_cycles", stallBuckets())
+	h := reg.Histogram("sim.stall_run_cycles", DefaultStallBuckets())
 	for _, run := range c.runLengths {
 		h.Observe(float64(run))
 	}

@@ -191,3 +191,50 @@ func TestMetricsExport(t *testing.T) {
 		t.Fatalf("report is not JSON-serialisable: %v", err)
 	}
 }
+
+// TestPhaseBreakdown verifies the reduce/broadcast phase split: every
+// tree's boundary sits at its root's last compute, the phases tile the
+// run, and the run-level split matches the slowest tree.
+func TestPhaseBreakdown(t *testing.T) {
+	_, rep, res := collectRun(t, 5, 64, core.LowDepth, netsim.Config{LinkLatency: 2, VCDepth: 4})
+	if rep.ReducePhaseCycles <= 0 || rep.BcastPhaseCycles <= 0 {
+		t.Fatalf("phase split %d/%d, want both positive", rep.ReducePhaseCycles, rep.BcastPhaseCycles)
+	}
+	if got := rep.ReducePhaseCycles + rep.BcastPhaseCycles; got != res.Cycles {
+		t.Errorf("phases sum to %d cycles, run took %d", got, res.Cycles)
+	}
+	maxReduce := 0
+	for _, tr := range rep.Trees {
+		if tr.ReduceCycles <= 0 {
+			t.Errorf("tree %d: reduce phase %d cycles, want > 0", tr.Tree, tr.ReduceCycles)
+		}
+		if tr.BcastCycles <= 0 {
+			t.Errorf("tree %d: broadcast phase %d cycles, want > 0", tr.Tree, tr.BcastCycles)
+		}
+		if end := tr.ReduceCycles + tr.BcastCycles; end > res.Cycles {
+			t.Errorf("tree %d: phases end at cycle %d, after the run's %d", tr.Tree, end, res.Cycles)
+		}
+		if tr.ReduceCycles > maxReduce {
+			maxReduce = tr.ReduceCycles
+		}
+	}
+	if rep.ReducePhaseCycles != maxReduce {
+		t.Errorf("run-level reduce phase %d, slowest tree finished reducing at %d",
+			rep.ReducePhaseCycles, maxReduce)
+	}
+}
+
+// TestPhaseBreakdownMetrics checks the phase split reaches the registry
+// export.
+func TestPhaseBreakdownMetrics(t *testing.T) {
+	c, rep, _ := collectRun(t, 3, 32, core.Hamiltonian, netsim.Config{LinkLatency: 2, VCDepth: 4})
+	reg := obsv.NewRegistry()
+	c.Metrics(reg)
+	snap := reg.Snapshot()
+	if got := snap.Gauges["sim.reduce_phase_cycles"]; got != float64(rep.ReducePhaseCycles) {
+		t.Errorf("sim.reduce_phase_cycles = %g, want %d", got, rep.ReducePhaseCycles)
+	}
+	if got := snap.Gauges["sim.bcast_phase_cycles"]; got != float64(rep.BcastPhaseCycles) {
+		t.Errorf("sim.bcast_phase_cycles = %g, want %d", got, rep.BcastPhaseCycles)
+	}
+}

@@ -188,6 +188,13 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// DefaultStallBuckets is the registry's shared bucket layout for
+// stall-run-length histograms: twelve powers of two from 1 to 2048
+// cycles. Collector.Report and Collector.Metrics both build their
+// "sim.stall_run_cycles" histograms from it, so the JSON report and the
+// registry snapshot always bucket identically.
+func DefaultStallBuckets() []float64 { return ExpBuckets(1, 2, 12) }
+
 // ExpBuckets returns n strictly increasing bounds start, start·factor,
 // start·factor², … — the usual latency-histogram shape.
 func ExpBuckets(start, factor float64, n int) []float64 {

@@ -106,3 +106,39 @@ func TestExpBuckets(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramDuplicateName pins the registry's duplicate-name
+// contract for histograms: re-registering the name as another metric
+// type panics, while re-registering it as a histogram returns the
+// original instance with its first-registration bounds intact.
+func TestHistogramDuplicateName(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("dup", []float64{1, 2, 4})
+	if reg.Histogram("dup", []float64{8, 16}) != h {
+		t.Error("histogram re-registration did not return the original instance")
+	}
+	h.Observe(3)
+	if s := h.snapshot(); len(s.Bounds) != 3 || s.Bounds[2] != 4 {
+		t.Errorf("bounds %v changed after re-registration, want the first registration's {1,2,4}", s.Bounds)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a histogram name as a counter did not panic")
+		}
+	}()
+	reg.Counter("dup")
+}
+
+// TestDefaultStallBuckets keeps the shared stall-run bucket layout
+// strictly increasing and wide enough for kilocycle stalls.
+func TestDefaultStallBuckets(t *testing.T) {
+	b := DefaultStallBuckets()
+	if len(b) != 12 || b[0] != 1 || b[len(b)-1] != 2048 {
+		t.Fatalf("DefaultStallBuckets() = %v, want 12 powers of two from 1 to 2048", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, b)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package perf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one (value, unit) pair from a benchmark result line —
+// "ns/op", "B/op", "allocs/op", "MB/s", or a testing.B.ReportMetric
+// custom unit such as "elem/cycle".
+type Measurement struct {
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// BenchResult is one parsed `go test -bench` result line.
+type BenchResult struct {
+	// Name is the benchmark path (including sub-benchmarks) with the
+	// trailing GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when the line carried none).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the measured run.
+	Iterations int `json:"iterations"`
+	// Metrics preserves the line's (value, unit) pairs in order.
+	Metrics []Measurement `json:"metrics"`
+}
+
+// Metric returns the measurement with the given unit and whether the
+// result carried it.
+func (r BenchResult) Metric(unit string) (float64, bool) {
+	for _, m := range r.Metrics {
+		if m.Unit == unit {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// RunOutput is everything ParseBench extracts from one `go test -bench`
+// invocation: the result lines, plus the failure and package markers
+// needed to tell a clean run from a broken one.
+type RunOutput struct {
+	// Results lists every benchmark result line, in input order;
+	// -count=N produces N entries per benchmark.
+	Results []BenchResult
+	// Failed lists the names from "--- FAIL: Benchmark…" lines.
+	Failed []string
+	// Packages lists packages that printed an "ok" or "FAIL" summary.
+	Packages []string
+	// FailedPackages lists packages whose summary line was "FAIL".
+	FailedPackages []string
+}
+
+// OK reports whether the run completed without benchmark or package
+// failures.
+func (o *RunOutput) OK() bool {
+	return len(o.Failed) == 0 && len(o.FailedPackages) == 0
+}
+
+// ParseBench parses the plain-text output of
+//
+//	go test -run '^$' -bench <regex> -benchmem [-count N] ./...
+//
+// It tolerates the interleaved non-benchmark chatter (goos/goarch/pkg/cpu
+// headers, test log lines) and records failed benchmarks and packages
+// instead of erroring on them — a parse error means the input was not
+// `go test` output at all, not that the benchmarks were unhealthy.
+func ParseBench(r io.Reader) (*RunOutput, error) {
+	out := &RunOutput{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "--- FAIL: Benchmark"):
+			name := strings.TrimPrefix(trimmed, "--- FAIL: ")
+			if i := strings.IndexAny(name, " \t"); i >= 0 {
+				name = name[:i]
+			}
+			out.Failed = append(out.Failed, name)
+		case strings.HasPrefix(line, "ok ") || strings.HasPrefix(line, "ok\t"):
+			if pkg := packageOf(line); pkg != "" {
+				out.Packages = append(out.Packages, pkg)
+			}
+		case strings.HasPrefix(line, "FAIL\t") || strings.HasPrefix(line, "FAIL "):
+			if pkg := packageOf(line); pkg != "" {
+				out.Packages = append(out.Packages, pkg)
+				out.FailedPackages = append(out.FailedPackages, pkg)
+			}
+		case strings.HasPrefix(trimmed, "Benchmark"):
+			res, ok, err := parseResultLine(trimmed)
+			if err != nil {
+				return nil, fmt.Errorf("perf: line %d: %w", lineNo, err)
+			}
+			if ok {
+				out.Results = append(out.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perf: reading bench output: %w", err)
+	}
+	return out, nil
+}
+
+// packageOf extracts the package path from an "ok <pkg> <time>" or
+// "FAIL <pkg> …" summary line.
+func packageOf(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return ""
+	}
+	return fields[1]
+}
+
+// parseResultLine parses one "BenchmarkName-8  N  v unit  v unit …"
+// line. Lines that merely start with "Benchmark" but are not result
+// lines (e.g. a benchmark's own log output) return ok=false; a line that
+// is unmistakably a result but malformed returns an error.
+func parseResultLine(line string) (BenchResult, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return BenchResult{}, false, nil
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		// "BenchmarkFoo something": a log line, not a result.
+		return BenchResult{}, false, nil
+	}
+	name, procs := splitProcs(fields[0])
+	res := BenchResult{Name: name, Procs: procs, Iterations: iters}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return BenchResult{}, false, fmt.Errorf("odd value/unit pairing in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return BenchResult{}, false, fmt.Errorf("bad metric value %q in %q", rest[i], line)
+		}
+		res.Metrics = append(res.Metrics, Measurement{Value: v, Unit: rest[i+1]})
+	}
+	return res, true, nil
+}
+
+// splitProcs strips the trailing "-N" GOMAXPROCS suffix go test appends
+// to benchmark names (absent when GOMAXPROCS=1).
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}

@@ -1,0 +1,174 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files from the current parser output:
+//
+//	go test ./internal/perf -run TestParseBenchGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestParseBenchGolden parses captured real `go test -bench -benchmem`
+// output (testdata/bench_real.txt, recorded from this repository's own
+// suite, including MB/s and custom elem/cycle columns) plus a captured
+// failing run, and compares the full parse against JSON goldens.
+func TestParseBenchGolden(t *testing.T) {
+	for _, name := range []string{"bench_real", "bench_failed"} {
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", name+".txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := ParseBench(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			goldenPath := filepath.Join("testdata", name+".golden.json")
+			if *update {
+				if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("parse of %s.txt diverges from golden (re-run with -update if intended)\ngot:\n%s\nwant:\n%s",
+					name, got, want)
+			}
+		})
+	}
+}
+
+// TestParseBenchRealDetails spot-checks semantic fields of the real
+// capture so the golden cannot silently drift into nonsense.
+func TestParseBenchRealDetails(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "bench_real.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseBench(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Errorf("clean run reported failures: %v / %v", out.Failed, out.FailedPackages)
+	}
+	if len(out.Results) != 12 {
+		t.Fatalf("%d result lines, want 12 (6 benchmarks × count=2)", len(out.Results))
+	}
+	if got := out.Packages; len(got) != 1 || got[0] != "polarfly" {
+		t.Errorf("packages %v, want [polarfly]", got)
+	}
+	var ham *BenchResult
+	for i := range out.Results {
+		if out.Results[i].Name == "BenchmarkSimulatedAllreduce/hamiltonian" {
+			ham = &out.Results[i]
+			break
+		}
+	}
+	if ham == nil {
+		t.Fatal("hamiltonian sub-benchmark not parsed")
+	}
+	if v, ok := ham.Metric("elem/cycle"); !ok || v < 2.5 || v > 2.7 {
+		t.Errorf("elem/cycle = %v (present=%v), want ≈2.586", v, ok)
+	}
+	if v, ok := ham.Metric("allocs/op"); !ok || v != 289979 {
+		t.Errorf("allocs/op = %v (present=%v), want 289979", v, ok)
+	}
+	if v, ok := ham.Metric("MB/s"); !ok || v <= 0 {
+		t.Errorf("MB/s = %v (present=%v), want positive", v, ok)
+	}
+}
+
+// TestParseBenchFailures checks the failing capture: failed benchmarks
+// (top-level and sub-benchmark) and the failed package are recorded, and
+// result lines around them still parse, including the -8 GOMAXPROCS
+// suffix.
+func TestParseBenchFailures(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "bench_failed.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseBench(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OK() {
+		t.Error("failing run reported OK")
+	}
+	wantFailed := []string{"BenchmarkBrokenInvariant", "BenchmarkBrokenSub/q=11-8"}
+	if len(out.Failed) != len(wantFailed) {
+		t.Fatalf("failed %v, want %v", out.Failed, wantFailed)
+	}
+	for i, w := range wantFailed {
+		if out.Failed[i] != w {
+			t.Errorf("failed[%d] = %q, want %q", i, out.Failed[i], w)
+		}
+	}
+	if len(out.FailedPackages) != 1 || out.FailedPackages[0] != "polarfly/internal/netsim" {
+		t.Errorf("failed packages %v, want [polarfly/internal/netsim]", out.FailedPackages)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(out.Results))
+	}
+	first := out.Results[0]
+	if first.Name != "BenchmarkRunLowDepth/q=5" || first.Procs != 8 {
+		t.Errorf("first result %q procs %d, want BenchmarkRunLowDepth/q=5 procs 8", first.Name, first.Procs)
+	}
+	if first.Iterations != 120 {
+		t.Errorf("iterations %d, want 120", first.Iterations)
+	}
+}
+
+// TestParseResultLineEdgeCases covers the line-shape corners table-style.
+func TestParseResultLineEdgeCases(t *testing.T) {
+	cases := []struct {
+		in     string
+		ok     bool
+		errSub string // non-empty: expect an error containing it
+		name   string
+		procs  int
+	}{
+		{in: "BenchmarkX-4 100 5 ns/op", ok: true, name: "BenchmarkX", procs: 4},
+		{in: "BenchmarkX 100 5 ns/op", ok: true, name: "BenchmarkX", procs: 1},
+		{in: "BenchmarkX/sub-case-16 2 5 ns/op", ok: true, name: "BenchmarkX/sub-case", procs: 16},
+		{in: "BenchmarkX logging something", ok: false},
+		{in: "BenchmarkX", ok: false},
+		{in: "BenchmarkX 100 5", errSub: "odd value/unit"},
+		{in: "BenchmarkX 100 five ns/op", errSub: "bad metric value"},
+	}
+	for _, c := range cases {
+		res, ok, err := parseResultLine(c.in)
+		if c.errSub != "" {
+			if err == nil || !strings.Contains(err.Error(), c.errSub) {
+				t.Errorf("%q: err = %v, want containing %q", c.in, err, c.errSub)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: unexpected error %v", c.in, err)
+			continue
+		}
+		if ok != c.ok {
+			t.Errorf("%q: ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && (res.Name != c.name || res.Procs != c.procs) {
+			t.Errorf("%q: parsed (%q, %d), want (%q, %d)", c.in, res.Name, res.Procs, c.name, c.procs)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package perf is the repository's performance-observability layer: it
+// parses `go test -bench -benchmem` output into typed results, reduces
+// repeated runs to deterministic summary statistics, diffs two benchmark
+// snapshots with a noise threshold so CI can gate on regressions, and
+// produces the measured-vs-model scorecard that tracks how closely the
+// cycle simulator reproduces the Algorithm 1 bandwidth predictions and
+// the Theorem 7.6 / Theorem 7.19 bounds across design points.
+//
+// Everything is stdlib-only and deterministic: given the same inputs the
+// package produces byte-identical snapshots, so BENCH_*.json files diff
+// cleanly between commits.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SnapshotSchema identifies the BENCH_*.json format version.
+const SnapshotSchema = "polarfly-bench/v1"
+
+// Snapshot kinds.
+const (
+	// KindBench is a snapshot of `go test -bench` results.
+	KindBench = "bench"
+	// KindScorecard is a measured-vs-model scorecard snapshot.
+	KindScorecard = "scorecard"
+)
+
+// Snapshot is the persisted form of one benchmark or scorecard run — the
+// schema of the BENCH_<label>.json files at the repository root. A bench
+// snapshot fills Benchmarks (and optionally Failed/Packages); a scorecard
+// snapshot fills Scorecard and ScorecardConfig.
+type Snapshot struct {
+	Schema string `json:"schema"`
+	Label  string `json:"label"`
+	Kind   string `json:"kind"`
+	// GoVersion is the toolchain that produced the numbers (set by the
+	// CLI; informational).
+	GoVersion string `json:"go_version,omitempty"`
+	// Packages lists the packages whose benchmarks ran.
+	Packages []string `json:"packages,omitempty"`
+	// Failed lists benchmarks (or packages) that failed during the run; a
+	// snapshot with failures must not be used as a regression baseline.
+	Failed []string `json:"failed,omitempty"`
+	// Benchmarks holds the per-benchmark summary statistics.
+	Benchmarks []BenchSummary `json:"benchmarks,omitempty"`
+	// Scorecard holds the measured-vs-model records.
+	Scorecard []ScorePoint `json:"scorecard,omitempty"`
+	// ScorecardConfig records the sweep parameters behind Scorecard.
+	ScorecardConfig *ScorecardConfig `json:"scorecard_config,omitempty"`
+}
+
+// WriteJSON writes the snapshot as indented JSON. Field order is fixed by
+// the struct, so output is deterministic.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// DecodeSnapshot reads and validates one snapshot.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("perf: decoding snapshot: %w", err)
+	}
+	if s.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("perf: snapshot schema %q, want %q", s.Schema, SnapshotSchema)
+	}
+	return &s, nil
+}

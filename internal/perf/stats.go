@@ -1,0 +1,112 @@
+package perf
+
+import "sort"
+
+// MetricSummary reduces the repeated observations of one (benchmark,
+// unit) to order statistics. With -count=1 all of Min/Median/Mean/Max
+// coincide and Spread is 0.
+type MetricSummary struct {
+	Unit string `json:"unit"`
+	// N is the number of observations behind the statistics.
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Mean   float64 `json:"mean"`
+	Max    float64 `json:"max"`
+	// Spread is (Max−Min)/Median — the run-to-run noise estimate the
+	// regression comparator's threshold should dominate. Zero when the
+	// median is zero.
+	Spread float64 `json:"spread"`
+}
+
+// BenchSummary is the per-benchmark aggregate over repeated runs.
+type BenchSummary struct {
+	Name  string `json:"name"`
+	Procs int    `json:"procs"`
+	// Runs counts the result lines aggregated (the -count value).
+	Runs int `json:"runs"`
+	// Metrics is sorted by unit name.
+	Metrics []MetricSummary `json:"metrics"`
+}
+
+// Metric returns the summary for one unit and whether it exists.
+func (b BenchSummary) Metric(unit string) (MetricSummary, bool) {
+	for _, m := range b.Metrics {
+		if m.Unit == unit {
+			return m, true
+		}
+	}
+	return MetricSummary{}, false
+}
+
+// Summarize groups repeated results by (name, procs) and reduces every
+// unit to summary statistics. The output is sorted by name (then procs),
+// with each benchmark's metrics sorted by unit, so identical inputs
+// produce identical snapshots.
+func Summarize(results []BenchResult) []BenchSummary {
+	type key struct {
+		name  string
+		procs int
+	}
+	byBench := make(map[key]map[string][]float64)
+	runs := make(map[key]int)
+	var order []key
+	for _, r := range results {
+		k := key{r.Name, r.Procs}
+		if _, ok := byBench[k]; !ok {
+			byBench[k] = make(map[string][]float64)
+			order = append(order, k)
+		}
+		runs[k]++
+		for _, m := range r.Metrics {
+			byBench[k][m.Unit] = append(byBench[k][m.Unit], m.Value)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].name != order[j].name {
+			return order[i].name < order[j].name
+		}
+		return order[i].procs < order[j].procs
+	})
+
+	out := make([]BenchSummary, 0, len(order))
+	for _, k := range order {
+		bs := BenchSummary{Name: k.name, Procs: k.procs, Runs: runs[k]}
+		units := make([]string, 0, len(byBench[k]))
+		for unit := range byBench[k] {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			bs.Metrics = append(bs.Metrics, summarizeValues(unit, byBench[k][unit]))
+		}
+		out = append(out, bs)
+	}
+	return out
+}
+
+func summarizeValues(unit string, vals []float64) MetricSummary {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	ms := MetricSummary{Unit: unit, N: len(sorted)}
+	if len(sorted) == 0 {
+		return ms
+	}
+	ms.Min = sorted[0]
+	ms.Max = sorted[len(sorted)-1]
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		ms.Median = sorted[mid]
+	} else {
+		ms.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	ms.Mean = sum / float64(len(sorted))
+	if ms.Median > 0 {
+		ms.Spread = (ms.Max - ms.Min) / ms.Median
+	}
+	return ms
+}

@@ -1,0 +1,76 @@
+package perf
+
+import "testing"
+
+func TestSummarize(t *testing.T) {
+	results := []BenchResult{
+		{Name: "BenchmarkB", Procs: 1, Iterations: 10, Metrics: []Measurement{{Value: 300, Unit: "ns/op"}}},
+		{Name: "BenchmarkA", Procs: 1, Iterations: 10, Metrics: []Measurement{
+			{Value: 100, Unit: "ns/op"}, {Value: 8, Unit: "allocs/op"}}},
+		{Name: "BenchmarkA", Procs: 1, Iterations: 10, Metrics: []Measurement{
+			{Value: 200, Unit: "ns/op"}, {Value: 8, Unit: "allocs/op"}}},
+		{Name: "BenchmarkA", Procs: 1, Iterations: 10, Metrics: []Measurement{
+			{Value: 160, Unit: "ns/op"}, {Value: 8, Unit: "allocs/op"}}},
+	}
+	sums := Summarize(results)
+	if len(sums) != 2 {
+		t.Fatalf("%d summaries, want 2", len(sums))
+	}
+	// Sorted by name: A before B despite input order.
+	a := sums[0]
+	if a.Name != "BenchmarkA" || a.Runs != 3 {
+		t.Fatalf("first summary %q runs=%d, want BenchmarkA runs=3", a.Name, a.Runs)
+	}
+	// Metrics sorted by unit: allocs/op before ns/op.
+	if len(a.Metrics) != 2 || a.Metrics[0].Unit != "allocs/op" || a.Metrics[1].Unit != "ns/op" {
+		t.Fatalf("metric order %+v, want [allocs/op ns/op]", a.Metrics)
+	}
+	ns := a.Metrics[1]
+	if ns.N != 3 || ns.Min != 100 || ns.Median != 160 || ns.Max != 200 {
+		t.Errorf("ns/op stats %+v, want n=3 min=100 median=160 max=200", ns)
+	}
+	if got, want := ns.Mean, (100.0+200+160)/3; got != want { //lint:ignore floatcmp exact sum of test constants
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	if got, want := ns.Spread, 100.0/160; got != want { //lint:ignore floatcmp exact quotient of test constants
+		t.Errorf("spread = %v, want %v", got, want)
+	}
+	// Repeated identical observations collapse to zero spread.
+	al := a.Metrics[0]
+	if al.Spread != 0 || al.Min != 8 || al.Max != 8 {
+		t.Errorf("allocs/op stats %+v, want constant 8 with zero spread", al)
+	}
+}
+
+func TestSummarizeEvenCountMedian(t *testing.T) {
+	results := []BenchResult{
+		{Name: "BenchmarkX", Procs: 1, Metrics: []Measurement{{Value: 10, Unit: "ns/op"}}},
+		{Name: "BenchmarkX", Procs: 1, Metrics: []Measurement{{Value: 30, Unit: "ns/op"}}},
+	}
+	m, ok := Summarize(results)[0].Metric("ns/op")
+	if !ok || m.Median != 20 {
+		t.Errorf("even-count median = %v (present=%v), want 20", m.Median, ok)
+	}
+}
+
+// TestSummarizeProcsSplit checks that the same name at different
+// GOMAXPROCS stays two distinct benchmarks.
+func TestSummarizeProcsSplit(t *testing.T) {
+	results := []BenchResult{
+		{Name: "BenchmarkX", Procs: 1, Metrics: []Measurement{{Value: 10, Unit: "ns/op"}}},
+		{Name: "BenchmarkX", Procs: 8, Metrics: []Measurement{{Value: 2, Unit: "ns/op"}}},
+	}
+	sums := Summarize(results)
+	if len(sums) != 2 {
+		t.Fatalf("%d summaries, want 2", len(sums))
+	}
+	if sums[0].Procs != 1 || sums[1].Procs != 8 {
+		t.Errorf("procs order %d,%d, want 1,8", sums[0].Procs, sums[1].Procs)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if got := Summarize(nil); len(got) != 0 {
+		t.Errorf("Summarize(nil) = %+v, want empty", got)
+	}
+}

@@ -20,4 +20,10 @@ go test -race -count=1 ./internal/netsim ./internal/obsv ./internal/core ./inter
 echo "== go test ./..."
 go test ./...
 
+echo "== bench smoke (benchreport run, 1 iteration per benchmark)"
+go run ./cmd/benchreport run -label smoke -count 1 -benchtime 1x >/dev/null
+
+echo "== scorecard smoke (measured-vs-model gate at q=3)"
+go run ./cmd/benchreport scorecard -q 3 -m 4096 -label scorecard-smoke >/dev/null
+
 echo "verify: OK"
