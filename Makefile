@@ -1,4 +1,4 @@
-.PHONY: build test lint verify bench bench-smoke scorecard
+.PHONY: build test lint verify bench bench-smoke scorecard scorecard-degraded
 
 build:
 	go build ./...
@@ -32,3 +32,10 @@ bench-smoke:
 # 7.6 / 7.19 floors. Writes BENCH_scorecard.json; exits 1 on violation.
 scorecard:
 	go run ./cmd/benchreport scorecard
+
+# scorecard-degraded fails the worst-case link mid-reduction for every
+# embedding and gates the simulator's measured post-recovery bandwidth
+# against the core.Degrade analytical prediction. Writes
+# BENCH_degraded.json; exits 1 on violation.
+scorecard-degraded:
+	go run ./cmd/benchreport scorecard -degraded -label degraded

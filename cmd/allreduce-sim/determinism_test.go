@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -31,5 +32,63 @@ func TestSweepOutputDeterministic(t *testing.T) {
 		if errOut != firstErr {
 			t.Fatalf("run %d stderr differs from run 1", i)
 		}
+	}
+}
+
+// TestFaultRunOutputDeterministic is the fault-injection counterpart:
+// identical fault flags must produce byte-identical degraded-run tables
+// across three full runs — detection, recovery, and re-issue are all
+// deterministic. Exercises both the explicit -fail-links path and the
+// seeded -fault-seed generator.
+func TestFaultRunOutputDeterministic(t *testing.T) {
+	cases := map[string][]string{
+		"fail-links": {"-q", "7", "-m", "2048", "-latency", "1", "-vc", "4", "-fail-links", "0-49", "-fail-at", "200"},
+		"fault-seed": {"-q", "7", "-m", "2048", "-fault-seed", "11", "-fail-at", "150"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			runOnce := func() (string, string) {
+				var stdout, stderr bytes.Buffer
+				code := run(args, &stdout, &stderr)
+				if code != 0 {
+					t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+				}
+				return stdout.String(), stderr.String()
+			}
+			first, firstErr := runOnce()
+			if !strings.Contains(first, "degraded runs") {
+				t.Fatalf("missing degraded-run table:\n%s", first)
+			}
+			for i := 2; i <= 3; i++ {
+				out, errOut := runOnce()
+				if out != first {
+					t.Fatalf("run %d stdout differs from run 1:\n--- run 1 ---\n%s\n--- run %d ---\n%s", i, first, i, out)
+				}
+				if errOut != firstErr {
+					t.Fatalf("run %d stderr differs from run 1", i)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultFlagErrors covers the fault-flag validation paths.
+func TestFaultFlagErrors(t *testing.T) {
+	cases := map[string][]string{
+		"combined flags": {"-q", "3", "-fail-links", "0-1", "-fault-seed", "7"},
+		"bad link spec":  {"-q", "3", "-fail-links", "zero-one"},
+		"bad fail-at":    {"-q", "3", "-fail-links", "0-1", "-fail-at", "0"},
+		"missing plan":   {"-q", "3", "-fault-plan", "/nonexistent/plan.json"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(args, &stdout, &stderr); code != 1 {
+				t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+			}
+			if stderr.Len() == 0 {
+				t.Error("no diagnostic on stderr")
+			}
+		})
 	}
 }

@@ -10,10 +10,16 @@
 //	allreduce-sim -q 7 -m 4096 -trace-out t.json -metrics-out m.json
 //	                                           # export a chrome://tracing /
 //	                                           # Perfetto trace and per-link metrics
+//	allreduce-sim -q 7 -m 16384 -fail-links 0-1 -fail-at 2000
+//	                                           # fail link 0-1 mid-run; degraded-run table
+//	allreduce-sim -q 7 -m 16384 -fault-seed 7  # one random link failure per embedding
+//	allreduce-sim -q 7 -m 16384 -fault-plan plan.json
+//	                                           # replay a JSON fault plan (internal/faults)
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,10 +27,16 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
 
 	"polarfly/internal/core"
+	"polarfly/internal/faults"
 	"polarfly/internal/netsim"
 	"polarfly/internal/obsv"
+	"polarfly/internal/trees"
+	"polarfly/internal/workload"
 )
 
 func main() {
@@ -48,6 +60,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metricsOut := fs.String("metrics-out", "", "write per-link/per-tree telemetry JSON to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile (runtime/pprof) to this file")
+	failLinks := fs.String("fail-links", "", "comma-separated undirected links u-v to fail (link-down) at -fail-at; runs the degraded-run table")
+	failAt := fs.Int("fail-at", 1000, "activation cycle for -fail-links and the window start for -fault-seed")
+	faultSeed := fs.Int64("fault-seed", 0, "non-zero: generate one random link-down fault per embedding (from its own tree links, activation uniform in [fail-at, 2·fail-at]); runs the degraded-run table")
+	faultPlan := fs.String("fault-plan", "", "JSON fault plan file (internal/faults schema) applied to every embedding; runs the degraded-run table")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -92,6 +108,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *sweep {
 		return runSweep(*q, *m, *latency, *vc, *seed, stdout, stderr)
+	}
+	if *failLinks != "" || *faultSeed != 0 || *faultPlan != "" {
+		return runFaults(*q, *m, *latency, *vc, *seed,
+			*failLinks, *failAt, *faultSeed, *faultPlan, *traceOut, *metricsOut, stdout, stderr)
 	}
 
 	cfg := netsim.Config{LinkLatency: *latency, VCDepth: *vc}
@@ -209,6 +229,235 @@ func writeFile(path string, write func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// parseFailLinks parses a comma-separated list of undirected "u-v" link
+// specs into link-down faults activating at cycle at.
+func parseFailLinks(s string, at int) (*faults.Plan, error) {
+	plan := &faults.Plan{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		uv := strings.Split(part, "-")
+		if len(uv) != 2 {
+			return nil, fmt.Errorf("bad link %q: want u-v", part)
+		}
+		u, err := strconv.Atoi(uv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad link %q: %v", part, err)
+		}
+		v, err := strconv.Atoi(uv[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad link %q: %v", part, err)
+		}
+		plan.Faults = append(plan.Faults, faults.Fault{Kind: faults.LinkDown, U: u, V: v, At: at})
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// treeLinks returns the undirected links the embedding's forest uses, in
+// deterministic (u, v) order.
+func treeLinks(e *core.Embedding) [][2]int {
+	cong := trees.Congestion(e.Forest)
+	out := make([][2]int, 0, len(cong))
+	for l := range cong {
+		out = append(out, [2]int{l.U, l.V})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// runFaults injects a fault plan into a full Allreduce for every embedding
+// kind and prints the degraded-run table: the recovery the simulator
+// performed, the measured post-recovery bandwidth, and the core.Degrade
+// analytical prediction it is compared against. Exactly one of plan,
+// links, or fseed selects the faults:
+//
+//   - plan: a JSON fault plan applied verbatim to every embedding,
+//   - links: comma-separated u-v links going down at cycle at,
+//   - fseed: one generated link-down fault per embedding, drawn from that
+//     embedding's own tree links (ER and Singer topologies number nodes
+//     differently, so a shared random link would be meaningless).
+func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed int64, planPath, traceOut, metricsOut string, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "allreduce-sim:", err)
+		return 1
+	}
+	set := 0
+	for _, on := range []bool{planPath != "", links != "", fseed != 0} {
+		if on {
+			set++
+		}
+	}
+	if set > 1 {
+		return fail(errors.New("use only one of -fault-plan, -fail-links, -fault-seed"))
+	}
+	if at < 1 {
+		return fail(fmt.Errorf("-fail-at %d: activation cycle must be ≥ 1", at))
+	}
+
+	// A shared plan (file or explicit links) applies to every embedding;
+	// with -fault-seed the plan is generated per embedding below.
+	var shared *faults.Plan
+	switch {
+	case planPath != "":
+		f, err := os.Open(planPath)
+		if err != nil {
+			return fail(err)
+		}
+		shared, err = faults.DecodePlan(f)
+		_ = f.Close()
+		if err != nil {
+			return fail(err)
+		}
+	case links != "":
+		var err error
+		shared, err = parseFailLinks(links, at)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	inst, err := core.NewInstance(q)
+	if err != nil {
+		return fail(err)
+	}
+	inputs := workload.Vectors(inst.N(), m, 1000, seed)
+	want := netsim.ExpectedOutput(inputs)
+	kinds := []core.EmbeddingKind{core.SingleTree, core.LowDepth, core.Hamiltonian}
+	if q%2 == 0 {
+		kinds = []core.EmbeddingKind{core.SingleTree, core.Hamiltonian}
+	}
+
+	// With -trace-out/-metrics-out, attach one collector per embedding so
+	// the fault and recovery marks land in the exported telemetry.
+	collectors := make(map[core.EmbeddingKind]*obsv.Collector)
+	var kindOrder []core.EmbeddingKind
+
+	fmt.Fprintf(stdout, "degraded runs, PolarFly q=%d (N=%d), m=%d elements, link latency=%d, VC depth=%d\n",
+		q, q*q+q+1, m, latency, vc)
+	fmt.Fprintf(stdout, "%-12s %6s %-14s %-10s %9s %8s %8s %8s %10s %10s %8s %8s\n",
+		"embedding", "trees", "failed links", "dead", "recover@", "dropped", "reissued", "cycles",
+		"pred B", "meas B", "err", "outputs")
+	for _, kind := range kinds {
+		e, err := inst.Embed(kind)
+		if err != nil {
+			return fail(err)
+		}
+		plan := shared
+		if plan == nil {
+			plan, err = faults.Generate(treeLinks(e), 1, at, 2*at, fseed)
+			if err != nil {
+				return fail(err)
+			}
+		}
+		failed := plan.FailedLinks()
+		linkCol := make([]string, len(failed))
+		for i, l := range failed {
+			linkCol[i] = fmt.Sprintf("%d-%d", l[0], l[1])
+		}
+		label := strings.Join(linkCol, ",")
+		if label == "" {
+			label = "-"
+		}
+
+		// The analytical prediction: drop every tree crossing a failed
+		// link, re-run the waterfill on the survivors.
+		pred := 0.0
+		deg, degErr := core.Degrade(e, failed)
+		if degErr == nil {
+			pred = deg.Model.Aggregate
+		}
+
+		cfg := netsim.Config{LinkLatency: latency, VCDepth: vc, Faults: plan}
+		if traceOut != "" || metricsOut != "" {
+			c := obsv.NewCollector()
+			c.LinkLatency = latency
+			c.SpanMergeGap = latency
+			collectors[kind] = c
+			kindOrder = append(kindOrder, kind)
+			cfg.Trace = c.Observe
+		}
+		res, err := inst.Allreduce(e, inputs, cfg)
+		if c, ok := collectors[kind]; ok && res != nil {
+			c.SetCycles(res.Cycles)
+		}
+		if errors.Is(err, netsim.ErrAllTreesLost) {
+			fmt.Fprintf(stdout, "%-12v %6d %-14s %-10s %9s %8s %8s %8s %10s %10s %8s %8s\n",
+				kind, len(e.Forest), label, "all", "-", "-", "-", "-", "0.000", "-", "-", "aborted")
+			continue
+		}
+		if err != nil {
+			return fail(fmt.Errorf("%v: %w", kind, err))
+		}
+
+		outputs := "ok"
+		for v := range res.Outputs {
+			for k := range want {
+				if res.Outputs[v][k] != want[k] {
+					outputs = "WRONG"
+					break
+				}
+			}
+			if outputs != "ok" {
+				break
+			}
+		}
+		recoverAt, reissued := "-", 0
+		if len(res.Recoveries) > 0 {
+			last := res.Recoveries[len(res.Recoveries)-1]
+			recoverAt = fmt.Sprintf("%d", last.Cycle)
+			reissued = last.Reissued
+		}
+		// Without a recovery (the plan never touched this embedding's
+		// links) there is no post-recovery window to measure.
+		meas, relErr := "-", "-"
+		if len(res.Recoveries) > 0 {
+			meas = fmt.Sprintf("%.3f", res.PostRecoveryBW)
+			if pred > 0 {
+				relErr = fmt.Sprintf("%+.2f%%", 100*(res.PostRecoveryBW-pred)/pred)
+			}
+		}
+		fmt.Fprintf(stdout, "%-12v %6d %-14s %-10s %9s %8d %8d %8d %10.3f %10s %8s %8s\n",
+			kind, len(e.Forest), label, fmt.Sprintf("%v", res.DeadTrees), recoverAt,
+			res.DroppedFlits, reissued, res.Cycles, pred, meas, relErr, outputs)
+	}
+
+	if traceOut != "" {
+		ct := obsv.NewChromeTrace()
+		for _, kind := range kindOrder {
+			ct.Add(kind.String(), collectors[kind])
+		}
+		if err := writeFile(traceOut, ct.Write); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "\nchrome trace written to %s (load in chrome://tracing or https://ui.perfetto.dev)\n", traceOut)
+	}
+	if metricsOut != "" {
+		out := metricsFile{Q: q, M: m, LinkLatency: latency, VCDepth: vc,
+			Embeddings: make(map[string]embeddingMetrics, len(kindOrder))}
+		for _, kind := range kindOrder {
+			reg := obsv.NewRegistry()
+			rep := collectors[kind].Metrics(reg)
+			out.Embeddings[kind.String()] = embeddingMetrics{Summary: rep, Metrics: reg.Snapshot()}
+		}
+		if err := writeFile(metricsOut, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(out)
+		}); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "metrics written to %s\n", metricsOut)
+	}
+	return 0
 }
 
 // sweepKinds is the fixed iteration order for winner selection, so ties

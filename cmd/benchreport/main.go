@@ -9,6 +9,9 @@
 //	                                                # diff two snapshots; exit 1 on regression
 //	benchreport scorecard -q 3,5,7,11               # simulate every design point, check the
 //	                                                # Alg. 1 / Thm 7.6 / Thm 7.19 contract
+//	benchreport scorecard -degraded -q 7            # inject the worst-case link failure per
+//	                                                # embedding, gate post-recovery bandwidth
+//	                                                # against the core.Degrade prediction
 //
 // Snapshots are written to BENCH_<label>.json (schema polarfly-bench/v1,
 // see internal/perf); a markdown rendering goes to stdout. Exit codes:
@@ -237,6 +240,7 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 
 func cmdScorecard(args []string, stdout, stderr io.Writer) int {
 	def := perf.DefaultScorecardConfig()
+	defDeg := perf.DefaultDegradedConfig()
 	fs := flag.NewFlagSet("benchreport scorecard", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	qList := fs.String("q", joinInts(def.Qs), "comma-separated PolarFly orders to sweep")
@@ -247,6 +251,8 @@ func cmdScorecard(args []string, stdout, stderr io.Writer) int {
 	tol := fs.Float64("tol", def.Tolerance, "measured-vs-model tolerance (relative)")
 	label := fs.String("label", "scorecard", "snapshot label; output file is BENCH_<label>.json")
 	outDir := fs.String("out", ".", "directory for the BENCH_<label>.json snapshot")
+	degraded := fs.Bool("degraded", false, "run the fault-injection sweep instead: inject the worst-case link failure per embedding and gate measured post-recovery bandwidth against the core.Degrade prediction")
+	failAt := fs.Int("fail-at", defDeg.FailAt, "cycle the worst-case link fails (with -degraded)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -258,6 +264,9 @@ func cmdScorecard(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "benchreport: -q:", err)
 		return 2
+	}
+	if *degraded {
+		return cmdScorecardDegraded(qs, *m, *latency, *vc, *failAt, *seed, *tol, *label, *outDir, stdout, stderr)
 	}
 	cfg := perf.ScorecardConfig{
 		Qs: qs, M: *m, LinkLatency: *latency, VCDepth: *vc,
@@ -284,6 +293,55 @@ func cmdScorecard(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "benchreport: wrote %s (%d design points)\n", path, len(points))
 	if fails := perf.ScorecardFailures(points, cfg.Tolerance); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(stderr, "benchreport: FAIL:", f)
+		}
+		return 1
+	}
+	return 0
+}
+
+// cmdScorecardDegraded runs the fault-injection sweep for every listed q:
+// the worst-case single link failure per embedding, gated on recovery
+// happening, outputs staying numerically correct, and the measured
+// post-recovery bandwidth landing within tolerance of core.Degrade.
+func cmdScorecardDegraded(qs []int, m, latency, vc, failAt int, seed int64, tol float64,
+	label, outDir string, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	var points []perf.DegradedPoint
+	var lastCfg perf.DegradedConfig
+	for _, q := range qs {
+		cfg := perf.DegradedConfig{
+			Q: q, M: m, LinkLatency: latency, VCDepth: vc,
+			FailAt: failAt, Seed: seed, Tolerance: tol,
+		}
+		pts, err := perf.DegradedScorecard(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		points = append(points, pts...)
+		lastCfg = cfg
+	}
+	snap := &perf.Snapshot{
+		Schema:         perf.SnapshotSchema,
+		Label:          label,
+		Kind:           perf.KindDegraded,
+		GoVersion:      runtime.Version(),
+		Degraded:       points,
+		DegradedConfig: &lastCfg,
+	}
+	path := snapshotPath(outDir, label)
+	if err := writeSnapshot(path, snap); err != nil {
+		return fail(err)
+	}
+	if err := perf.WriteDegradedMarkdown(stdout, snap); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stderr, "benchreport: wrote %s (%d fault-injected points)\n", path, len(points))
+	if fails := perf.DegradedFailures(points); len(fails) > 0 {
 		for _, f := range fails {
 			fmt.Fprintln(stderr, "benchreport: FAIL:", f)
 		}

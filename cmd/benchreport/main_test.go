@@ -176,6 +176,28 @@ func TestScorecardSmoke(t *testing.T) {
 	}
 }
 
+// TestScorecardDegradedSmoke runs the fault-injection sweep at the
+// smallest design point: single tree aborts, multi-tree points recover
+// within tolerance of the Degrade prediction.
+func TestScorecardDegradedSmoke(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runCLI(t, "scorecard", "-degraded",
+		"-q", "3", "-m", "6144", "-fail-at", "800", "-out", dir, "-label", "degsmoke")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	snap := loadSnapshot(t, filepath.Join(dir, "BENCH_degsmoke.json"))
+	if snap.Kind != perf.KindDegraded || len(snap.Degraded) != 3 {
+		t.Fatalf("kind=%q points=%d, want degraded-scorecard with 3 points", snap.Kind, len(snap.Degraded))
+	}
+	if snap.DegradedConfig == nil || snap.DegradedConfig.FailAt != 800 {
+		t.Errorf("degraded config not persisted: %+v", snap.DegradedConfig)
+	}
+	if !strings.Contains(stdout, "aborted as predicted") {
+		t.Errorf("markdown does not show the single-tree abort:\n%s", stdout)
+	}
+}
+
 // TestScorecardFailsOutsideTolerance: an absurdly tight tolerance must
 // trip the gate (pipeline fill keeps measured below model).
 func TestScorecardFailsOutsideTolerance(t *testing.T) {

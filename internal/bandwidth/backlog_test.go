@@ -1,0 +1,158 @@
+package bandwidth
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func TestBacklogAwareSplitZeroBacklogMatchesSubvectorSplit(t *testing.T) {
+	perTree := []float64{1, 2, 0.5, 0}
+	want, err := SubvectorSplit(1000, perTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BacklogAwareSplit(1000, []int{0, 0, 0, 0}, perTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("zero-backlog split %v, want SubvectorSplit %v", got, want)
+	}
+}
+
+func TestBacklogAwareSplitEqualisesFinishTimes(t *testing.T) {
+	// Tree 0 has a large head start of outstanding work; the split should
+	// favour tree 1 until their projected finish times meet.
+	perTree := []float64{1, 1}
+	got, err := BacklogAwareSplit(100, []int{200, 0}, perTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(got) != 100 {
+		t.Fatalf("split %v does not sum to 100", got)
+	}
+	// Equal-bandwidth trees: level T = (100+200)/2 = 150, so tree 0 gets
+	// nothing (already above the water line) and tree 1 gets everything.
+	if got[0] != 0 || got[1] != 100 {
+		t.Fatalf("split %v, want [0 100]", got)
+	}
+}
+
+func TestBacklogAwareSplitPartialLevel(t *testing.T) {
+	// T lands between levels: backlog 10 vs 0 at equal bandwidth with 30
+	// to place → T = 20, allocations {10, 20}.
+	got, err := BacklogAwareSplit(30, []int{10, 0}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 10 || got[1] != 20 {
+		t.Fatalf("split %v, want [10 20]", got)
+	}
+}
+
+func TestBacklogAwareSplitZeroBandwidthTreeExcluded(t *testing.T) {
+	got, err := BacklogAwareSplit(7, []int{0, 5, 0}, []float64{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatalf("zero-bandwidth tree received %d elements: %v", got[0], got)
+	}
+	if sum(got) != 7 {
+		t.Fatalf("split %v does not sum to 7", got)
+	}
+}
+
+func TestBacklogAwareSplitErrors(t *testing.T) {
+	if _, err := BacklogAwareSplit(-1, []int{0}, []float64{1}); err == nil {
+		t.Error("accepted negative size")
+	}
+	if _, err := BacklogAwareSplit(1, []int{0, 0}, []float64{1}); err == nil {
+		t.Error("accepted length mismatch")
+	}
+	if _, err := BacklogAwareSplit(1, []int{-2}, []float64{1}); err == nil {
+		t.Error("accepted negative backlog")
+	}
+	if _, err := BacklogAwareSplit(1, []int{0}, []float64{-1}); err == nil {
+		t.Error("accepted negative bandwidth")
+	}
+	if _, err := BacklogAwareSplit(1, []int{0, 0}, []float64{0, 0}); err == nil {
+		t.Error("accepted all-zero bandwidth")
+	}
+	got, err := BacklogAwareSplit(0, []int{5}, []float64{1})
+	if err != nil || got[0] != 0 {
+		t.Errorf("zero-size split: got %v, %v", got, err)
+	}
+}
+
+func TestBacklogAwareSplitPreservesTotalRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(6)
+		perTree := make([]float64, n)
+		backlog := make([]int, n)
+		positive := false
+		for i := range perTree {
+			if rng.Intn(4) > 0 {
+				perTree[i] = rng.Float64()*3 + 0.01
+				positive = true
+			}
+			backlog[i] = rng.Intn(300)
+		}
+		if !positive {
+			perTree[0] = 1
+		}
+		r := rng.Intn(5000)
+		got, err := BacklogAwareSplit(r, backlog, perTree)
+		if err != nil {
+			t.Fatalf("iter %d: %v (r=%d backlog=%v perTree=%v)", iter, err, r, backlog, perTree)
+		}
+		if sum(got) != r {
+			t.Fatalf("iter %d: split %v sums to %d, want %d", iter, got, sum(got), r)
+		}
+		for i, x := range got {
+			if x < 0 {
+				t.Fatalf("iter %d: negative allocation %v", iter, got)
+			}
+			//lint:ignore floatcmp exact-zero sentinel mirrors the documented zero-bandwidth contract
+			if perTree[i] == 0 && x != 0 {
+				t.Fatalf("iter %d: zero-bandwidth tree got %d elements", iter, x)
+			}
+		}
+	}
+}
+
+func TestBacklogAwareSplitMinimisesMakespan(t *testing.T) {
+	// Brute-force check on small instances: no alternative split of r
+	// across two trees finishes sooner than the waterfilled one.
+	perTree := []float64{1.5, 0.7}
+	backlog := []int{40, 10}
+	const r = 60
+	got, err := BacklogAwareSplit(r, backlog, perTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	makespan := func(a, b int) float64 {
+		t0 := (float64(backlog[0]) + float64(a)) / perTree[0]
+		t1 := (float64(backlog[1]) + float64(b)) / perTree[1]
+		if t0 > t1 {
+			return t0
+		}
+		return t1
+	}
+	best := makespan(got[0], got[1])
+	for a := 0; a <= r; a++ {
+		if m := makespan(a, r-a); m < best-1e-9 {
+			t.Fatalf("split %v has makespan %.4f; [%d %d] achieves %.4f", got, best, a, r-a, m)
+		}
+	}
+}

@@ -313,6 +313,123 @@ func SubvectorSplit(m int, perTree []float64) ([]int, error) {
 	return out, nil
 }
 
+// BacklogAwareSplit distributes r new elements across trees that already
+// carry backlog[i] undelivered elements and run at bandwidth perTree[i],
+// so that the projected finish times (backlog_i + r_i)/B_i are equalised —
+// the waterfilling generalisation of Equation 2 used when a recovery
+// re-issues a dead tree's remaining chunk over the survivors. With all
+// backlogs zero it reduces to SubvectorSplit. Zero-bandwidth trees
+// receive nothing.
+func BacklogAwareSplit(r int, backlog []int, perTree []float64) ([]int, error) {
+	if r < 0 {
+		return nil, fmt.Errorf("bandwidth: negative re-issue size %d", r)
+	}
+	if len(backlog) != len(perTree) {
+		return nil, fmt.Errorf("bandwidth: backlog/bandwidth length mismatch %d vs %d", len(backlog), len(perTree))
+	}
+	total := 0.0
+	for i, b := range perTree {
+		if b < 0 {
+			return nil, fmt.Errorf("bandwidth: negative tree bandwidth %f", b)
+		}
+		if backlog[i] < 0 {
+			return nil, fmt.Errorf("bandwidth: negative backlog %d", backlog[i])
+		}
+		total += b
+	}
+	out := make([]int, len(perTree))
+	if r == 0 {
+		return out, nil
+	}
+	//lint:ignore floatcmp total is a sum of non-negative inputs, so exact zero means "no bandwidth anywhere"; a tolerance would misclassify tiny real allocations
+	if total == 0 {
+		return nil, fmt.Errorf("bandwidth: all trees have zero bandwidth")
+	}
+
+	// A tree starts receiving work once the water level T (projected
+	// finish time) rises past its current level backlog_i/B_i. Scan the
+	// per-tree levels in ascending order; between consecutive levels the
+	// total allocated, Σ_active (T·B_i − backlog_i), is linear in T, so
+	// the segment containing r pins T exactly.
+	type lvl struct {
+		idx   int
+		level float64
+	}
+	lvls := make([]lvl, 0, len(perTree))
+	for i, b := range perTree {
+		if b > 0 {
+			lvls = append(lvls, lvl{i, float64(backlog[i]) / b})
+		}
+	}
+	sort.Slice(lvls, func(i, j int) bool {
+		if lvls[i].level < lvls[j].level {
+			return true
+		}
+		if lvls[j].level < lvls[i].level {
+			return false
+		}
+		return lvls[i].idx < lvls[j].idx
+	})
+	sumB, sumBacklog := 0.0, 0.0
+	var T float64
+	for k, l := range lvls {
+		sumB += perTree[l.idx]
+		sumBacklog += float64(backlog[l.idx])
+		// Candidate level assuming exactly trees 0..k are active.
+		T = (float64(r) + sumBacklog) / sumB
+		if k == len(lvls)-1 || T <= lvls[k+1].level {
+			break
+		}
+	}
+
+	// Exact allocations at level T, then integer rounding by largest
+	// remainder (deterministic: ties broken by index).
+	type frac struct {
+		idx int
+		rem float64
+	}
+	assigned := 0
+	fracs := make([]frac, 0, len(lvls))
+	for _, l := range lvls {
+		exact := T*perTree[l.idx] - float64(backlog[l.idx])
+		if exact < 0 {
+			exact = 0
+		}
+		out[l.idx] = int(exact)
+		assigned += out[l.idx]
+		fracs = append(fracs, frac{l.idx, exact - float64(out[l.idx])})
+	}
+	sort.Slice(fracs, func(i, j int) bool { return fracs[i].idx < fracs[j].idx })
+	for assigned < r {
+		best := -1
+		for i := range fracs {
+			if best == -1 || fracs[i].rem > fracs[best].rem {
+				best = i
+			}
+		}
+		out[fracs[best].idx]++
+		fracs[best].rem = -1
+		assigned++
+	}
+	// Float drift can overshoot by a unit or two; trim from the smallest
+	// remainders so the split still sums exactly to r.
+	for assigned > r {
+		worst := -1
+		for i := range fracs {
+			if out[fracs[i].idx] == 0 {
+				continue
+			}
+			if worst == -1 || fracs[i].rem < fracs[worst].rem {
+				worst = i
+			}
+		}
+		out[fracs[worst].idx]--
+		fracs[worst].rem = 2 // already trimmed; deprioritise
+		assigned--
+	}
+	return out, nil
+}
+
 // PredictTime returns the Allreduce completion time for an m-element
 // vector split optimally across the forest: t = L + m/ΣB_i (Equation 3),
 // with L the per-tree latency in time units.

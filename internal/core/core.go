@@ -110,10 +110,37 @@ type Embedding struct {
 	// SingleTree/LowDepth, the Singer construction for Hamiltonian; the
 	// two are isomorphic).
 	Topology *graph.Graph
-	// Model is the Algorithm 1 evaluation at unit link bandwidth.
+	// Model is the Algorithm 1 evaluation at LinkB link bandwidth.
 	Model bandwidth.Result
 	// MaxDepth is the deepest tree in the forest (latency proxy).
 	MaxDepth int
+	// LinkB is the per-link bandwidth (flits/cycle) the model was
+	// evaluated at. Embed uses 1.0; WithLinkBandwidth reprices it for
+	// trunked-link configurations. Degrade and SubsetEmbedding preserve
+	// it, so degraded predictions stay comparable to the original run.
+	// Zero is read as 1.0 (a zero-value Embedding predates this field).
+	LinkB float64
+}
+
+// linkB returns the embedding's link bandwidth, defaulting zero to 1.0.
+func (e *Embedding) linkB() float64 {
+	if e.LinkB > 0 {
+		return e.LinkB
+	}
+	return 1.0
+}
+
+// WithLinkBandwidth returns a copy of the embedding with the Algorithm 1
+// model re-evaluated at link bandwidth b (flits/cycle), matching a
+// netsim.Config with the same LinkBandwidth.
+func (e *Embedding) WithLinkBandwidth(b float64) (*Embedding, error) {
+	if b <= 0 {
+		return nil, fmt.Errorf("core: link bandwidth %g, must be > 0", b)
+	}
+	out := *e
+	out.LinkB = b
+	out.Model = bandwidth.ForForest(e.Forest, b)
+	return &out, nil
 }
 
 // Embed derives the requested embedding. For Hamiltonian it uses
@@ -153,8 +180,8 @@ func (in *Instance) EmbedSeeded(kind EmbeddingKind, tries int, seed int64) (*Emb
 	if err != nil {
 		return nil, err
 	}
-	e := &Embedding{Kind: kind, Forest: forest, Topology: topo}
-	e.Model = bandwidth.ForForest(forest, 1.0)
+	e := &Embedding{Kind: kind, Forest: forest, Topology: topo, LinkB: 1.0}
+	e.Model = bandwidth.ForForest(forest, e.LinkB)
 	for _, t := range forest {
 		if d := t.MaxDepth(); d > e.MaxDepth {
 			e.MaxDepth = d
@@ -205,6 +232,14 @@ type AllreduceResult struct {
 	// TreeReduceDone[i] is the cycle tree i's root computed its final
 	// reduced flit — the per-tree reduce/broadcast phase boundary.
 	TreeReduceDone []int
+	// Fault telemetry, copied from the simulator (zero on fault-free
+	// runs): flits destroyed by link faults, the trees recovery aborted,
+	// every recovery round, and the measured aggregate bandwidth after
+	// the last recovery (the dynamic counterpart of Degrade's model).
+	DroppedFlits   int
+	DeadTrees      []int
+	Recoveries     []netsim.Recovery
+	PostRecoveryBW float64
 }
 
 // Allreduce simulates an in-network Allreduce of the given inputs over the
@@ -239,6 +274,10 @@ func (in *Instance) Allreduce(e *Embedding, inputs [][]int64, cfg netsim.Config)
 		PeakBufferFlits: res.PeakBufferFlits,
 		LinkStats:       res.LinkStats,
 		TreeReduceDone:  res.TreeReduceDone,
+		DroppedFlits:    res.DroppedFlits,
+		DeadTrees:       res.DeadTrees,
+		Recoveries:      res.Recoveries,
+		PostRecoveryBW:  res.PostRecoveryBW,
 	}, nil
 }
 

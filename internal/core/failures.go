@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"polarfly/internal/bandwidth"
 	"polarfly/internal/graph"
@@ -50,8 +51,8 @@ func Degrade(e *Embedding, failed [][2]int) (*Embedding, error) {
 	if len(surviving) == 0 {
 		return nil, fmt.Errorf("core: all %d trees cross a failed link", len(e.Forest))
 	}
-	out := &Embedding{Kind: e.Kind, Forest: surviving, Topology: e.Topology}
-	out.Model = bandwidth.ForForest(surviving, 1.0)
+	out := &Embedding{Kind: e.Kind, Forest: surviving, Topology: e.Topology, LinkB: e.linkB()}
+	out.Model = bandwidth.ForForest(surviving, out.LinkB)
 	for _, t := range surviving {
 		if d := t.MaxDepth(); d > out.MaxDepth {
 			out.MaxDepth = d
@@ -76,14 +77,55 @@ func SubsetEmbedding(e *Embedding, indices []int) (*Embedding, error) {
 		seen[i] = true
 		forest = append(forest, e.Forest[i])
 	}
-	out := &Embedding{Kind: e.Kind, Forest: forest, Topology: e.Topology}
-	out.Model = bandwidth.ForForest(forest, 1.0)
+	out := &Embedding{Kind: e.Kind, Forest: forest, Topology: e.Topology, LinkB: e.linkB()}
+	out.Model = bandwidth.ForForest(forest, out.LinkB)
 	for _, t := range forest {
 		if d := t.MaxDepth(); d > out.MaxDepth {
 			out.MaxDepth = d
 		}
 	}
 	return out, nil
+}
+
+// WorstCaseLink returns the undirected link whose single failure hurts
+// the embedding most — losing the most trees, ties broken by the lowest
+// surviving model aggregate, then by link order (deterministic). The
+// returned embedding is the degraded survivor set; it is nil when the
+// worst failure kills every tree (the single-tree case).
+func WorstCaseLink(e *Embedding) ([2]int, *Embedding, error) {
+	cong := trees.Congestion(e.Forest)
+	links := make([]graph.Edge, 0, len(cong))
+	for l := range cong {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].U != links[j].U {
+			return links[i].U < links[j].U
+		}
+		return links[i].V < links[j].V
+	})
+	if len(links) == 0 {
+		return [2]int{}, nil, fmt.Errorf("core: embedding has no links")
+	}
+	var worst [2]int
+	var worstDeg *Embedding
+	worstLost := -1
+	worstBW := 0.0
+	for _, l := range links {
+		deg, err := Degrade(e, [][2]int{{l.U, l.V}})
+		lost := len(e.Forest)
+		bw := 0.0
+		if err == nil {
+			lost = len(e.Forest) - len(deg.Forest)
+			bw = deg.Model.Aggregate
+		}
+		if lost > worstLost || (lost == worstLost && bw < worstBW) {
+			worstLost, worstBW = lost, bw
+			worst = [2]int{l.U, l.V}
+			worstDeg = deg
+		}
+	}
+	return worst, worstDeg, nil
 }
 
 // FailureToleranceRow records how many trees a worst-case single-link
@@ -118,28 +160,17 @@ func FailureTolerance(q int) ([]FailureToleranceRow, error) {
 			return nil, err
 		}
 		row := FailureToleranceRow{Kind: kind, Trees: len(e.Forest)}
-		worstLost := 0
-		worstBW := e.Model.Aggregate
-		// Only links used by some tree can hurt.
-		cong := trees.Congestion(e.Forest)
-		for link, c := range cong {
-			if c <= worstLost {
-				continue
-			}
-			deg, err := Degrade(e, [][2]int{{link.U, link.V}})
-			lost := len(e.Forest)
-			bw := 0.0
-			if err == nil {
-				lost = len(e.Forest) - len(deg.Forest)
-				bw = deg.Model.Aggregate
-			}
-			if lost > worstLost || (lost == worstLost && bw < worstBW) {
-				worstLost = lost
-				worstBW = bw
-			}
+		_, deg, err := WorstCaseLink(e)
+		if err != nil {
+			return nil, err
 		}
-		row.WorstCaseLost = worstLost
-		row.WorstCaseRemainingBW = worstBW
+		if deg == nil {
+			row.WorstCaseLost = len(e.Forest)
+			row.WorstCaseRemainingBW = 0
+		} else {
+			row.WorstCaseLost = len(e.Forest) - len(deg.Forest)
+			row.WorstCaseRemainingBW = deg.Model.Aggregate
+		}
 		rows = append(rows, row)
 	}
 	return rows, nil

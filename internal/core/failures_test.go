@@ -81,6 +81,134 @@ func TestDegradeDropsAffectedTreesOnly(t *testing.T) {
 	}
 }
 
+// TestSingleLinkFailureProperty exercises the structural robustness claim
+// across q ∈ {3, 5, 7, 11}: EVERY single link failure (not just the worst
+// case) removes at most 2 low-depth trees (Theorem 7.6's congestion
+// bound) and at most 1 Hamiltonian tree (Theorem 7.19's edge-
+// disjointness), while the single-tree baseline loses everything on any
+// used link.
+func TestSingleLinkFailureProperty(t *testing.T) {
+	for _, q := range []int{3, 5, 7, 11} {
+		in := instance(t, q)
+		cases := []struct {
+			kind    EmbeddingKind
+			maxLost int
+		}{
+			{LowDepth, 2},
+			{Hamiltonian, 1},
+		}
+		for _, c := range cases {
+			e, err := in.Embed(c.kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tr := range e.Forest {
+				for _, edge := range tr.Edges() {
+					deg, err := Degrade(e, [][2]int{{edge.U, edge.V}})
+					if err != nil {
+						t.Fatalf("q=%d %v: link %v killed all trees: %v", q, c.kind, edge, err)
+					}
+					lost := len(e.Forest) - len(deg.Forest)
+					if lost < 1 || lost > c.maxLost {
+						t.Errorf("q=%d %v: link %v lost %d trees, want 1..%d",
+							q, c.kind, edge, lost, c.maxLost)
+					}
+				}
+			}
+		}
+		// The single-tree baseline: every used link is fatal.
+		e, err := in.Embed(SingleTree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, edge := range e.Forest[0].Edges() {
+			if _, err := Degrade(e, [][2]int{{edge.U, edge.V}}); err == nil {
+				t.Errorf("q=%d single tree survived losing link %v", q, edge)
+			}
+		}
+	}
+}
+
+// TestWorstCaseLink pins the helper's contract: deterministic worst link,
+// a survivor embedding for multi-tree forests, nil for the single tree.
+func TestWorstCaseLink(t *testing.T) {
+	in := instance(t, 5)
+	e, err := in.Embed(LowDepth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, deg, err := WorstCaseLink(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg == nil {
+		t.Fatal("low-depth worst case killed everything")
+	}
+	lost := len(e.Forest) - len(deg.Forest)
+	if lost < 1 || lost > 2 {
+		t.Errorf("worst case lost %d trees, want 1..2", lost)
+	}
+	if got := len(TreesUsingLink(e.Forest, link[0], link[1])); got != lost {
+		t.Errorf("worst link %v used by %d trees but lost %d", link, got, lost)
+	}
+	link2, _, err := WorstCaseLink(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link != link2 {
+		t.Errorf("WorstCaseLink not deterministic: %v vs %v", link, link2)
+	}
+
+	st, err := in.Embed(SingleTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, deg, err := WorstCaseLink(st); err != nil || deg != nil {
+		t.Errorf("single tree: deg=%v err=%v, want nil survivors", deg, err)
+	}
+}
+
+// TestDegradePreservesLinkBandwidth is the satellite-1 regression: the
+// survivors' model must be evaluated at the original embedding's link
+// bandwidth, not hard-coded 1.0.
+func TestDegradePreservesLinkBandwidth(t *testing.T) {
+	in := instance(t, 5)
+	e, err := in.Embed(Hamiltonian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4, err := e.WithLinkBandwidth(4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4.Model.Aggregate != 4.0*e.Model.Aggregate {
+		t.Fatalf("repriced aggregate %f, want %f", e4.Model.Aggregate, 4.0*e.Model.Aggregate)
+	}
+	victim := e4.Forest[0].Edges()[0]
+	deg, err := Degrade(e4, [][2]int{{victim.U, victim.V}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.LinkB != 4.0 {
+		t.Errorf("degraded LinkB = %g, want 4", deg.LinkB)
+	}
+	// Edge-disjoint forest: each tree contributes LinkB to the aggregate.
+	want := e4.Model.Aggregate - 4.0
+	if deg.Model.Aggregate != want {
+		t.Errorf("degraded aggregate %f at LinkB=4, want %f", deg.Model.Aggregate, want)
+	}
+	sub, err := SubsetEmbedding(e4, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.LinkB != 4.0 || sub.Model.Aggregate != 8.0 {
+		t.Errorf("subset at LinkB=4: LinkB=%g aggregate=%f, want 4 and 8", sub.LinkB, sub.Model.Aggregate)
+	}
+	if _, err := e.WithLinkBandwidth(0); err == nil {
+		t.Error("WithLinkBandwidth(0) accepted")
+	}
+}
+
 func TestFailureTolerance(t *testing.T) {
 	rows, err := FailureTolerance(5)
 	if err != nil {

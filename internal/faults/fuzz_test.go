@@ -1,0 +1,44 @@
+package faults
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzPlanJSON checks that DecodePlan never panics on arbitrary input and
+// that any plan it accepts survives a write/decode round trip unchanged.
+func FuzzPlanJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := validPlan().WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"version":1,"faults":[]}`)
+	f.Add(`{"version":1,"faults":[{"kind":"link-down","u":0,"v":1,"at":1}]}`)
+	f.Add(`{"version":2,"faults":[]}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := DecodePlan(strings.NewReader(in))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted plan failed to encode: %v\nplan: %+v", err, p)
+		}
+		first := buf.String()
+		p2, err := DecodePlan(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\njson: %s", err, first)
+		}
+		var buf2 bytes.Buffer
+		if err := p2.WriteJSON(&buf2); err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if first != buf2.String() {
+			t.Fatalf("round trip not stable:\n first %s\nsecond %s", first, buf2.String())
+		}
+	})
+}

@@ -23,6 +23,7 @@ package netsim
 import (
 	"fmt"
 
+	"polarfly/internal/faults"
 	"polarfly/internal/graph"
 	"polarfly/internal/trees"
 )
@@ -58,6 +59,22 @@ type Config struct {
 	// cycle (trunked links). Zero means 1. All analytic comparisons in
 	// this repository use 1; higher values scale the fabric uniformly.
 	LinkBandwidth int
+	// Faults is the deterministic fault plan injected into the run; nil
+	// runs fault-free. Link faults drop flits and (unless DisableRecovery
+	// is set) trigger timeout detection and tree-level recovery; degraded
+	// links and engine stalls only slow the run down. Fault injection is
+	// supported for OpAllreduce only.
+	Faults *faults.Plan
+	// DisableRecovery turns off loss detection and recovery: trees hit by
+	// a link fault simply stop making progress, so the run ends in a
+	// *ProgressError carrying the stalled-tree diagnostic.
+	DisableRecovery bool
+	// FaultDetectTimeout is how many cycles beyond LinkLatency a virtual
+	// channel waits for its oldest outstanding flit before declaring it
+	// lost. Healthy flits always arrive after exactly LinkLatency cycles,
+	// so any value ≥ 0 is free of false positives. Defaults to
+	// 4·LinkLatency when zero.
+	FaultDetectTimeout int
 }
 
 // DefaultProgressTimeout is the deadlock-diagnostic threshold applied by
@@ -91,6 +108,17 @@ func (c *Config) validate() error {
 	}
 	if c.ProgressTimeout == 0 {
 		c.ProgressTimeout = DefaultProgressTimeout
+	}
+	if c.FaultDetectTimeout < 0 {
+		return fmt.Errorf("netsim: FaultDetectTimeout must be ≥ 0, got %d", c.FaultDetectTimeout)
+	}
+	if c.FaultDetectTimeout == 0 {
+		c.FaultDetectTimeout = 4 * c.LinkLatency
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -164,6 +192,42 @@ type Result struct {
 	// Always populated; the counters cost nothing beyond what the cycle
 	// loop already touches.
 	LinkStats []LinkStat
+	// DroppedFlits counts flits destroyed by link faults: in-flight flits
+	// purged at fault activation, injections swallowed by a failed link,
+	// out-of-sequence arrivals discarded on broken streams, and flits
+	// purged from pipelines when their tree is aborted. Zero on
+	// fault-free runs.
+	DroppedFlits int
+	// DeadTrees lists the forest trees aborted by recovery, sorted.
+	DeadTrees []int
+	// Recoveries records every recovery round, in cycle order.
+	Recoveries []Recovery
+	// PostRecoveryBW is the measured aggregate Allreduce bandwidth after
+	// the last recovery, in elements per cycle: the number of vector
+	// elements not yet complete at every node when recovery fired,
+	// divided by the cycles the run took from there. It is the dynamic
+	// counterpart of the Algorithm 1 aggregate of the surviving forest
+	// (what core.Degrade predicts). Zero when no recovery happened.
+	PostRecoveryBW float64
+}
+
+// Recovery summarises one recovery round: the detection of lost flits,
+// the abort of the trees crossing the suspect links, and the re-issue of
+// their unfinished elements over the survivors.
+type Recovery struct {
+	// Cycle is when loss was detected and the re-issue happened.
+	Cycle int
+	// FailedLinks are the undirected links whose streams timed out this
+	// round, sorted.
+	FailedLinks [][2]int
+	// DeadTrees are the forest trees aborted this round, sorted.
+	DeadTrees []int
+	// Reissued is the number of vector elements redistributed over the
+	// surviving trees.
+	Reissued int
+	// Remaining is the number of vector elements not yet complete at
+	// every node just after the re-issue — the work the survivors carry.
+	Remaining int
 }
 
 // LinkStat is the per-directed-link telemetry summary of one run.
@@ -206,9 +270,10 @@ const (
 	phaseBcast
 )
 
-// flow is one virtual channel: a (directed link, tree, phase) stream.
+// flow is one virtual channel: a (directed link, job, phase) stream.
 type flow struct {
-	tree  int
+	j     *job
+	tree  int // == j.tree, denormalised for the trace hot path
 	phase int
 	from  int
 	to    int
@@ -226,6 +291,14 @@ type flow struct {
 	// buf holds values for flits [bufBase, bufBase+len(buf)).
 	buf     []int64
 	bufBase int
+
+	// Fault bookkeeping, maintained only when a fault plan is present.
+	// sentAt records the injection cycle of every outstanding flit (FIFO:
+	// append on send, pop on accepted arrival); lost marks a stream that
+	// dropped a flit, so later arrivals are discarded rather than pushed
+	// at the wrong prefix index.
+	sentAt []int
+	lost   bool
 }
 
 func (f *flow) push(v int64) { f.buf = append(f.buf, v) }
@@ -253,6 +326,14 @@ type link struct {
 	rr       int // round-robin pointer
 	pipeline []inflight
 
+	// Fault state: failed links swallow injections and deliver nothing;
+	// degraded links meter injections through a token bucket refilled at
+	// degRate flits per cycle.
+	failed    bool
+	degraded  bool
+	degRate   float64
+	degBudget float64
+
 	// Telemetry accumulators for Result.LinkStats.
 	flits       int
 	busyCycles  int
@@ -262,7 +343,22 @@ type link struct {
 	lastBuf     int // occupancy at the end of the previous cycle
 }
 
-// nodeTree is the per-(node, tree) dataflow state.
+// job is one pipelined sub-vector collective riding one forest tree: a
+// contiguous range [goff, goff+m) of the global vector, with per-node
+// dataflow state and a flow per tree edge per phase. The initial jobs are
+// the Equation 2 split, one per tree; recovery appends new jobs when a
+// dead tree's unfinished range is re-issued over the survivors.
+type job struct {
+	tree int // forest tree carrying this job
+	goff int // global offset of the first element
+	m    int // elements carried
+
+	nodes []*nodeTree // per-vertex state
+	dead  bool        // aborted by recovery; its flows are purged
+	done  bool        // all nodes delivered their targets
+}
+
+// nodeTree is the per-(node, job) dataflow state.
 type nodeTree struct {
 	parent   int
 	seg      []int64 // this node's input segment
@@ -275,7 +371,6 @@ type nodeTree struct {
 	rootResult   []int64
 	rootComputed int
 
-	out       []int64 // delivered result segment
 	delivered int
-	target    int // flits this node must deliver for its tree to finish
+	target    int // flits this node must deliver for its job to finish
 }

@@ -30,12 +30,24 @@ type sim struct {
 
 	linkMap map[[2]int]*link // directed (from,to) → link
 	links   []*link          // same links in deterministic order
-	nodes   [][]*nodeTree    // nodes[tree][vertex]
-	pending int              // flit deliveries still outstanding (all nodes, all trees)
+	frozen  bool             // link set frozen; recovery may not add links
+	jobs    []*job           // initial jobs (one per tree) + recovery re-issues
+	pending int              // flit deliveries still outstanding (all jobs, all nodes)
+
+	// outputs[v] is node v's assembled m-element result, written in place
+	// at delivery time (broadcast arrival or root-local compute).
+	outputs [][]int64
 
 	// engineUsed[v] counts reduction flits produced by router v this
 	// cycle, compared against cfg.EngineRate when it is non-zero.
 	engineUsed []int
+
+	// Fault-engine state; zero-valued and untouched on fault-free runs.
+	faultsOn    bool
+	faultActive []bool          // per plan fault: currently in its window
+	stalled     []bool          // per node: reduction engine frozen
+	deadTree    []bool          // per forest tree: aborted by recovery
+	quarantined map[[2]int]bool // undirected links detected as failed
 
 	result Result
 }
@@ -55,6 +67,9 @@ func newSim(spec Spec, cfg Config) (*sim, error) {
 	if len(spec.Inputs) != n {
 		return nil, fmt.Errorf("netsim: %d input vectors for %d nodes", len(spec.Inputs), n)
 	}
+	if spec.Op < OpAllreduce || spec.Op > OpBroadcast {
+		return nil, fmt.Errorf("netsim: unknown op %v", spec.Op)
+	}
 	s := &sim{spec: spec, cfg: cfg, n: n, linkMap: make(map[[2]int]*link), engineUsed: make([]int, n)}
 	for i, t := range spec.Forest {
 		if err := t.ValidateSpanning(g); err != nil {
@@ -71,74 +86,32 @@ func newSim(spec Spec, cfg Config) (*sim, error) {
 			return nil, fmt.Errorf("netsim: node %d input length %d, want %d", v, len(in), s.m)
 		}
 	}
-
-	getLink := func(from, to int) *link {
-		key := [2]int{from, to}
-		l, ok := s.linkMap[key]
-		if !ok {
-			l = &link{from: from, to: to}
-			s.linkMap[key] = l
+	if cfg.Faults != nil {
+		if spec.Op != OpAllreduce {
+			return nil, fmt.Errorf("netsim: fault injection requires OpAllreduce, got %v", spec.Op)
 		}
-		return l
+		for i, f := range cfg.Faults.Faults {
+			if f.IsLink() {
+				if f.U >= n || f.V >= n {
+					return nil, fmt.Errorf("netsim: fault %d: link %d-%d outside %d-node topology", i, f.U, f.V, n)
+				}
+			} else if f.Node >= n {
+				return nil, fmt.Errorf("netsim: fault %d: node %d outside %d-node topology", i, f.Node, n)
+			}
+		}
+		s.faultsOn = true
+		s.faultActive = make([]bool, len(cfg.Faults.Faults))
+		s.stalled = make([]bool, n)
+		s.deadTree = make([]bool, len(spec.Forest))
+		s.quarantined = make(map[[2]int]bool)
 	}
-	addFlow := func(f *flow) *flow {
-		l := getLink(f.from, f.to)
-		l.flows = append(l.flows, f)
-		return f
-	}
 
-	s.nodes = make([][]*nodeTree, len(spec.Forest))
-	for ti, t := range spec.Forest {
-		mt := spec.Split[ti]
-		off := s.offsets[ti]
-		s.nodes[ti] = make([]*nodeTree, n)
-		for v := 0; v < n; v++ {
-			nt := &nodeTree{
-				parent: t.Parent[v],
-				seg:    spec.Inputs[v][off : off+mt],
-				out:    make([]int64, mt),
-			}
-			s.nodes[ti][v] = nt
-		}
-		withReduce := spec.Op == OpAllreduce || spec.Op == OpReduce
-		withBcast := spec.Op == OpAllreduce || spec.Op == OpBroadcast
-		if spec.Op < OpAllreduce || spec.Op > OpBroadcast {
-			return nil, fmt.Errorf("netsim: unknown op %v", spec.Op)
-		}
-		for v := 0; v < n; v++ {
-			nt := s.nodes[ti][v]
-			p := t.Parent[v]
-			if p >= 0 {
-				if withReduce {
-					nt.redOut = addFlow(&flow{tree: ti, phase: phaseReduce, from: v, to: p, m: mt})
-					s.nodes[ti][p].redIn = append(s.nodes[ti][p].redIn, nt.redOut)
-				}
-				if withBcast {
-					nt.bcastIn = addFlow(&flow{tree: ti, phase: phaseBcast, from: p, to: v, m: mt})
-					s.nodes[ti][p].bcastOut = append(s.nodes[ti][p].bcastOut, nt.bcastIn)
-				}
-			} else {
-				nt.rootResult = make([]int64, mt)
-				if spec.Op == OpBroadcast {
-					// The root sources its own input; it is trivially done.
-					copy(nt.rootResult, nt.seg)
-					copy(nt.out, nt.seg)
-					nt.rootComputed = mt
-					nt.delivered = mt
-				}
-			}
-			// Completion targets per op: everyone for allreduce/broadcast,
-			// only the root for reduce.
-			switch spec.Op {
-			case OpReduce:
-				if p < 0 {
-					nt.target = mt
-				}
-			default:
-				nt.target = mt
-			}
-			s.pending += nt.target - nt.delivered
-		}
+	s.outputs = make([][]int64, n)
+	for v := 0; v < n; v++ {
+		s.outputs[v] = make([]int64, s.m)
+	}
+	for ti := range spec.Forest {
+		s.addStream(ti, s.offsets[ti], spec.Split[ti])
 	}
 	s.result.TreeDone = make([]int, len(spec.Forest))
 	s.result.TreeReduceDone = make([]int, len(spec.Forest))
@@ -147,7 +120,7 @@ func newSim(spec Spec, cfg Config) (*sim, error) {
 		if spec.Op == OpBroadcast {
 			s.result.TreeReduceDone[i] = -1 // no reduce phase
 		}
-		s.checkTreeDone(i, 0) // zero-split or trivially-complete trees
+		s.checkJobDone(s.jobs[i], 0) // zero-split or trivially-complete trees
 	}
 
 	// Freeze a deterministic link order for the cycle loop.
@@ -164,7 +137,79 @@ func newSim(spec Spec, cfg Config) (*sim, error) {
 	for _, k := range keys {
 		s.links = append(s.links, s.linkMap[k])
 	}
+	s.frozen = true
 	return s, nil
+}
+
+// addFlow registers a flow with its directed link. After the link set is
+// frozen (recovery re-issues), the link must already exist — surviving
+// trees only use links their initial flows created.
+func (s *sim) addFlow(f *flow) *flow {
+	key := [2]int{f.from, f.to}
+	l, ok := s.linkMap[key]
+	if !ok {
+		if s.frozen {
+			panic(fmt.Sprintf("netsim: internal: re-issue on unknown link %d→%d", f.from, f.to))
+		}
+		l = &link{from: f.from, to: f.to}
+		s.linkMap[key] = l
+	}
+	l.flows = append(l.flows, f)
+	return f
+}
+
+// addStream builds one job — the collective for the contiguous global
+// range [goff, goff+mt) over forest tree ti — together with its per-node
+// state and flows. It is used both for the initial Equation 2 split and
+// for recovery re-issues, so flow creation order (ascending vertex,
+// reduce before broadcast) is part of the determinism contract.
+func (s *sim) addStream(ti, goff, mt int) *job {
+	t := s.spec.Forest[ti]
+	j := &job{tree: ti, goff: goff, m: mt, nodes: make([]*nodeTree, s.n)}
+	for v := 0; v < s.n; v++ {
+		j.nodes[v] = &nodeTree{
+			parent: t.Parent[v],
+			seg:    s.spec.Inputs[v][goff : goff+mt],
+		}
+	}
+	withReduce := s.spec.Op == OpAllreduce || s.spec.Op == OpReduce
+	withBcast := s.spec.Op == OpAllreduce || s.spec.Op == OpBroadcast
+	for v := 0; v < s.n; v++ {
+		nt := j.nodes[v]
+		p := t.Parent[v]
+		if p >= 0 {
+			if withReduce {
+				nt.redOut = s.addFlow(&flow{j: j, tree: ti, phase: phaseReduce, from: v, to: p, m: mt})
+				j.nodes[p].redIn = append(j.nodes[p].redIn, nt.redOut)
+			}
+			if withBcast {
+				nt.bcastIn = s.addFlow(&flow{j: j, tree: ti, phase: phaseBcast, from: p, to: v, m: mt})
+				j.nodes[p].bcastOut = append(j.nodes[p].bcastOut, nt.bcastIn)
+			}
+		} else {
+			nt.rootResult = make([]int64, mt)
+			if s.spec.Op == OpBroadcast {
+				// The root sources its own input; it is trivially done.
+				copy(nt.rootResult, nt.seg)
+				copy(s.outputs[v][goff:goff+mt], nt.seg)
+				nt.rootComputed = mt
+				nt.delivered = mt
+			}
+		}
+		// Completion targets per op: everyone for allreduce/broadcast,
+		// only the root for reduce.
+		switch s.spec.Op {
+		case OpReduce:
+			if p < 0 {
+				nt.target = mt
+			}
+		default:
+			nt.target = mt
+		}
+		s.pending += nt.target - nt.delivered
+	}
+	s.jobs = append(s.jobs, j)
+	return j
 }
 
 // reduceReady returns how many reduced flits node nt could emit so far:
@@ -182,7 +227,7 @@ func (nt *nodeTree) reduceReady(m int) int {
 // senderReady returns how many flits the sender of f has available to
 // inject.
 func (s *sim) senderReady(f *flow) int {
-	nt := s.nodes[f.tree][f.from]
+	nt := f.j.nodes[f.from]
 	if f.phase == phaseReduce {
 		return nt.reduceReady(f.m)
 	}
@@ -196,7 +241,7 @@ func (s *sim) senderReady(f *flow) int {
 
 // flitValue produces the value of flit k on flow f at injection time.
 func (s *sim) flitValue(f *flow, k int) int64 {
-	nt := s.nodes[f.tree][f.from]
+	nt := f.j.nodes[f.from]
 	if f.phase == phaseReduce {
 		v := nt.seg[k]
 		for _, cf := range nt.redIn {
@@ -215,7 +260,7 @@ func (s *sim) flitValue(f *flow, k int) int64 {
 func (s *sim) updateConsumed() {
 	for _, l := range s.links {
 		for _, f := range l.flows {
-			nt := s.nodes[f.tree][f.to]
+			nt := f.j.nodes[f.to]
 			var c int
 			if f.phase == phaseReduce {
 				if nt.redOut != nil {
@@ -246,23 +291,29 @@ func (s *sim) updateConsumed() {
 }
 
 // rootCompute advances every root reduction engine by at most one flit per
-// tree per cycle (link rate), recording the final value and delivering it
+// job per cycle (link rate), recording the final value and delivering it
 // locally.
 func (s *sim) rootCompute(now int) {
 	if s.spec.Op == OpBroadcast {
 		return // roots already hold their source data
 	}
 	// The reduction engine runs at link rate: up to LinkBandwidth flits
-	// per tree per cycle (§5.1), unless EngineRate caps total output.
-	perTree := s.cfg.LinkBandwidth
-	if perTree == 0 {
-		perTree = 1
+	// per job per cycle (§5.1), unless EngineRate caps total output.
+	perJob := s.cfg.LinkBandwidth
+	if perJob == 0 {
+		perJob = 1
 	}
-	for ti := range s.nodes {
-		root := s.spec.Forest[ti].Root
-		nt := s.nodes[ti][root]
-		mt := s.spec.Split[ti]
-		for slot := 0; slot < perTree; slot++ {
+	for _, j := range s.jobs {
+		if j.dead {
+			continue
+		}
+		root := s.spec.Forest[j.tree].Root
+		if s.faultsOn && s.stalled[root] {
+			continue
+		}
+		nt := j.nodes[root]
+		mt := j.m
+		for slot := 0; slot < perJob; slot++ {
 			if nt.rootComputed >= mt {
 				break
 			}
@@ -285,17 +336,17 @@ func (s *sim) rootCompute(now int) {
 				v += cf.at(k)
 			}
 			nt.rootResult[k] = v
-			nt.out[k] = v
+			s.outputs[root][j.goff+k] = v
 			nt.rootComputed++
 			if nt.rootComputed == mt {
-				s.result.TreeReduceDone[ti] = now
+				s.result.TreeReduceDone[j.tree] = now
 			}
 			nt.delivered++
 			s.engineUsed[root]++
 			s.pending--
-			s.emit(TraceEvent{Cycle: now, Kind: TraceRootCompute, Tree: ti,
+			s.emit(TraceEvent{Cycle: now, Kind: TraceRootCompute, Tree: j.tree,
 				From: root, To: root, Flit: k, Value: v})
-			s.checkTreeDone(ti, now)
+			s.checkJobDone(j, now)
 		}
 	}
 }
@@ -316,16 +367,24 @@ func (s *sim) noteStall(l *link, f *flow, now int) {
 		From: f.from, To: f.to, Flit: f.sent, Value: int64(f.sent - f.consumed)})
 }
 
-func (s *sim) checkTreeDone(ti, now int) {
-	if s.result.TreeDone[ti] >= 0 {
+// checkJobDone marks a completed job and, when it was the last unfinished
+// job on its tree, records the tree's completion cycle.
+func (s *sim) checkJobDone(j *job, now int) {
+	if j.done || j.dead {
 		return
 	}
-	for _, nt := range s.nodes[ti] {
+	for _, nt := range j.nodes {
 		if nt.delivered < nt.target {
 			return
 		}
 	}
-	s.result.TreeDone[ti] = now
+	j.done = true
+	for _, o := range s.jobs {
+		if o.tree == j.tree && !o.dead && !o.done {
+			return
+		}
+	}
+	s.result.TreeDone[j.tree] = now
 }
 
 func (s *sim) run() (*Result, error) {
@@ -338,25 +397,56 @@ func (s *sim) run() (*Result, error) {
 			s.engineUsed[i] = 0
 		}
 
+		// 0. Fault plan transitions: fail/heal links, start/stop
+		//    degradation windows and engine stalls.
+		if s.faultsOn {
+			s.applyFaults(now)
+		}
+
 		// 1. Deliver flits whose pipeline delay expires this cycle.
 		for _, l := range s.links {
 			for len(l.pipeline) > 0 && l.pipeline[0].arrive <= now {
 				fl := l.pipeline[0]
 				l.pipeline = l.pipeline[1:]
 				f := fl.f
+				if f.lost {
+					// The stream already dropped an earlier flit: this one
+					// is out of sequence and must not land at the wrong
+					// prefix index. Discard; recovery re-issues the range.
+					s.result.DroppedFlits++
+					s.emit(TraceEvent{Cycle: now, Kind: TraceDrop, Tree: f.tree, Phase: f.phase,
+						From: f.from, To: f.to, Flit: -1, Value: fl.val})
+					continue
+				}
 				f.push(fl.val)
 				k := f.arrived
 				f.arrived++
+				if s.faultsOn && len(f.sentAt) > 0 {
+					f.sentAt = f.sentAt[1:]
+				}
 				s.emit(TraceEvent{Cycle: now, Kind: TraceArrive, Tree: f.tree, Phase: f.phase,
 					From: f.from, To: f.to, Flit: k, Value: fl.val})
 				if f.phase == phaseBcast {
 					// Local delivery on arrival.
-					nt := s.nodes[f.tree][f.to]
-					nt.out[k] = fl.val
+					nt := f.j.nodes[f.to]
+					s.outputs[f.to][f.j.goff+k] = fl.val
 					nt.delivered++
 					s.pending--
-					s.checkTreeDone(f.tree, now)
+					s.checkJobDone(f.j, now)
 				}
+				progressed = true
+			}
+		}
+
+		// 1b. Loss detection and recovery: virtual channels whose oldest
+		//     outstanding flit is overdue identify failed links; the trees
+		//     crossing them abort and re-issue over the survivors.
+		if s.faultsOn && !s.cfg.DisableRecovery {
+			recovered, err := s.detectAndRecover(now)
+			if err != nil {
+				return nil, err
+			}
+			if recovered {
 				progressed = true
 			}
 		}
@@ -379,9 +469,20 @@ func (s *sim) run() (*Result, error) {
 			linkBW = 1
 		}
 		for _, l := range s.links {
+			if l.degraded {
+				// Token bucket: refill at the degraded rate, burst capped
+				// so idle cycles cannot bank unbounded credit.
+				l.degBudget += l.degRate
+				if burst := maxf(1, l.degRate); l.degBudget > burst {
+					l.degBudget = burst
+				}
+			}
 			nf := len(l.flows)
 			sentThisCycle := 0
 			for i := 0; i < nf && sentThisCycle < linkBW; i++ {
+				if l.degraded && l.degBudget < 1 {
+					break // metered out this cycle
+				}
 				f := l.flows[(l.rr+i)%nf]
 				if f.sent >= f.m {
 					continue // stream finished
@@ -393,10 +494,14 @@ func (s *sim) run() (*Result, error) {
 					s.noteStall(l, f, now)
 					continue // no credit
 				}
+				if f.phase == phaseReduce && s.faultsOn && s.stalled[f.from] &&
+					len(f.j.nodes[f.from].redIn) > 0 {
+					continue // combining engine frozen by an engine-stall fault
+				}
 				if f.phase == phaseReduce && s.cfg.EngineRate > 0 {
 					// A non-leaf sender combines child flits as it
 					// transmits — that production consumes engine slots.
-					if len(s.nodes[f.tree][f.from].redIn) > 0 {
+					if len(f.j.nodes[f.from].redIn) > 0 {
 						if s.engineUsed[f.from] >= s.cfg.EngineRate {
 							continue
 						}
@@ -405,10 +510,25 @@ func (s *sim) run() (*Result, error) {
 				}
 				val := s.flitValue(f, f.sent)
 				f.sent++
-				l.pipeline = append(l.pipeline, inflight{f: f, val: val, arrive: now + s.cfg.LinkLatency})
+				if s.faultsOn {
+					f.sentAt = append(f.sentAt, now)
+				}
 				s.result.FlitsSent++
 				s.emit(TraceEvent{Cycle: now, Kind: TraceSend, Tree: f.tree, Phase: f.phase,
 					From: f.from, To: f.to, Flit: f.sent - 1, Value: val})
+				if l.failed {
+					// The physical layer fails silently: the sender spends
+					// its cycle, the flit evaporates, the stream is broken.
+					f.lost = true
+					s.result.DroppedFlits++
+					s.emit(TraceEvent{Cycle: now, Kind: TraceDrop, Tree: f.tree, Phase: f.phase,
+						From: f.from, To: f.to, Flit: f.sent - 1, Value: val})
+				} else {
+					l.pipeline = append(l.pipeline, inflight{f: f, val: val, arrive: now + s.cfg.LinkLatency})
+				}
+				if l.degraded {
+					l.degBudget--
+				}
 				l.rr = (l.rr + i + 1) % nf
 				sentThisCycle++
 				progressed = true
@@ -451,8 +571,7 @@ func (s *sim) run() (*Result, error) {
 		} else {
 			idle++
 			if idle > s.cfg.ProgressTimeout {
-				return nil, fmt.Errorf("netsim: no progress for %d cycles at cycle %d (%d flits pending)",
-					idle, now, s.pending)
+				return nil, s.progressError(now, idle)
 			}
 		}
 	}
@@ -478,13 +597,15 @@ func (s *sim) run() (*Result, error) {
 		}
 	}
 
-	s.result.Outputs = make([][]int64, s.n)
-	for v := 0; v < s.n; v++ {
-		out := make([]int64, s.m)
-		for ti := range s.nodes {
-			copy(out[s.offsets[ti]:], s.nodes[ti][v].out)
+	s.result.Outputs = s.outputs
+
+	// Post-recovery bandwidth: the work outstanding at the last recovery
+	// over the cycles the survivors took to finish it.
+	if nr := len(s.result.Recoveries); nr > 0 {
+		last := s.result.Recoveries[nr-1]
+		if s.result.Cycles > last.Cycle {
+			s.result.PostRecoveryBW = float64(last.Remaining) / float64(s.result.Cycles-last.Cycle)
 		}
-		s.result.Outputs[v] = out
 	}
 
 	// Per-link summary; s.links is already in (from, to) order.
@@ -508,6 +629,13 @@ func (s *sim) run() (*Result, error) {
 		s.result.LinkStats = append(s.result.LinkStats, ls)
 	}
 	return &s.result, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // ExpectedOutput computes the reference element-wise sum of the inputs,

@@ -22,6 +22,22 @@ const (
 	// are the link endpoints, Value the new occupancy; Tree, Phase and
 	// Flit are -1 (the event is per-link, not per-stream).
 	TraceBufferOccupancy
+	// TraceFault: a fault from the plan activated this cycle. From/To are
+	// the link endpoints (both the stalled router for an engine stall),
+	// Phase is the faults.Kind as an int, Tree and Flit are -1, and Value
+	// is the number of in-flight flits destroyed at activation.
+	TraceFault
+	// TraceDrop: a link fault destroyed one flit — purged from a failed
+	// link's pipeline, swallowed at injection into a failed link,
+	// discarded on arrival of a broken stream, or purged when its tree
+	// was aborted. Fields identify the flit like TraceSend.
+	TraceDrop
+	// TraceRecover: a recovery round completed — lost flits were detected,
+	// the trees crossing the suspect links aborted, and their unfinished
+	// elements re-issued over the survivors. From/To is the first suspect
+	// link, Flit the number of re-issued elements, Value the elements
+	// still incomplete across all nodes; Tree and Phase are -1.
+	TraceRecover
 )
 
 func (k TraceEventKind) String() string {
@@ -36,6 +52,12 @@ func (k TraceEventKind) String() string {
 		return "stall"
 	case TraceBufferOccupancy:
 		return "occupancy"
+	case TraceFault:
+		return "fault"
+	case TraceDrop:
+		return "drop"
+	case TraceRecover:
+		return "recover"
 	}
 	return fmt.Sprintf("TraceEventKind(%d)", int(k))
 }

@@ -15,13 +15,15 @@ import (
 // one link. Cycles are rendered as microseconds.
 
 type chromeEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	Ts   int64          `json:"ts"`
-	Dur  int64          `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Dur  int64  `json:"dur,omitempty"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	// S is the instant-event scope ("g" = global) for ph "i" events.
+	S    string         `json:"s,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -96,6 +98,43 @@ func (ct *ChromeTrace) Write(w io.Writer) error {
 				chromeEvent{Name: "process_sort_index", Ph: "M", Pid: pid,
 					Args: map[string]any{"sort_index": pid}},
 			)
+		}
+		// Fault activations and recovery rounds render as global instant
+		// events on a dedicated process per section, so the moments the
+		// topology changed line up visually with the per-link tracks.
+		if len(c.faultMarks) > 0 || len(c.recoverMarks) > 0 {
+			faultPid := pidBase + len(keys) + 1
+			name := "faults"
+			if sec.label != "" {
+				name = sec.label + " faults"
+			}
+			file.TraceEvents = append(file.TraceEvents,
+				chromeEvent{Name: "process_name", Ph: "M", Pid: faultPid,
+					Args: map[string]any{"name": name}},
+				chromeEvent{Name: "process_sort_index", Ph: "M", Pid: faultPid,
+					Args: map[string]any{"sort_index": faultPid}},
+			)
+			for _, fm := range c.faultMarks {
+				file.TraceEvents = append(file.TraceEvents, chromeEvent{
+					Name: fmt.Sprintf("fault kind=%d %s", fm.Kind, linkName(fm.U, fm.V)),
+					Cat:  "fault", Ph: "i", S: "g",
+					Ts: int64(fm.Cycle), Pid: faultPid, Tid: 1,
+					Args: map[string]any{"dropped_at_activation": fm.DroppedAtActivation},
+				})
+			}
+			for _, rm := range c.recoverMarks {
+				file.TraceEvents = append(file.TraceEvents, chromeEvent{
+					Name: fmt.Sprintf("recover %s", linkName(rm.U, rm.V)),
+					Cat:  "recover", Ph: "i", S: "g",
+					Ts: int64(rm.Cycle), Pid: faultPid, Tid: 1,
+					Args: map[string]any{
+						"reissued":       rm.Reissued,
+						"remaining":      rm.Remaining,
+						"latency_cycles": rm.LatencyCycles,
+					},
+				})
+			}
+			pidBase++
 		}
 		pidBase += len(keys) + 1
 

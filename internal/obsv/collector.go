@@ -36,6 +36,39 @@ type Collector struct {
 	runLengths []int // closed stall-run lengths in cycles
 	events     int
 	totalFlits int
+
+	// Fault telemetry, in event order (empty on fault-free runs).
+	faultMarks   []FaultMark
+	recoverMarks []RecoverMark
+	dropped      int
+}
+
+// FaultMark is one fault activation observed in the trace stream.
+type FaultMark struct {
+	// Cycle is the activation cycle; Kind the faults.Kind as an int.
+	Cycle int `json:"cycle"`
+	Kind  int `json:"kind"`
+	// U and V are the link endpoints (both the router for engine stalls).
+	U int `json:"u"`
+	V int `json:"v"`
+	// DroppedAtActivation is how many in-flight flits the fault destroyed.
+	DroppedAtActivation int `json:"dropped_at_activation"`
+}
+
+// RecoverMark is one recovery round observed in the trace stream.
+type RecoverMark struct {
+	Cycle int `json:"cycle"`
+	// U and V identify the first suspect link of the round.
+	U int `json:"u"`
+	V int `json:"v"`
+	// Reissued is the number of elements redistributed to survivors;
+	// Remaining the elements still incomplete after the re-issue.
+	Reissued  int `json:"reissued"`
+	Remaining int `json:"remaining"`
+	// LatencyCycles is the detection latency: cycles since the most
+	// recent fault activation at or before this recovery (-1 if the
+	// stream carried no fault event, which would be a simulator bug).
+	LatencyCycles int `json:"latency_cycles"`
 }
 
 type streamKey struct{ from, to, tree, phase int }
@@ -53,6 +86,7 @@ type linkTelemetry struct {
 	stallCycles int
 	lastStall   int
 	peakBuffer  int
+	dropped     int // flits destroyed by faults on this link
 	// flits by (tree, phase) — the heatmap's raw cells.
 	byTreePhase map[[2]int]int
 }
@@ -172,6 +206,28 @@ func (c *Collector) Observe(ev netsim.TraceEvent) {
 				tt.lastBcastCycle = ev.Cycle
 			}
 		}
+	case netsim.TraceFault:
+		c.faultMarks = append(c.faultMarks, FaultMark{
+			Cycle: ev.Cycle, Kind: ev.Phase, U: ev.From, V: ev.To,
+			DroppedAtActivation: int(ev.Value),
+		})
+	case netsim.TraceDrop:
+		c.dropped++
+		lt := c.link(ev.From, ev.To)
+		lt.dropped++
+	case netsim.TraceRecover:
+		mark := RecoverMark{
+			Cycle: ev.Cycle, U: ev.From, V: ev.To,
+			Reissued: ev.Flit, Remaining: int(ev.Value),
+			LatencyCycles: -1,
+		}
+		for i := len(c.faultMarks) - 1; i >= 0; i-- {
+			if c.faultMarks[i].Cycle <= ev.Cycle {
+				mark.LatencyCycles = ev.Cycle - c.faultMarks[i].Cycle
+				break
+			}
+		}
+		c.recoverMarks = append(c.recoverMarks, mark)
 	}
 }
 
@@ -316,6 +372,8 @@ type LinkReport struct {
 	BusyCycles      int     `json:"busy_cycles"`
 	StallCycles     int     `json:"stall_cycles"`
 	PeakBufferFlits int     `json:"peak_buffer_flits"`
+	// DroppedFlits counts flits destroyed on this link by faults.
+	DroppedFlits int `json:"dropped_flits,omitempty"`
 	// Trees lists the distinct trees with traffic on this directed link.
 	Trees []int `json:"trees"`
 	// ByTreePhase details flit counts per (tree, phase) stream.
@@ -388,6 +446,17 @@ type Report struct {
 	BcastPhaseCycles  int `json:"bcast_phase_cycles"`
 	// StallRuns is a histogram of consecutive-stall run lengths (cycles).
 	StallRuns HistogramSnapshot `json:"stall_runs"`
+	// Fault telemetry (zero/empty on fault-free runs): every fault
+	// activation and recovery round in event order, and the total flits
+	// destroyed.
+	Faults       []FaultMark   `json:"faults,omitempty"`
+	Recoveries   []RecoverMark `json:"recoveries,omitempty"`
+	DroppedFlits int           `json:"dropped_flits,omitempty"`
+	// PostRecoveryBW is the measured aggregate bandwidth after the last
+	// recovery (elements still incomplete at the recovery, divided by the
+	// cycles the run took from there) — the degraded-bandwidth gauge the
+	// core.Degrade prediction is checked against. Zero without recovery.
+	PostRecoveryBW float64 `json:"post_recovery_bw,omitempty"`
 }
 
 // Report finalises the collector (closing open bursts) and returns the
@@ -420,6 +489,7 @@ func (c *Collector) Report() *Report {
 			BusyCycles:      lt.busyCycles,
 			StallCycles:     lt.stallCycles,
 			PeakBufferFlits: lt.peakBuffer,
+			DroppedFlits:    lt.dropped,
 		}
 		if c.cycles > 0 {
 			lr.Utilization = float64(lt.busyCycles) / float64(c.cycles)
@@ -530,6 +600,16 @@ func (c *Collector) Report() *Report {
 		hist.Observe(float64(run))
 	}
 	r.StallRuns = hist.snapshot()
+
+	r.Faults = append(r.Faults, c.faultMarks...)
+	r.Recoveries = append(r.Recoveries, c.recoverMarks...)
+	r.DroppedFlits = c.dropped
+	if n := len(c.recoverMarks); n > 0 {
+		last := c.recoverMarks[n-1]
+		if r.Cycles > last.Cycle {
+			r.PostRecoveryBW = float64(last.Remaining) / float64(r.Cycles-last.Cycle)
+		}
+	}
 	return r
 }
 
@@ -547,6 +627,15 @@ func (c *Collector) Metrics(reg *Registry) *Report {
 	reg.Gauge("sim.shared_directed_links").Set(float64(rep.SharedDirectedLinks))
 	reg.Gauge("sim.reduce_phase_cycles").Set(float64(rep.ReducePhaseCycles))
 	reg.Gauge("sim.bcast_phase_cycles").Set(float64(rep.BcastPhaseCycles))
+	if len(rep.Faults) > 0 || rep.DroppedFlits > 0 {
+		reg.Counter("sim.faults").Add(int64(len(rep.Faults)))
+		reg.Counter("sim.recoveries").Add(int64(len(rep.Recoveries)))
+		reg.Counter("sim.dropped_flits").Add(int64(rep.DroppedFlits))
+		reg.Gauge("sim.post_recovery_bw").Set(rep.PostRecoveryBW)
+		if n := len(rep.Recoveries); n > 0 {
+			reg.Gauge("sim.recovery_latency_cycles").Set(float64(rep.Recoveries[n-1].LatencyCycles))
+		}
+	}
 	for _, lr := range rep.Links {
 		name := "link." + linkName(lr.From, lr.To)
 		reg.Counter(name + ".flits").Add(int64(lr.Flits))

@@ -26,6 +26,8 @@ const (
 	KindBench = "bench"
 	// KindScorecard is a measured-vs-model scorecard snapshot.
 	KindScorecard = "scorecard"
+	// KindDegraded is a fault-injection degraded-run scorecard snapshot.
+	KindDegraded = "degraded-scorecard"
 )
 
 // Snapshot is the persisted form of one benchmark or scorecard run — the
@@ -50,6 +52,10 @@ type Snapshot struct {
 	Scorecard []ScorePoint `json:"scorecard,omitempty"`
 	// ScorecardConfig records the sweep parameters behind Scorecard.
 	ScorecardConfig *ScorecardConfig `json:"scorecard_config,omitempty"`
+	// Degraded holds the fault-injection validation records.
+	Degraded []DegradedPoint `json:"degraded,omitempty"`
+	// DegradedConfig records the sweep parameters behind Degraded.
+	DegradedConfig *DegradedConfig `json:"degraded_config,omitempty"`
 }
 
 // WriteJSON writes the snapshot as indented JSON. Field order is fixed by

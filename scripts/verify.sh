@@ -14,8 +14,8 @@ go build ./...
 echo "== repolint ./..."
 go run ./cmd/repolint ./...
 
-echo "== go test -race -count=1 ./internal/netsim ./internal/obsv ./internal/core ./internal/collectives"
-go test -race -count=1 ./internal/netsim ./internal/obsv ./internal/core ./internal/collectives
+echo "== go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives"
+go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives
 
 echo "== go test ./..."
 go test ./...
@@ -25,5 +25,8 @@ go run ./cmd/benchreport run -label smoke -count 1 -benchtime 1x >/dev/null
 
 echo "== scorecard smoke (measured-vs-model gate at q=3)"
 go run ./cmd/benchreport scorecard -q 3 -m 4096 -label scorecard-smoke >/dev/null
+
+echo "== degraded scorecard (fault-injection recovery vs core.Degrade, q=7)"
+go run ./cmd/benchreport scorecard -degraded -q 7 -label degraded-smoke >/dev/null
 
 echo "verify: OK"
