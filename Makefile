@@ -1,4 +1,4 @@
-.PHONY: build test lint verify bench bench-smoke scorecard scorecard-degraded
+.PHONY: build test lint verify bench bench-netsim bench-smoke scorecard scorecard-degraded
 
 build:
 	go build ./...
@@ -20,6 +20,13 @@ verify:
 # for spread statistics) and writes BENCH_local.json at the repo root.
 bench:
 	go run ./cmd/benchreport run -label local -count 5
+
+# bench-netsim reruns the q=11 hot-loop benchmarks (fault-free and
+# faulted) and writes BENCH_netsim-local.json for comparison against the
+# committed pre-optimization baseline:
+#   go run ./cmd/benchreport compare BENCH_netsim.json BENCH_netsim-local.json
+bench-netsim:
+	go run ./cmd/benchreport run -label netsim-local -bench HotLoop -pkg ./internal/netsim -count 5
 
 # bench-smoke is the CI-sized variant: one iteration per benchmark, just
 # enough to prove the pipeline (go test -bench → parser → snapshot)

@@ -35,6 +35,7 @@ import (
 	"polarfly/internal/faults"
 	"polarfly/internal/netsim"
 	"polarfly/internal/obsv"
+	"polarfly/internal/parrun"
 	"polarfly/internal/trees"
 	"polarfly/internal/workload"
 )
@@ -56,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	alpha := fs.Float64("alpha", 500, "host-based per-round software overhead (cycles)")
 	seed := fs.Int64("seed", core.DefaultSeed, "workload seed")
 	sweep := fs.Bool("sweep", false, "sweep vector sizes geometrically up to -m and report the latency/bandwidth crossover")
+	parallel := fs.Int("parallel", 0, "sweep worker-pool size; 1 forces serial, <1 means GOMAXPROCS (output is byte-identical either way)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
 	metricsOut := fs.String("metrics-out", "", "write per-link/per-tree telemetry JSON to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
@@ -107,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *sweep {
-		return runSweep(*q, *m, *latency, *vc, *seed, stdout, stderr)
+		return runSweep(*q, *m, *latency, *vc, *parallel, *seed, stdout, stderr)
 	}
 	if *failLinks != "" || *faultSeed != 0 || *faultPlan != "" {
 		return runFaults(*q, *m, *latency, *vc, *seed,
@@ -466,17 +468,22 @@ var sweepKinds = []core.EmbeddingKind{core.SingleTree, core.LowDepth, core.Hamil
 
 // runSweep prints per-embedding cycle counts over a geometric vector-size
 // sweep, marking the winner at each point — the latency/bandwidth
-// crossover study of Figure 5's discussion.
-func runSweep(q, maxM, latency, vc int, seed int64, stdout, stderr io.Writer) int {
+// crossover study of Figure 5's discussion. The m points are independent
+// (SimulationComparison builds its own instance and workload per call),
+// so they run on a parrun pool; rows are rendered to strings inside the
+// jobs and printed afterwards in m order, keeping stdout byte-identical
+// to the serial sweep.
+func runSweep(q, maxM, latency, vc, parallel int, seed int64, stdout, stderr io.Writer) int {
 	cfg := netsim.Config{LinkLatency: latency, VCDepth: vc}
-	fmt.Fprintf(stdout, "vector-size sweep, PolarFly q=%d, link latency=%d\n", q, latency)
-	fmt.Fprintf(stdout, "%8s %12s %12s %12s %10s %10s\n",
-		"m", "single", "low-depth", "hamiltonian", "winner", "util err")
+	var ms []int
 	for m := 8; m <= maxM; m *= 4 {
+		ms = append(ms, m)
+	}
+	lines, err := parrun.Map(parallel, len(ms), func(i int) (string, error) {
+		m := ms[i]
 		rows, err := core.SimulationComparison(q, m, cfg, seed)
 		if err != nil {
-			fmt.Fprintln(stderr, "allreduce-sim:", err)
-			return 1
+			return "", err
 		}
 		cycles := map[core.EmbeddingKind]int{}
 		// worstErr is the design point's measured-vs-model utilization
@@ -502,8 +509,18 @@ func runSweep(q, maxM, latency, vc int, seed int64, stdout, stderr io.Writer) in
 		if c, ok := cycles[core.LowDepth]; ok {
 			low = fmt.Sprintf("%d", c)
 		}
-		fmt.Fprintf(stdout, "%8d %12d %12s %12d %10v %+9.2f%%\n",
-			m, cycles[core.SingleTree], low, cycles[core.Hamiltonian], winner, 100*worstErr)
+		return fmt.Sprintf("%8d %12d %12s %12d %10v %+9.2f%%\n",
+			m, cycles[core.SingleTree], low, cycles[core.Hamiltonian], winner, 100*worstErr), nil
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "allreduce-sim:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "vector-size sweep, PolarFly q=%d, link latency=%d\n", q, latency)
+	fmt.Fprintf(stdout, "%8s %12s %12s %12s %10s %10s\n",
+		"m", "single", "low-depth", "hamiltonian", "winner", "util err")
+	for _, line := range lines {
+		fmt.Fprint(stdout, line)
 	}
 	return 0
 }

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSweepParallelByteIdentical locks in the parrun ordered-commit
+// contract end to end: three full -sweep runs with a 4-worker pool must
+// produce stdout and stderr byte-identical to the serial (-parallel 1)
+// run. A worker committing out of order, or any shared state between
+// sweep points, shows up here as a diff.
+func TestSweepParallelByteIdentical(t *testing.T) {
+	runOnce := func(parallel string) (string, string) {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-q", "7", "-m", "512", "-sweep", "-parallel", parallel}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("-parallel %s: exit %d, stderr: %s", parallel, code, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+	serial, serialErr := runOnce("1")
+	if serial == "" {
+		t.Fatal("sweep produced no output")
+	}
+	for i := 1; i <= 3; i++ {
+		out, errOut := runOnce("4")
+		if out != serial {
+			t.Fatalf("parallel run %d stdout differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", i, serial, out)
+		}
+		if errOut != serialErr {
+			t.Fatalf("parallel run %d stderr differs from serial", i)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"polarfly/internal/parrun"
 	"polarfly/internal/perf"
 )
 
@@ -253,6 +254,7 @@ func cmdScorecard(args []string, stdout, stderr io.Writer) int {
 	outDir := fs.String("out", ".", "directory for the BENCH_<label>.json snapshot")
 	degraded := fs.Bool("degraded", false, "run the fault-injection sweep instead: inject the worst-case link failure per embedding and gate measured post-recovery bandwidth against the core.Degrade prediction")
 	failAt := fs.Int("fail-at", defDeg.FailAt, "cycle the worst-case link fails (with -degraded)")
+	parallel := fs.Int("parallel", 0, "simulation worker-pool size; 1 forces serial, <1 means GOMAXPROCS (output is byte-identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -266,11 +268,11 @@ func cmdScorecard(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *degraded {
-		return cmdScorecardDegraded(qs, *m, *latency, *vc, *failAt, *seed, *tol, *label, *outDir, stdout, stderr)
+		return cmdScorecardDegraded(qs, *m, *latency, *vc, *failAt, *parallel, *seed, *tol, *label, *outDir, stdout, stderr)
 	}
 	cfg := perf.ScorecardConfig{
 		Qs: qs, M: *m, LinkLatency: *latency, VCDepth: *vc,
-		Seed: *seed, Tolerance: *tol,
+		Seed: *seed, Tolerance: *tol, Parallel: *parallel,
 	}
 	points, err := perf.Scorecard(cfg)
 	if err != nil {
@@ -305,25 +307,36 @@ func cmdScorecard(args []string, stdout, stderr io.Writer) int {
 // the worst-case single link failure per embedding, gated on recovery
 // happening, outputs staying numerically correct, and the measured
 // post-recovery bandwidth landing within tolerance of core.Degrade.
-func cmdScorecardDegraded(qs []int, m, latency, vc, failAt int, seed int64, tol float64,
+func cmdScorecardDegraded(qs []int, m, latency, vc, failAt, parallel int, seed int64, tol float64,
 	label, outDir string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "benchreport:", err)
 		return 1
 	}
-	var points []perf.DegradedPoint
-	var lastCfg perf.DegradedConfig
-	for _, q := range qs {
-		cfg := perf.DegradedConfig{
+	// Each q's fault sweep is independent; run them on a parrun pool and
+	// flatten in input order so the snapshot matches the serial loop
+	// byte for byte. DegradedScorecard fans out across embeddings with
+	// the same pool size internally.
+	cfgs := make([]perf.DegradedConfig, len(qs))
+	for i, q := range qs {
+		cfgs[i] = perf.DegradedConfig{
 			Q: q, M: m, LinkLatency: latency, VCDepth: vc,
-			FailAt: failAt, Seed: seed, Tolerance: tol,
+			FailAt: failAt, Seed: seed, Tolerance: tol, Parallel: parallel,
 		}
-		pts, err := perf.DegradedScorecard(cfg)
-		if err != nil {
-			return fail(err)
-		}
+	}
+	perQ, err := parrun.Map(parallel, len(cfgs), func(i int) ([]perf.DegradedPoint, error) {
+		return perf.DegradedScorecard(cfgs[i])
+	})
+	if err != nil {
+		return fail(err)
+	}
+	var points []perf.DegradedPoint
+	for _, pts := range perQ {
 		points = append(points, pts...)
-		lastCfg = cfg
+	}
+	var lastCfg perf.DegradedConfig
+	if len(cfgs) > 0 {
+		lastCfg = cfgs[len(cfgs)-1]
 	}
 	snap := &perf.Snapshot{
 		Schema:         perf.SnapshotSchema,

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readFile returns the snapshot bytes, failing the test on error.
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestScorecardParallelByteIdentical runs the measured-vs-model sweep
+// serially and three times with a 4-worker pool: the markdown on stdout
+// and the BENCH_*.json snapshot must match byte for byte. Two qs keep
+// the flattened (q, embedding) job list longer than the pool so workers
+// really do finish out of input order.
+func TestScorecardParallelByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	// The same label on every run keeps the snapshots comparable byte for
+	// byte (the label is embedded in the JSON); each run overwrites the
+	// file and the bytes are captured immediately after.
+	runOnce := func(parallel string) (string, string, string) {
+		code, stdout, stderr := runCLI(t, "scorecard", "-q", "3,5", "-m", "4096",
+			"-out", dir, "-label", "det", "-parallel", parallel)
+		if code != 0 {
+			t.Fatalf("-parallel %s: exit %d, want 0\nstderr: %s", parallel, code, stderr)
+		}
+		return stdout, stderr, readFile(t, filepath.Join(dir, "BENCH_det.json"))
+	}
+	serialOut, _, serialSnap := runOnce("1")
+	for i := 1; i <= 3; i++ {
+		out, _, snap := runOnce("4")
+		if out != serialOut {
+			t.Fatalf("parallel run %d stdout differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", i, serialOut, out)
+		}
+		if snap != serialSnap {
+			t.Fatalf("parallel run %d snapshot differs from serial", i)
+		}
+	}
+}
+
+// TestScorecardDegradedParallelByteIdentical is the fault-injection
+// counterpart: the -degraded sweep fans out across qs and embeddings,
+// and its table and snapshot must still match the serial run exactly —
+// detection, recovery, and re-issue all happen inside independent jobs.
+func TestScorecardDegradedParallelByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(parallel string) (string, string) {
+		code, stdout, stderr := runCLI(t, "scorecard", "-degraded", "-q", "3,5",
+			"-m", "6144", "-fail-at", "800", "-out", dir, "-label", "ddet", "-parallel", parallel)
+		if code != 0 {
+			t.Fatalf("-parallel %s: exit %d, want 0\nstderr: %s", parallel, code, stderr)
+		}
+		return stdout, readFile(t, filepath.Join(dir, "BENCH_ddet.json"))
+	}
+	serialOut, serialSnap := runOnce("1")
+	for i := 1; i <= 3; i++ {
+		out, snap := runOnce("4")
+		if out != serialOut {
+			t.Fatalf("parallel run %d stdout differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", i, serialOut, out)
+		}
+		if snap != serialSnap {
+			t.Fatalf("parallel run %d snapshot differs from serial", i)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"polarfly/internal/bandwidth"
 	"polarfly/internal/er"
+	"polarfly/internal/faults"
 	"polarfly/internal/singer"
 	"polarfly/internal/trees"
 )
@@ -65,6 +66,70 @@ func BenchmarkSimulator(b *testing.B) {
 				res, err := Run(spec, cfg)
 				if err != nil {
 					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Cycles), "simcycles")
+			}
+		})
+	}
+}
+
+// hotLoopCfg is the fabric point shared by the hot-loop benchmarks: deep
+// enough links that the credit loop matters, small enough buffers that
+// arbitration and stalls are exercised.
+func hotLoopCfg() Config { return Config{LinkLatency: 5, VCDepth: 8} }
+
+// BenchmarkHotLoop isolates the cycle-loop cost at the largest swept
+// design point (q=11, N=133) with a vector long enough that steady-state
+// streaming dominates pipeline fill. One iteration is one full Allreduce;
+// ns/op and allocs/op are the regression-gated signals (see
+// BENCH_netsim.json for the committed pre-optimization baseline).
+func BenchmarkHotLoop(b *testing.B) {
+	for _, kind := range []string{"single", "lowdepth", "hamiltonian"} {
+		spec := benchSpec(b, 11, 8192, kind)
+		b.Run("q=11/"+kind, func(b *testing.B) {
+			cfg := hotLoopCfg()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Cycles), "simcycles")
+			}
+		})
+	}
+}
+
+// BenchmarkHotLoopFaulted measures the faulted hot path at q=11: the
+// per-flow send timestamps, the timeout scan, one mid-run link-down, and
+// the recovery re-issue. The single-tree baseline is excluded — any link
+// failure kills its only tree and the run aborts.
+func BenchmarkHotLoopFaulted(b *testing.B) {
+	for _, kind := range []string{"lowdepth", "hamiltonian"} {
+		spec := benchSpec(b, 11, 8192, kind)
+		// Fail the first edge of tree 0 mid-reduction: deterministic, and
+		// guaranteed to cross at least one tree so recovery really runs.
+		var u, v int
+		for w, p := range spec.Forest[0].Parent {
+			if p >= 0 {
+				u, v = w, p
+				break
+			}
+		}
+		plan := &faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.LinkDown, U: u, V: v, At: 400},
+		}}
+		b.Run("q=11/"+kind, func(b *testing.B) {
+			cfg := hotLoopCfg()
+			cfg.Faults = plan
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Recoveries) == 0 {
+					b.Fatal("faulted benchmark performed no recovery")
 				}
 				b.ReportMetric(float64(res.Cycles), "simcycles")
 			}

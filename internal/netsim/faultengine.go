@@ -98,7 +98,7 @@ func (s *sim) applyFaults(now int) {
 		case faults.LinkDown, faults.LinkTransient:
 			dropped := 0
 			for _, key := range [2][2]int{{f.U, f.V}, {f.V, f.U}} {
-				if l, ok := s.linkMap[key]; ok {
+				if l := s.linkAt(key[0], key[1]); l != nil {
 					l.failed = active
 					if active {
 						dropped += s.purgePipeline(l, now)
@@ -111,7 +111,7 @@ func (s *sim) applyFaults(now int) {
 			}
 		case faults.LinkDegraded:
 			for _, key := range [2][2]int{{f.U, f.V}, {f.V, f.U}} {
-				if l, ok := s.linkMap[key]; ok {
+				if l := s.linkAt(key[0], key[1]); l != nil {
 					l.degraded = active
 					if active {
 						l.degRate = f.Bandwidth
@@ -140,14 +140,14 @@ func (s *sim) applyFaults(now int) {
 // marking the owning streams broken and emitting a drop per flit. Returns
 // the number of flits destroyed.
 func (s *sim) purgePipeline(l *link, now int) int {
-	if len(l.pipeline) == 0 {
+	if l.pipeLen() == 0 {
 		return 0
 	}
 	// A healthy flow's pipeline entries are exactly flits
 	// [arrived, arrived+count) in order; track the per-flow position so
 	// each drop names its true flit index.
 	pos := make(map[*flow]int)
-	for _, fl := range l.pipeline {
+	for _, fl := range l.pipeline[l.pipeHead:] {
 		k := fl.f.arrived + pos[fl.f]
 		pos[fl.f]++
 		fl.f.lost = true
@@ -155,8 +155,9 @@ func (s *sim) purgePipeline(l *link, now int) int {
 		s.emit(TraceEvent{Cycle: now, Kind: TraceDrop, Tree: fl.f.tree, Phase: fl.f.phase,
 			From: fl.f.from, To: fl.f.to, Flit: k, Value: fl.val})
 	}
-	n := len(l.pipeline)
-	l.pipeline = nil
+	n := l.pipeLen()
+	l.pipeline = l.pipeline[:0]
+	l.pipeHead = 0
 	return n
 }
 
@@ -173,7 +174,7 @@ func (s *sim) detectAndRecover(now int) (bool, error) {
 	seen := make(map[[2]int]bool)
 	for _, l := range s.links {
 		for _, f := range l.flows {
-			if len(f.sentAt) == 0 || now-f.sentAt[0] <= deadline {
+			if f.sentAtLen() == 0 || now-f.oldestSentAt() <= deadline {
 				continue
 			}
 			u, v := l.from, l.to
@@ -239,23 +240,27 @@ func (s *sim) detectAndRecover(now int) (bool, error) {
 		}
 	}
 
-	// Purge the dead jobs' flows and any of their in-flight flits.
+	// Purge the dead jobs' flows (releasing their buffered flits from the
+	// link occupancy counter) and any of their in-flight flits.
 	for _, l := range s.links {
 		kept := make([]*flow, 0, len(l.flows))
 		for _, f := range l.flows {
 			if !f.j.dead {
 				kept = append(kept, f)
+			} else {
+				l.curBuf -= f.bufLen()
 			}
 		}
 		if len(kept) != len(l.flows) {
 			l.flows = kept
 			l.rr = 0
 		}
-		if len(l.pipeline) == 0 {
+		if l.pipeLen() == 0 {
 			continue
 		}
-		keptP := make([]inflight, 0, len(l.pipeline))
-		for _, fl := range l.pipeline {
+		live := l.pipeline[l.pipeHead:]
+		keptP := l.pipeline[:0]
+		for _, fl := range live {
 			if fl.f.j.dead {
 				s.result.DroppedFlits++
 				s.emit(TraceEvent{Cycle: now, Kind: TraceDrop, Tree: fl.f.tree, Phase: fl.f.phase,
@@ -265,6 +270,7 @@ func (s *sim) detectAndRecover(now int) (bool, error) {
 			keptP = append(keptP, fl)
 		}
 		l.pipeline = keptP
+		l.pipeHead = 0
 	}
 
 	// Survivors and the re-issue split.

@@ -279,6 +279,12 @@ type flow struct {
 	to    int
 	m     int // flits in this stream
 
+	// snd and rcv are the sender's and receiver's per-job node state,
+	// resolved once at stream construction so the cycle loop never chases
+	// j.nodes indices.
+	snd *nodeTree
+	rcv *nodeTree
+
 	sent     int // flits injected by the sender
 	arrived  int // flits delivered to the receiver buffer
 	consumed int // flits retired from the receiver buffer (credits freed)
@@ -288,27 +294,77 @@ type flow struct {
 	// arbitration scan may revisit the flow.
 	stallCycle int
 
-	// buf holds values for flits [bufBase, bufBase+len(buf)).
+	// buf holds values for flits [bufBase, bufBase+bufLen()) at positions
+	// buf[bufHead:]. Retiring flits advances bufHead instead of reslicing,
+	// so one fixed VCDepth-capacity array (carved from the job's shared
+	// block) lasts the whole run: credit flow bounds occupancy by VCDepth,
+	// and push compacts retired space back to the front before appending.
 	buf     []int64
+	bufHead int
 	bufBase int
 
 	// Fault bookkeeping, maintained only when a fault plan is present.
 	// sentAt records the injection cycle of every outstanding flit (FIFO:
-	// append on send, pop on accepted arrival); lost marks a stream that
-	// dropped a flit, so later arrivals are discarded rather than pushed
-	// at the wrong prefix index.
-	sentAt []int
-	lost   bool
+	// append on send, pop on accepted arrival, head-indexed like buf; the
+	// credit window bounds it by VCDepth entries); lost marks a stream
+	// that dropped a flit, so later arrivals are discarded rather than
+	// pushed at the wrong prefix index.
+	sentAt     []int
+	sentAtHead int
+	lost       bool
 }
 
-func (f *flow) push(v int64) { f.buf = append(f.buf, v) }
+// pushSentAt records an injection cycle, allocating the fixed VCDepth
+// window on first use (fault-plan runs only) and compacting popped space
+// so the array never grows.
+func (f *flow) pushSentAt(now, vcDepth int) {
+	if f.sentAt == nil {
+		f.sentAt = make([]int, 0, vcDepth)
+	}
+	if len(f.sentAt) == cap(f.sentAt) && f.sentAtHead > 0 {
+		n := copy(f.sentAt, f.sentAt[f.sentAtHead:])
+		f.sentAt = f.sentAt[:n]
+		f.sentAtHead = 0
+	}
+	f.sentAt = append(f.sentAt, now)
+}
 
-func (f *flow) at(k int) int64 { return f.buf[k-f.bufBase] }
+// popSentAt retires the oldest outstanding injection cycle.
+func (f *flow) popSentAt() {
+	f.sentAtHead++
+	if f.sentAtHead == len(f.sentAt) {
+		f.sentAt = f.sentAt[:0]
+		f.sentAtHead = 0
+	}
+}
+
+// sentAtLen is the number of outstanding injection records; oldestSentAt
+// is only valid when it is non-zero.
+func (f *flow) sentAtLen() int    { return len(f.sentAt) - f.sentAtHead }
+func (f *flow) oldestSentAt() int { return f.sentAt[f.sentAtHead] }
+
+func (f *flow) push(v int64) {
+	if len(f.buf) == cap(f.buf) && f.bufHead > 0 {
+		n := copy(f.buf, f.buf[f.bufHead:])
+		f.buf = f.buf[:n]
+		f.bufHead = 0
+	}
+	f.buf = append(f.buf, v)
+}
+
+func (f *flow) at(k int) int64 { return f.buf[f.bufHead+k-f.bufBase] }
+
+// bufLen is the number of buffered (arrived, unretired) flits.
+func (f *flow) bufLen() int { return len(f.buf) - f.bufHead }
 
 func (f *flow) dropTo(k int) {
 	if k > f.bufBase {
-		f.buf = f.buf[k-f.bufBase:]
+		f.bufHead += k - f.bufBase
 		f.bufBase = k
+		if f.bufHead == len(f.buf) {
+			f.buf = f.buf[:0]
+			f.bufHead = 0
+		}
 	}
 }
 
@@ -324,7 +380,18 @@ type link struct {
 	from, to int
 	flows    []*flow
 	rr       int // round-robin pointer
+
+	// pipeline[pipeHead:] are the in-flight flits in arrival order.
+	// Delivery advances pipeHead; injection compacts retired space and
+	// appends, so the LinkBandwidth·LinkLatency capacity allocated at
+	// freeze time is never outgrown.
 	pipeline []inflight
+	pipeHead int
+
+	// curBuf is the current total receive-buffer occupancy across the
+	// link's virtual channels, maintained incrementally (push/retire) so
+	// the per-cycle occupancy pass does not rescan every flow.
+	curBuf int
 
 	// Fault state: failed links swallow injections and deliver nothing;
 	// degraded links meter injections through a token bucket refilled at
@@ -343,6 +410,20 @@ type link struct {
 	lastBuf     int // occupancy at the end of the previous cycle
 }
 
+// pipeLen is the number of in-flight flits.
+func (l *link) pipeLen() int { return len(l.pipeline) - l.pipeHead }
+
+// pipePush appends an in-flight flit, compacting delivered space first so
+// the backing array never grows past its freeze-time capacity.
+func (l *link) pipePush(fl inflight) {
+	if len(l.pipeline) == cap(l.pipeline) && l.pipeHead > 0 {
+		n := copy(l.pipeline, l.pipeline[l.pipeHead:])
+		l.pipeline = l.pipeline[:n]
+		l.pipeHead = 0
+	}
+	l.pipeline = append(l.pipeline, fl)
+}
+
 // job is one pipelined sub-vector collective riding one forest tree: a
 // contiguous range [goff, goff+m) of the global vector, with per-node
 // dataflow state and a flow per tree edge per phase. The initial jobs are
@@ -353,9 +434,14 @@ type job struct {
 	goff int // global offset of the first element
 	m    int // elements carried
 
-	nodes []*nodeTree // per-vertex state
-	dead  bool        // aborted by recovery; its flows are purged
-	done  bool        // all nodes delivered their targets
+	nodes []nodeTree // per-vertex state, one contiguous block
+	dead  bool       // aborted by recovery; its flows are purged
+	done  bool       // all nodes delivered their targets
+
+	// remaining is the sum of target−delivered over all nodes, kept in
+	// step with s.pending so completion checks are O(1) per delivery
+	// instead of an O(n) node scan.
+	remaining int
 }
 
 // nodeTree is the per-(node, job) dataflow state.
@@ -367,7 +453,10 @@ type nodeTree struct {
 	bcastIn  *flow   // broadcast flow from parent (nil at root)
 	bcastOut []*flow // broadcast flows to children
 
-	// Root only: the pipelined reduction engine output.
+	// Root only: the pipelined reduction engine output. Aliases the root's
+	// outputs row for the job's global range — engine output and local
+	// delivery were always the same values at the same cycles, so they
+	// share storage and recovery re-issues allocate nothing.
 	rootResult   []int64
 	rootComputed int
 

@@ -28,14 +28,25 @@ type sim struct {
 	m       int   // total vector length
 	offsets []int // segment offset per tree
 
-	linkMap map[[2]int]*link // directed (from,to) → link
-	links   []*link          // same links in deterministic order
-	frozen  bool             // link set frozen; recovery may not add links
-	jobs    []*job           // initial jobs (one per tree) + recovery re-issues
-	pending int              // flit deliveries still outstanding (all jobs, all nodes)
+	// linkMap resolves directed (from,to) → link during construction only;
+	// it is released at freeze time in favour of the dense linkIdx table,
+	// so the cycle loop and recovery path never touch a map.
+	linkMap map[[2]int]*link
+	links   []*link // links in deterministic (from, to) order
+	// linkIdx[from*n+to] is the index into links, −1 when the directed
+	// pair carries no flow. Built once at freeze time.
+	linkIdx []int32
+	frozen  bool   // link set frozen; recovery may not add links
+	jobs    []*job // initial jobs (one per tree) + recovery re-issues
+	pending int    // flit deliveries still outstanding (all jobs, all nodes)
+
+	// traced is cfg.Trace != nil, hoisted so hot-loop emit sites skip
+	// building TraceEvent values on untraced runs.
+	traced bool
 
 	// outputs[v] is node v's assembled m-element result, written in place
-	// at delivery time (broadcast arrival or root-local compute).
+	// at delivery time (broadcast arrival or root-local compute). All rows
+	// share one contiguous backing array.
 	outputs [][]int64
 
 	// engineUsed[v] counts reduction flits produced by router v this
@@ -50,6 +61,16 @@ type sim struct {
 	quarantined map[[2]int]bool // undirected links detected as failed
 
 	result Result
+}
+
+// linkAt resolves a directed link through the dense index table; nil when
+// the pair carries no flow. Valid only after freeze.
+func (s *sim) linkAt(from, to int) *link {
+	id := s.linkIdx[from*s.n+to]
+	if id < 0 {
+		return nil
+	}
+	return s.links[id]
 }
 
 func newSim(spec Spec, cfg Config) (*sim, error) {
@@ -70,7 +91,10 @@ func newSim(spec Spec, cfg Config) (*sim, error) {
 	if spec.Op < OpAllreduce || spec.Op > OpBroadcast {
 		return nil, fmt.Errorf("netsim: unknown op %v", spec.Op)
 	}
-	s := &sim{spec: spec, cfg: cfg, n: n, linkMap: make(map[[2]int]*link), engineUsed: make([]int, n)}
+	s := &sim{spec: spec, cfg: cfg, n: n, linkMap: make(map[[2]int]*link),
+		engineUsed: make([]int, n), traced: cfg.Trace != nil}
+	s.offsets = make([]int, 0, len(spec.Forest))
+	s.jobs = make([]*job, 0, len(spec.Forest))
 	for i, t := range spec.Forest {
 		if err := t.ValidateSpanning(g); err != nil {
 			return nil, fmt.Errorf("netsim: tree %d: %w", i, err)
@@ -106,9 +130,11 @@ func newSim(spec Spec, cfg Config) (*sim, error) {
 		s.quarantined = make(map[[2]int]bool)
 	}
 
+	// One contiguous backing array for all n result rows.
+	outBack := make([]int64, n*s.m)
 	s.outputs = make([][]int64, n)
 	for v := 0; v < n; v++ {
-		s.outputs[v] = make([]int64, s.m)
+		s.outputs[v] = outBack[v*s.m : (v+1)*s.m : (v+1)*s.m]
 	}
 	for ti := range spec.Forest {
 		s.addStream(ti, s.offsets[ti], spec.Split[ti])
@@ -134,8 +160,28 @@ func newSim(spec Spec, cfg Config) (*sim, error) {
 		}
 		return keys[i][1] < keys[j][1]
 	})
+	s.links = make([]*link, 0, len(keys))
 	for _, k := range keys {
 		s.links = append(s.links, s.linkMap[k])
+	}
+	s.linkMap = nil
+
+	// Replace the construction map with the dense (from,to) → link id
+	// table the cycle loop and recovery re-issues resolve through, and
+	// give every link a pipeline sized for its maximum in-flight load
+	// (LinkBandwidth injections per cycle, each airborne LinkLatency
+	// cycles) so injection never grows the backing array.
+	s.linkIdx = make([]int32, n*n)
+	for i := range s.linkIdx {
+		s.linkIdx[i] = -1
+	}
+	bw := cfg.LinkBandwidth
+	if bw == 0 {
+		bw = 1
+	}
+	for id, l := range s.links {
+		s.linkIdx[l.from*n+l.to] = int32(id)
+		l.pipeline = make([]inflight, 0, bw*cfg.LinkLatency)
 	}
 	s.frozen = true
 	return s, nil
@@ -143,16 +189,23 @@ func newSim(spec Spec, cfg Config) (*sim, error) {
 
 // addFlow registers a flow with its directed link. After the link set is
 // frozen (recovery re-issues), the link must already exist — surviving
-// trees only use links their initial flows created.
+// trees only use links their initial flows created — and is resolved
+// through the dense index table instead of the construction map.
 func (s *sim) addFlow(f *flow) *flow {
-	key := [2]int{f.from, f.to}
-	l, ok := s.linkMap[key]
-	if !ok {
-		if s.frozen {
+	var l *link
+	if s.frozen {
+		l = s.linkAt(f.from, f.to)
+		if l == nil {
 			panic(fmt.Sprintf("netsim: internal: re-issue on unknown link %d→%d", f.from, f.to))
 		}
-		l = &link{from: f.from, to: f.to}
-		s.linkMap[key] = l
+	} else {
+		key := [2]int{f.from, f.to}
+		var ok bool
+		l, ok = s.linkMap[key]
+		if !ok {
+			l = &link{from: f.from, to: f.to}
+			s.linkMap[key] = l
+		}
 	}
 	l.flows = append(l.flows, f)
 	return f
@@ -163,35 +216,62 @@ func (s *sim) addFlow(f *flow) *flow {
 // state and flows. It is used both for the initial Equation 2 split and
 // for recovery re-issues, so flow creation order (ascending vertex,
 // reduce before broadcast) is part of the determinism contract.
+//
+// All per-node state, all flows, and all receive buffers of the job live
+// in three contiguous blocks allocated up front: a tree contributes n−1
+// edges per active phase, and credit flow caps every buffer at VCDepth
+// flits, so the sizes are exact.
 func (s *sim) addStream(ti, goff, mt int) *job {
 	t := s.spec.Forest[ti]
-	j := &job{tree: ti, goff: goff, m: mt, nodes: make([]*nodeTree, s.n)}
+	j := &job{tree: ti, goff: goff, m: mt, nodes: make([]nodeTree, s.n)}
 	for v := 0; v < s.n; v++ {
-		j.nodes[v] = &nodeTree{
+		j.nodes[v] = nodeTree{
 			parent: t.Parent[v],
 			seg:    s.spec.Inputs[v][goff : goff+mt],
 		}
 	}
 	withReduce := s.spec.Op == OpAllreduce || s.spec.Op == OpReduce
 	withBcast := s.spec.Op == OpAllreduce || s.spec.Op == OpBroadcast
+	phases := 0
+	if withReduce {
+		phases++
+	}
+	if withBcast {
+		phases++
+	}
+	nflows := phases * (s.n - 1)
+	flowBlock := make([]flow, 0, nflows)
+	bufBlock := make([]int64, nflows*s.cfg.VCDepth)
+	newFlow := func(fl flow) *flow {
+		i := len(flowBlock)
+		fl.buf = bufBlock[i*s.cfg.VCDepth : i*s.cfg.VCDepth : (i+1)*s.cfg.VCDepth]
+		flowBlock = append(flowBlock, fl)
+		return &flowBlock[i]
+	}
 	for v := 0; v < s.n; v++ {
-		nt := j.nodes[v]
+		nt := &j.nodes[v]
 		p := t.Parent[v]
 		if p >= 0 {
+			pt := &j.nodes[p]
 			if withReduce {
-				nt.redOut = s.addFlow(&flow{j: j, tree: ti, phase: phaseReduce, from: v, to: p, m: mt})
-				j.nodes[p].redIn = append(j.nodes[p].redIn, nt.redOut)
+				nt.redOut = s.addFlow(newFlow(flow{j: j, tree: ti, phase: phaseReduce,
+					from: v, to: p, m: mt, snd: nt, rcv: pt}))
+				pt.redIn = append(pt.redIn, nt.redOut)
 			}
 			if withBcast {
-				nt.bcastIn = s.addFlow(&flow{j: j, tree: ti, phase: phaseBcast, from: p, to: v, m: mt})
-				j.nodes[p].bcastOut = append(j.nodes[p].bcastOut, nt.bcastIn)
+				nt.bcastIn = s.addFlow(newFlow(flow{j: j, tree: ti, phase: phaseBcast,
+					from: p, to: v, m: mt, snd: pt, rcv: nt}))
+				pt.bcastOut = append(pt.bcastOut, nt.bcastIn)
 			}
 		} else {
-			nt.rootResult = make([]int64, mt)
+			// The root's reduction-engine output is the root's result row:
+			// both were always written with identical values at identical
+			// times, so they share the outputs storage (and recovery
+			// re-issues reuse it instead of allocating fresh scratch).
+			nt.rootResult = s.outputs[v][goff : goff+mt]
 			if s.spec.Op == OpBroadcast {
 				// The root sources its own input; it is trivially done.
 				copy(nt.rootResult, nt.seg)
-				copy(s.outputs[v][goff:goff+mt], nt.seg)
 				nt.rootComputed = mt
 				nt.delivered = mt
 			}
@@ -207,6 +287,7 @@ func (s *sim) addStream(ti, goff, mt int) *job {
 			nt.target = mt
 		}
 		s.pending += nt.target - nt.delivered
+		j.remaining += nt.target - nt.delivered
 	}
 	s.jobs = append(s.jobs, j)
 	return j
@@ -227,7 +308,7 @@ func (nt *nodeTree) reduceReady(m int) int {
 // senderReady returns how many flits the sender of f has available to
 // inject.
 func (s *sim) senderReady(f *flow) int {
-	nt := f.j.nodes[f.from]
+	nt := f.snd
 	if f.phase == phaseReduce {
 		return nt.reduceReady(f.m)
 	}
@@ -241,7 +322,7 @@ func (s *sim) senderReady(f *flow) int {
 
 // flitValue produces the value of flit k on flow f at injection time.
 func (s *sim) flitValue(f *flow, k int) int64 {
-	nt := f.j.nodes[f.from]
+	nt := f.snd
 	if f.phase == phaseReduce {
 		v := nt.seg[k]
 		for _, cf := range nt.redIn {
@@ -260,7 +341,10 @@ func (s *sim) flitValue(f *flow, k int) int64 {
 func (s *sim) updateConsumed() {
 	for _, l := range s.links {
 		for _, f := range l.flows {
-			nt := f.j.nodes[f.to]
+			if f.consumed >= f.m {
+				continue // stream fully retired
+			}
+			nt := f.rcv
 			var c int
 			if f.phase == phaseReduce {
 				if nt.redOut != nil {
@@ -283,6 +367,7 @@ func (s *sim) updateConsumed() {
 				}
 			}
 			if c > f.consumed {
+				l.curBuf -= c - f.consumed
 				f.consumed = c
 				f.dropTo(c)
 			}
@@ -304,14 +389,14 @@ func (s *sim) rootCompute(now int) {
 		perJob = 1
 	}
 	for _, j := range s.jobs {
-		if j.dead {
+		if j.dead || j.done {
 			continue
 		}
 		root := s.spec.Forest[j.tree].Root
 		if s.faultsOn && s.stalled[root] {
 			continue
 		}
-		nt := j.nodes[root]
+		nt := &j.nodes[root]
 		mt := j.m
 		for slot := 0; slot < perJob; slot++ {
 			if nt.rootComputed >= mt {
@@ -335,8 +420,9 @@ func (s *sim) rootCompute(now int) {
 			for _, cf := range nt.redIn {
 				v += cf.at(k)
 			}
+			// rootResult aliases s.outputs[root][goff:goff+mt], so this one
+			// write is both the engine output and the local delivery.
 			nt.rootResult[k] = v
-			s.outputs[root][j.goff+k] = v
 			nt.rootComputed++
 			if nt.rootComputed == mt {
 				s.result.TreeReduceDone[j.tree] = now
@@ -344,8 +430,11 @@ func (s *sim) rootCompute(now int) {
 			nt.delivered++
 			s.engineUsed[root]++
 			s.pending--
-			s.emit(TraceEvent{Cycle: now, Kind: TraceRootCompute, Tree: j.tree,
-				From: root, To: root, Flit: k, Value: v})
+			j.remaining--
+			if s.traced {
+				s.emit(TraceEvent{Cycle: now, Kind: TraceRootCompute, Tree: j.tree,
+					From: root, To: root, Flit: k, Value: v})
+			}
 			s.checkJobDone(j, now)
 		}
 	}
@@ -368,15 +457,11 @@ func (s *sim) noteStall(l *link, f *flow, now int) {
 }
 
 // checkJobDone marks a completed job and, when it was the last unfinished
-// job on its tree, records the tree's completion cycle.
+// job on its tree, records the tree's completion cycle. The per-job
+// remaining counter makes the completion test O(1) per delivery.
 func (s *sim) checkJobDone(j *job, now int) {
-	if j.done || j.dead {
+	if j.done || j.dead || j.remaining > 0 {
 		return
-	}
-	for _, nt := range j.nodes {
-		if nt.delivered < nt.target {
-			return
-		}
 	}
 	j.done = true
 	for _, o := range s.jobs {
@@ -405,9 +490,9 @@ func (s *sim) run() (*Result, error) {
 
 		// 1. Deliver flits whose pipeline delay expires this cycle.
 		for _, l := range s.links {
-			for len(l.pipeline) > 0 && l.pipeline[0].arrive <= now {
-				fl := l.pipeline[0]
-				l.pipeline = l.pipeline[1:]
+			for l.pipeHead < len(l.pipeline) && l.pipeline[l.pipeHead].arrive <= now {
+				fl := l.pipeline[l.pipeHead]
+				l.pipeHead++
 				f := fl.f
 				if f.lost {
 					// The stream already dropped an earlier flit: this one
@@ -419,22 +504,30 @@ func (s *sim) run() (*Result, error) {
 					continue
 				}
 				f.push(fl.val)
+				l.curBuf++
 				k := f.arrived
 				f.arrived++
-				if s.faultsOn && len(f.sentAt) > 0 {
-					f.sentAt = f.sentAt[1:]
+				if s.faultsOn && f.sentAtLen() > 0 {
+					f.popSentAt()
 				}
-				s.emit(TraceEvent{Cycle: now, Kind: TraceArrive, Tree: f.tree, Phase: f.phase,
-					From: f.from, To: f.to, Flit: k, Value: fl.val})
+				if s.traced {
+					s.emit(TraceEvent{Cycle: now, Kind: TraceArrive, Tree: f.tree, Phase: f.phase,
+						From: f.from, To: f.to, Flit: k, Value: fl.val})
+				}
 				if f.phase == phaseBcast {
 					// Local delivery on arrival.
-					nt := f.j.nodes[f.to]
+					nt := f.rcv
 					s.outputs[f.to][f.j.goff+k] = fl.val
 					nt.delivered++
 					s.pending--
+					f.j.remaining--
 					s.checkJobDone(f.j, now)
 				}
 				progressed = true
+			}
+			if l.pipeHead == len(l.pipeline) && l.pipeHead > 0 {
+				l.pipeline = l.pipeline[:0]
+				l.pipeHead = 0
 			}
 		}
 
@@ -495,13 +588,13 @@ func (s *sim) run() (*Result, error) {
 					continue // no credit
 				}
 				if f.phase == phaseReduce && s.faultsOn && s.stalled[f.from] &&
-					len(f.j.nodes[f.from].redIn) > 0 {
+					len(f.snd.redIn) > 0 {
 					continue // combining engine frozen by an engine-stall fault
 				}
 				if f.phase == phaseReduce && s.cfg.EngineRate > 0 {
 					// A non-leaf sender combines child flits as it
 					// transmits — that production consumes engine slots.
-					if len(f.j.nodes[f.from].redIn) > 0 {
+					if len(f.snd.redIn) > 0 {
 						if s.engineUsed[f.from] >= s.cfg.EngineRate {
 							continue
 						}
@@ -511,11 +604,13 @@ func (s *sim) run() (*Result, error) {
 				val := s.flitValue(f, f.sent)
 				f.sent++
 				if s.faultsOn {
-					f.sentAt = append(f.sentAt, now)
+					f.pushSentAt(now, s.cfg.VCDepth)
 				}
 				s.result.FlitsSent++
-				s.emit(TraceEvent{Cycle: now, Kind: TraceSend, Tree: f.tree, Phase: f.phase,
-					From: f.from, To: f.to, Flit: f.sent - 1, Value: val})
+				if s.traced {
+					s.emit(TraceEvent{Cycle: now, Kind: TraceSend, Tree: f.tree, Phase: f.phase,
+						From: f.from, To: f.to, Flit: f.sent - 1, Value: val})
+				}
 				if l.failed {
 					// The physical layer fails silently: the sender spends
 					// its cycle, the flit evaporates, the stream is broken.
@@ -524,7 +619,7 @@ func (s *sim) run() (*Result, error) {
 					s.emit(TraceEvent{Cycle: now, Kind: TraceDrop, Tree: f.tree, Phase: f.phase,
 						From: f.from, To: f.to, Flit: f.sent - 1, Value: val})
 				} else {
-					l.pipeline = append(l.pipeline, inflight{f: f, val: val, arrive: now + s.cfg.LinkLatency})
+					l.pipePush(inflight{f: f, val: val, arrive: now + s.cfg.LinkLatency})
 				}
 				if l.degraded {
 					l.degBudget--
@@ -545,13 +640,11 @@ func (s *sim) run() (*Result, error) {
 
 		// Track peak buffering (globally and per link) for the
 		// resource-requirement discussion, and publish occupancy changes
-		// to the trace.
+		// to the trace. Occupancy is maintained incrementally on push and
+		// retire, so this pass reads one counter per link.
 		buffered := 0
 		for _, l := range s.links {
-			lb := 0
-			for _, f := range l.flows {
-				lb += len(f.buf)
-			}
+			lb := l.curBuf
 			buffered += lb
 			if lb > l.peakBuf {
 				l.peakBuf = lb
@@ -582,17 +675,17 @@ func (s *sim) run() (*Result, error) {
 	// simulator bug, not a workload property, so it is an error.
 	s.updateConsumed()
 	for _, l := range s.links {
-		if len(l.pipeline) != 0 {
-			return nil, fmt.Errorf("netsim: internal: %d flits stranded in a link pipeline", len(l.pipeline))
+		if l.pipeLen() != 0 {
+			return nil, fmt.Errorf("netsim: internal: %d flits stranded in a link pipeline", l.pipeLen())
 		}
 		for _, f := range l.flows {
 			if f.sent != f.m || f.arrived != f.m {
 				return nil, fmt.Errorf("netsim: internal: flow tree=%d phase=%d %d→%d ended at sent=%d arrived=%d of %d",
 					f.tree, f.phase, f.from, f.to, f.sent, f.arrived, f.m)
 			}
-			if f.consumed != f.m || len(f.buf) != 0 {
+			if f.consumed != f.m || f.bufLen() != 0 {
 				return nil, fmt.Errorf("netsim: internal: flow tree=%d %d→%d left %d flits buffered",
-					f.tree, f.from, f.to, len(f.buf))
+					f.tree, f.from, f.to, f.bufLen())
 			}
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"polarfly/internal/core"
 	"polarfly/internal/faults"
 	"polarfly/internal/netsim"
+	"polarfly/internal/parrun"
 	"polarfly/internal/workload"
 )
 
@@ -34,6 +35,11 @@ type DegradedConfig struct {
 	// Tolerance is the acceptable relative gap between the measured
 	// post-recovery bandwidth and the Degrade prediction.
 	Tolerance float64 `json:"tolerance"`
+	// Parallel is the parrun worker-pool size across embedding kinds: 1
+	// forces the serial path, <1 means GOMAXPROCS. Ordered commit keeps
+	// the returned points identical either way; the field is excluded
+	// from snapshots so BENCH_*.json stays byte-identical across runners.
+	Parallel int `json:"-"`
 }
 
 // DefaultDegradedConfig is calibrated like DefaultScorecardConfig:
@@ -103,77 +109,78 @@ func DegradedScorecard(cfg DegradedConfig) ([]DegradedPoint, error) {
 	if cfg.Tolerance < 0 || cfg.Tolerance >= 1 {
 		return nil, fmt.Errorf("perf: tolerance %g out of [0, 1)", cfg.Tolerance)
 	}
+	kinds := sweepKinds(cfg.Q)
+	return parrun.Map(cfg.Parallel, len(kinds), func(i int) (DegradedPoint, error) {
+		return degradedPoint(cfg, kinds[i])
+	})
+}
+
+// degradedPoint runs the worst-case fault injection for one embedding
+// kind. Like scorePoint, every piece of state is built locally from the
+// deterministic config so concurrent calls never share anything.
+func degradedPoint(cfg DegradedConfig, kind core.EmbeddingKind) (DegradedPoint, error) {
 	inst, err := core.NewInstance(cfg.Q)
 	if err != nil {
-		return nil, err
-	}
-	kinds := []core.EmbeddingKind{core.SingleTree, core.LowDepth, core.Hamiltonian}
-	if cfg.Q%2 == 0 {
-		kinds = []core.EmbeddingKind{core.SingleTree, core.Hamiltonian}
+		return DegradedPoint{}, err
 	}
 	inputs := workload.Vectors(inst.N(), cfg.M, 1000, cfg.Seed)
 	want := netsim.ExpectedOutput(inputs)
-	var points []DegradedPoint
-	for _, kind := range kinds {
-		e, err := inst.Embed(kind)
-		if err != nil {
-			return nil, err
+	e, err := inst.Embed(kind)
+	if err != nil {
+		return DegradedPoint{}, err
+	}
+	link, deg, err := core.WorstCaseLink(e)
+	if err != nil {
+		return DegradedPoint{}, err
+	}
+	plan := &faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.LinkDown, U: link[0], V: link[1], At: cfg.FailAt},
+	}}
+	runCfg := netsim.Config{LinkLatency: cfg.LinkLatency, VCDepth: cfg.VCDepth, Faults: plan}
+	pt := DegradedPoint{
+		Q: cfg.Q, Embedding: kind.String(), Trees: len(e.Forest),
+		M: cfg.M, FailedLink: link, FailAt: cfg.FailAt,
+	}
+	res, err := inst.Allreduce(e, inputs, runCfg)
+	if deg == nil {
+		// The worst case kills every tree (single-tree baseline): the
+		// run must abort with the sentinel, not hang or mis-answer.
+		if !errors.Is(err, netsim.ErrAllTreesLost) {
+			return DegradedPoint{}, fmt.Errorf("perf: q=%d %v: want ErrAllTreesLost, got %v", cfg.Q, kind, err)
 		}
-		link, deg, err := core.WorstCaseLink(e)
-		if err != nil {
-			return nil, err
-		}
-		plan := &faults.Plan{Faults: []faults.Fault{
-			{Kind: faults.LinkDown, U: link[0], V: link[1], At: cfg.FailAt},
-		}}
-		runCfg := netsim.Config{LinkLatency: cfg.LinkLatency, VCDepth: cfg.VCDepth, Faults: plan}
-		pt := DegradedPoint{
-			Q: cfg.Q, Embedding: kind.String(), Trees: len(e.Forest),
-			M: cfg.M, FailedLink: link, FailAt: cfg.FailAt,
-		}
-		res, err := inst.Allreduce(e, inputs, runCfg)
-		if deg == nil {
-			// The worst case kills every tree (single-tree baseline): the
-			// run must abort with the sentinel, not hang or mis-answer.
-			if !errors.Is(err, netsim.ErrAllTreesLost) {
-				return nil, fmt.Errorf("perf: q=%d %v: want ErrAllTreesLost, got %v", cfg.Q, kind, err)
-			}
-			pt.AllTreesLost = true
-			pt.Within = true // nothing to predict; the abort IS the prediction
-			points = append(points, pt)
-			continue
-		}
-		if err != nil {
-			return nil, fmt.Errorf("perf: q=%d %v: %w", cfg.Q, kind, err)
-		}
-		pt.DeadTrees = res.DeadTrees
-		pt.DroppedFlits = res.DroppedFlits
-		pt.Cycles = res.Cycles
-		if len(res.Recoveries) > 0 {
-			pt.RecoveryCycle = res.Recoveries[len(res.Recoveries)-1].Cycle
-			pt.Reissued = res.Recoveries[len(res.Recoveries)-1].Reissued
-		}
-		pt.PredictedBW = deg.Model.Aggregate
-		pt.MeasuredBW = res.PostRecoveryBW
-		if pt.PredictedBW > 0 {
-			pt.RelErr = (pt.MeasuredBW - pt.PredictedBW) / pt.PredictedBW
-		}
-		pt.Within = math.Abs(pt.RelErr) <= cfg.Tolerance
-		pt.OutputsOK = true
-		for v := range res.Outputs {
-			for k := range want {
-				if res.Outputs[v][k] != want[k] {
-					pt.OutputsOK = false
-					break
-				}
-			}
-			if !pt.OutputsOK {
+		pt.AllTreesLost = true
+		pt.Within = true // nothing to predict; the abort IS the prediction
+		return pt, nil
+	}
+	if err != nil {
+		return DegradedPoint{}, fmt.Errorf("perf: q=%d %v: %w", cfg.Q, kind, err)
+	}
+	pt.DeadTrees = res.DeadTrees
+	pt.DroppedFlits = res.DroppedFlits
+	pt.Cycles = res.Cycles
+	if len(res.Recoveries) > 0 {
+		pt.RecoveryCycle = res.Recoveries[len(res.Recoveries)-1].Cycle
+		pt.Reissued = res.Recoveries[len(res.Recoveries)-1].Reissued
+	}
+	pt.PredictedBW = deg.Model.Aggregate
+	pt.MeasuredBW = res.PostRecoveryBW
+	if pt.PredictedBW > 0 {
+		pt.RelErr = (pt.MeasuredBW - pt.PredictedBW) / pt.PredictedBW
+	}
+	pt.Within = math.Abs(pt.RelErr) <= cfg.Tolerance
+	pt.OutputsOK = true
+	for v := range res.Outputs {
+		for k := range want {
+			if res.Outputs[v][k] != want[k] {
+				pt.OutputsOK = false
 				break
 			}
 		}
-		points = append(points, pt)
+		if !pt.OutputsOK {
+			break
+		}
 	}
-	return points, nil
+	return pt, nil
 }
 
 // DegradedFailures lists every violation of the degraded-run contract:

@@ -8,6 +8,7 @@ import (
 	"polarfly/internal/core"
 	"polarfly/internal/netsim"
 	"polarfly/internal/obsv"
+	"polarfly/internal/parrun"
 	"polarfly/internal/workload"
 )
 
@@ -30,6 +31,11 @@ type ScorecardConfig struct {
 	// fill/drain keeps measured bandwidth strictly below steady state, so
 	// exact bound checks would always fail.
 	Tolerance float64 `json:"tolerance"`
+	// Parallel is the parrun worker-pool size for the sweep: 1 forces the
+	// serial path, <1 means GOMAXPROCS. Results commit in input order
+	// either way, so the value never changes the output — it is excluded
+	// from snapshots so BENCH_*.json stays byte-identical across runners.
+	Parallel int `json:"-"`
 }
 
 // DefaultScorecardConfig is calibrated so every point lands well inside
@@ -98,11 +104,32 @@ type ScorePoint struct {
 	BcastPhaseCycles  int `json:"bcast_phase_cycles"`
 }
 
+// scoreJob is one independent (q, embedding) design point of the sweep.
+type scoreJob struct {
+	q    int
+	kind core.EmbeddingKind
+}
+
+// sweepKinds lists the embeddings simulated for one q (the low-depth
+// forest needs odd q, matching §6.1.1).
+func sweepKinds(q int) []core.EmbeddingKind {
+	if q%2 == 0 {
+		return []core.EmbeddingKind{core.SingleTree, core.Hamiltonian}
+	}
+	return []core.EmbeddingKind{core.SingleTree, core.LowDepth, core.Hamiltonian}
+}
+
 // Scorecard sweeps the configured design points, runs each embedding
 // through the cycle simulator with an obsv collector attached, and
 // returns one record per (q, embedding). The collector's registry-backed
 // telemetry supplies the per-link utilization and phase split; only the
 // headline bandwidth is derived from the cycle count.
+//
+// Design points are independent — each job builds its own instance,
+// workload, and collector from the seeded config — so cfg.Parallel of
+// them run concurrently on a parrun pool; the ordered commit keeps the
+// returned slice (and everything rendered from it) byte-identical to a
+// serial sweep.
 func Scorecard(cfg ScorecardConfig) ([]ScorePoint, error) {
 	if len(cfg.Qs) == 0 {
 		return nil, fmt.Errorf("perf: scorecard needs at least one q")
@@ -113,68 +140,73 @@ func Scorecard(cfg ScorecardConfig) ([]ScorePoint, error) {
 	if cfg.Tolerance < 0 || cfg.Tolerance >= 1 {
 		return nil, fmt.Errorf("perf: tolerance %g out of [0, 1)", cfg.Tolerance)
 	}
-	var points []ScorePoint
+	var jobs []scoreJob
 	for _, q := range cfg.Qs {
-		inst, err := core.NewInstance(q)
-		if err != nil {
-			return nil, err
-		}
-		kinds := []core.EmbeddingKind{core.SingleTree, core.LowDepth, core.Hamiltonian}
-		if q%2 == 0 {
-			kinds = []core.EmbeddingKind{core.SingleTree, core.Hamiltonian}
-		}
-		inputs := workload.Vectors(inst.N(), cfg.M, 1000, cfg.Seed)
-		for _, kind := range kinds {
-			e, err := inst.Embed(kind)
-			if err != nil {
-				return nil, err
-			}
-			runCfg := netsim.Config{LinkLatency: cfg.LinkLatency, VCDepth: cfg.VCDepth}
-			col := obsv.NewCollector()
-			col.Attach(&runCfg)
-			res, err := inst.Allreduce(e, inputs, runCfg)
-			if err != nil {
-				return nil, fmt.Errorf("perf: q=%d %v: %w", q, kind, err)
-			}
-			col.SetCycles(res.Cycles)
-			reg := obsv.NewRegistry()
-			rep := col.Metrics(reg)
-
-			pt := ScorePoint{
-				Q: q, Embedding: kind.String(), Trees: len(e.Forest),
-				M: cfg.M, Cycles: res.Cycles,
-				ModelBW:             e.Model.Aggregate,
-				MeasuredBW:          float64(cfg.M) / float64(res.Cycles),
-				OptimalBW:           bandwidth.Optimal(q, 1.0),
-				MaxLinkUtil:         rep.MaxLinkUtilization,
-				ModelMaxLinkUtil:    e.ModelMaxLinkLoad(),
-				MaxEdgeCongestion:   rep.MaxEdgeCongestion,
-				SharedDirectedLinks: rep.SharedDirectedLinks,
-				ReducePhaseCycles:   rep.ReducePhaseCycles,
-				BcastPhaseCycles:    rep.BcastPhaseCycles,
-			}
-			if pt.ModelBW > 0 {
-				pt.BWRelErr = (pt.MeasuredBW - pt.ModelBW) / pt.ModelBW
-			}
-			if pt.ModelMaxLinkUtil > 0 {
-				pt.UtilRelErr = (pt.MaxLinkUtil - pt.ModelMaxLinkUtil) / pt.ModelMaxLinkUtil
-			}
-			switch kind {
-			case core.SingleTree:
-				pt.Bound, pt.BoundName = 1.0, BoundSingleLink
-			case core.LowDepth:
-				pt.Bound, pt.BoundName = bandwidth.LowDepthBound(q, 1.0), BoundThm76
-			case core.Hamiltonian:
-				pt.Bound, pt.BoundName = bandwidth.HamiltonianBound(len(e.Forest), 1.0), BoundThm719
-			case core.DepthTwo:
-				// Not part of the sweep; no proven floor.
-				pt.Bound, pt.BoundName = 0, "none"
-			}
-			pt.MeetsBound = pt.MeasuredBW >= pt.Bound*(1-cfg.Tolerance)
-			points = append(points, pt)
+		for _, kind := range sweepKinds(q) {
+			jobs = append(jobs, scoreJob{q: q, kind: kind})
 		}
 	}
-	return points, nil
+	return parrun.Map(cfg.Parallel, len(jobs), func(i int) (ScorePoint, error) {
+		return scorePoint(cfg, jobs[i].q, jobs[i].kind)
+	})
+}
+
+// scorePoint simulates one (q, embedding) design point. Everything it
+// touches is built locally from the deterministic config, so concurrent
+// calls never share state.
+func scorePoint(cfg ScorecardConfig, q int, kind core.EmbeddingKind) (ScorePoint, error) {
+	inst, err := core.NewInstance(q)
+	if err != nil {
+		return ScorePoint{}, err
+	}
+	inputs := workload.Vectors(inst.N(), cfg.M, 1000, cfg.Seed)
+	e, err := inst.Embed(kind)
+	if err != nil {
+		return ScorePoint{}, err
+	}
+	runCfg := netsim.Config{LinkLatency: cfg.LinkLatency, VCDepth: cfg.VCDepth}
+	col := obsv.NewCollector()
+	col.Attach(&runCfg)
+	res, err := inst.Allreduce(e, inputs, runCfg)
+	if err != nil {
+		return ScorePoint{}, fmt.Errorf("perf: q=%d %v: %w", q, kind, err)
+	}
+	col.SetCycles(res.Cycles)
+	reg := obsv.NewRegistry()
+	rep := col.Metrics(reg)
+
+	pt := ScorePoint{
+		Q: q, Embedding: kind.String(), Trees: len(e.Forest),
+		M: cfg.M, Cycles: res.Cycles,
+		ModelBW:             e.Model.Aggregate,
+		MeasuredBW:          float64(cfg.M) / float64(res.Cycles),
+		OptimalBW:           bandwidth.Optimal(q, 1.0),
+		MaxLinkUtil:         rep.MaxLinkUtilization,
+		ModelMaxLinkUtil:    e.ModelMaxLinkLoad(),
+		MaxEdgeCongestion:   rep.MaxEdgeCongestion,
+		SharedDirectedLinks: rep.SharedDirectedLinks,
+		ReducePhaseCycles:   rep.ReducePhaseCycles,
+		BcastPhaseCycles:    rep.BcastPhaseCycles,
+	}
+	if pt.ModelBW > 0 {
+		pt.BWRelErr = (pt.MeasuredBW - pt.ModelBW) / pt.ModelBW
+	}
+	if pt.ModelMaxLinkUtil > 0 {
+		pt.UtilRelErr = (pt.MaxLinkUtil - pt.ModelMaxLinkUtil) / pt.ModelMaxLinkUtil
+	}
+	switch kind {
+	case core.SingleTree:
+		pt.Bound, pt.BoundName = 1.0, BoundSingleLink
+	case core.LowDepth:
+		pt.Bound, pt.BoundName = bandwidth.LowDepthBound(q, 1.0), BoundThm76
+	case core.Hamiltonian:
+		pt.Bound, pt.BoundName = bandwidth.HamiltonianBound(len(e.Forest), 1.0), BoundThm719
+	case core.DepthTwo:
+		// Not part of the sweep; no proven floor.
+		pt.Bound, pt.BoundName = 0, "none"
+	}
+	pt.MeetsBound = pt.MeasuredBW >= pt.Bound*(1-cfg.Tolerance)
+	return pt, nil
 }
 
 // ScorecardFailures lists every way the points violate the model-accuracy

@@ -14,8 +14,8 @@ go build ./...
 echo "== repolint ./..."
 go run ./cmd/repolint ./...
 
-echo "== go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives"
-go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives
+echo "== go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun"
+go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun
 
 echo "== go test ./..."
 go test ./...
@@ -25,6 +25,16 @@ go run ./cmd/benchreport run -label smoke -count 1 -benchtime 1x >/dev/null
 
 echo "== scorecard smoke (measured-vs-model gate at q=3)"
 go run ./cmd/benchreport scorecard -q 3 -m 4096 -label scorecard-smoke >/dev/null
+
+echo "== parallel scorecard smoke (ordered-commit pool must match serial bytes)"
+pardir=$(mktemp -d)
+go run ./cmd/benchreport scorecard -q 3 -m 4096 -label scorecard-smoke -parallel 4 -out "$pardir" >/dev/null
+if ! cmp -s BENCH_scorecard-smoke.json "$pardir/BENCH_scorecard-smoke.json"; then
+    echo "verify: FAIL: -parallel 4 scorecard differs from serial" >&2
+    rm -rf "$pardir"
+    exit 1
+fi
+rm -rf "$pardir"
 
 echo "== degraded scorecard (fault-injection recovery vs core.Degrade, q=7)"
 go run ./cmd/benchreport scorecard -degraded -q 7 -label degraded-smoke >/dev/null
