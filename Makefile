@@ -1,4 +1,4 @@
-.PHONY: build test lint verify bench bench-netsim bench-smoke scorecard scorecard-degraded
+.PHONY: build test lint verify bench bench-netsim bench-smoke scorecard scorecard-degraded timeline bench-overhead
 
 build:
 	go build ./...
@@ -46,3 +46,17 @@ scorecard:
 # BENCH_degraded.json; exits 1 on violation.
 scorecard-degraded:
 	go run ./cmd/benchreport scorecard -degraded -label degraded
+
+# timeline runs the streaming-telemetry gate at the default point (q=7,
+# m=16384): every embedding simulated with the tsdb sampler/analyzer
+# attached, bound violations and footprint checked. Writes
+# TIMELINE_local.json; exits 1 on violation.
+timeline:
+	go run ./cmd/benchreport timeline -label local
+
+# bench-overhead measures the sampled vs unsampled hot-loop benchmark
+# pairs into one snapshot and gates the sampling overhead at 5% median
+# ns/op. Writes BENCH_overhead.json.
+bench-overhead:
+	go run ./cmd/benchreport run -label overhead -bench HotLoop -pkg ./internal/netsim,./internal/tsdb -count 5
+	go run ./cmd/benchreport overhead BENCH_overhead.json

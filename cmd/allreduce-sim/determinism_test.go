@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -90,5 +93,66 @@ func TestFaultFlagErrors(t *testing.T) {
 				t.Error("no diagnostic on stderr")
 			}
 		})
+	}
+}
+
+// TestTimelineOutputDeterministic locks in the -ts-out contract: three
+// runs with the telemetry sampler attached and a 4-worker pool must
+// produce byte-identical stdout AND a byte-identical timeline file. The
+// rigs are wired serially before the pool dispatches, so any ordering
+// leak from the parallel comparison shows up here as a diff.
+func TestTimelineOutputDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(i int) (string, string) {
+		path := filepath.Join(dir, fmt.Sprintf("tl%d.md", i))
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-q", "5", "-m", "1024", "-latency", "1", "-vc", "4",
+			"-ts-out", path, "-sample-every", "32", "-parallel", "4"}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The stdout mentions the per-run file name; normalise it so the
+		// three runs compare equal.
+		out := strings.ReplaceAll(stdout.String(), path, "TS_OUT")
+		return out, string(data)
+	}
+	firstOut, firstTL := runOnce(1)
+	if !strings.Contains(firstTL, "## Telemetry timeline — q=5") {
+		t.Fatalf("timeline file missing header:\n%s", firstTL)
+	}
+	if !strings.Contains(firstOut, "telemetry timeline written to TS_OUT") {
+		t.Fatalf("stdout missing timeline notice:\n%s", firstOut)
+	}
+	for i := 2; i <= 3; i++ {
+		out, tl := runOnce(i)
+		if out != firstOut {
+			t.Fatalf("run %d stdout differs from run 1:\n--- run 1 ---\n%s\n--- run %d ---\n%s", i, firstOut, i, out)
+		}
+		if tl != firstTL {
+			t.Fatalf("run %d timeline file differs from run 1", i)
+		}
+	}
+}
+
+// TestProgressStdoutUnchanged: -progress may only write to stderr; the
+// stdout bytes must match a run without it.
+func TestProgressStdoutUnchanged(t *testing.T) {
+	runOnce := func(extra ...string) string {
+		var stdout, stderr bytes.Buffer
+		args := append([]string{"-q", "5", "-m", "512", "-latency", "1", "-vc", "4"}, extra...)
+		code := run(args, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	plain := runOnce()
+	withProgress := runOnce("-progress")
+	if plain != withProgress {
+		t.Fatalf("-progress changed stdout:\n--- plain ---\n%s\n--- progress ---\n%s", plain, withProgress)
 	}
 }

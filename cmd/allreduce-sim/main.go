@@ -15,6 +15,10 @@
 //	allreduce-sim -q 7 -m 16384 -fault-seed 7  # one random link failure per embedding
 //	allreduce-sim -q 7 -m 16384 -fault-plan plan.json
 //	                                           # replay a JSON fault plan (internal/faults)
+//	allreduce-sim -q 7 -m 16384 -ts-out tl.md -sample-every 64
+//	                                           # attach the bounded-memory telemetry sampler
+//	                                           # and write the markdown phase timeline
+//	allreduce-sim -q 31 -m 65536 -progress     # heartbeat on stderr for long runs
 package main
 
 import (
@@ -30,13 +34,16 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"polarfly/internal/bandwidth"
 	"polarfly/internal/core"
 	"polarfly/internal/faults"
 	"polarfly/internal/netsim"
 	"polarfly/internal/obsv"
 	"polarfly/internal/parrun"
 	"polarfly/internal/trees"
+	"polarfly/internal/tsdb"
 	"polarfly/internal/workload"
 )
 
@@ -57,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	alpha := fs.Float64("alpha", 500, "host-based per-round software overhead (cycles)")
 	seed := fs.Int64("seed", core.DefaultSeed, "workload seed")
 	sweep := fs.Bool("sweep", false, "sweep vector sizes geometrically up to -m and report the latency/bandwidth crossover")
-	parallel := fs.Int("parallel", 0, "sweep worker-pool size; 1 forces serial, <1 means GOMAXPROCS (output is byte-identical either way)")
+	parallel := fs.Int("parallel", 0, "worker-pool size for the embedding comparison and -sweep; 1 forces serial, <1 means GOMAXPROCS (output is byte-identical either way)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
 	metricsOut := fs.String("metrics-out", "", "write per-link/per-tree telemetry JSON to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
@@ -66,8 +73,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	failAt := fs.Int("fail-at", 1000, "activation cycle for -fail-links and the window start for -fault-seed")
 	faultSeed := fs.Int64("fault-seed", 0, "non-zero: generate one random link-down fault per embedding (from its own tree links, activation uniform in [fail-at, 2·fail-at]); runs the degraded-run table")
 	faultPlan := fs.String("fault-plan", "", "JSON fault plan file (internal/faults schema) applied to every embedding; runs the degraded-run table")
+	tsOut := fs.String("ts-out", "", "attach the bounded-memory telemetry sampler and write the markdown phase timeline to this file")
+	sampleEvery := fs.Int("sample-every", 64, "telemetry sampling window in cycles (with -ts-out)")
+	tsWindows := fs.Int("ts-windows", 64, "telemetry ring capacity per resolution level (with -ts-out)")
+	progress := fs.Bool("progress", false, "print a heartbeat to stderr while simulations run (stdout is unchanged)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *progress {
+		stop := startHeartbeat(stderr)
+		defer stop()
 	}
 
 	fail := func(err error) int {
@@ -108,32 +123,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	// Validate the telemetry flags before any simulation spends cycles.
+	if *tsOut != "" {
+		if _, err := tsdb.New(tsdb.Config{SampleEvery: *sampleEvery, Windows: *tsWindows}); err != nil {
+			return fail(err)
+		}
+	}
+
 	if *sweep {
 		return runSweep(*q, *m, *latency, *vc, *parallel, *seed, stdout, stderr)
 	}
 	if *failLinks != "" || *faultSeed != 0 || *faultPlan != "" {
 		return runFaults(*q, *m, *latency, *vc, *seed,
-			*failLinks, *failAt, *faultSeed, *faultPlan, *traceOut, *metricsOut, stdout, stderr)
+			*failLinks, *failAt, *faultSeed, *faultPlan, *traceOut, *metricsOut,
+			*tsOut, *sampleEvery, *tsWindows, stdout, stderr)
 	}
 
 	cfg := netsim.Config{LinkLatency: *latency, VCDepth: *vc}
 
-	// With -trace-out/-metrics-out, attach one collector per embedding.
-	var hook func(core.EmbeddingKind) func(netsim.TraceEvent)
+	// With -trace-out/-metrics-out/-ts-out, prep wires one collector
+	// and/or telemetry rig per embedding. prep runs serially before the
+	// comparison's worker pool dispatches, so the maps need no locks and
+	// -parallel N output stays byte-identical to a serial run.
 	collectors := make(map[core.EmbeddingKind]*obsv.Collector)
+	rigs := make(map[core.EmbeddingKind]*tsRig)
 	var kindOrder []core.EmbeddingKind
-	if *traceOut != "" || *metricsOut != "" {
-		hook = func(kind core.EmbeddingKind) func(netsim.TraceEvent) {
-			c := obsv.NewCollector()
-			c.LinkLatency = *latency
-			c.SpanMergeGap = *latency
-			collectors[kind] = c
+	var prep func(core.EmbeddingKind, *core.Embedding, *netsim.Config)
+	if *traceOut != "" || *metricsOut != "" || *tsOut != "" {
+		prep = func(kind core.EmbeddingKind, e *core.Embedding, c *netsim.Config) {
 			kindOrder = append(kindOrder, kind)
-			return c.Observe
+			if *traceOut != "" || *metricsOut != "" {
+				col := obsv.NewCollector()
+				col.LinkLatency = *latency
+				col.SpanMergeGap = *latency
+				collectors[kind] = col
+				c.Trace = col.Observe
+			}
+			if *tsOut != "" {
+				rigs[kind] = newTSRig(*q, *m, *sampleEvery, *tsWindows, e, false, c)
+			}
 		}
 	}
 
-	rows, err := core.SimulationComparisonHooked(*q, *m, cfg, *seed, hook)
+	rows, err := core.SimulationComparisonPar(*q, *m, cfg, *seed, *parallel, prep)
 	if err != nil {
 		return fail(err)
 	}
@@ -189,6 +221,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "metrics written to %s\n", *metricsOut)
 	}
+	if *tsOut != "" {
+		if err := writeTimelines(*tsOut, kindOrder, rigs); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "telemetry timeline written to %s\n", *tsOut)
+	}
 
 	if *hosts {
 		hrows, err := core.HostComparison(*q, *m, *alpha, float64(*latency), 1.0, *seed)
@@ -217,6 +255,101 @@ type metricsFile struct {
 type embeddingMetrics struct {
 	Summary *obsv.Report  `json:"summary"`
 	Metrics obsv.Snapshot `json:"metrics"`
+}
+
+// tsRig is the per-embedding telemetry rig -ts-out attaches: the
+// bounded-memory sampler, the hotspot/bounds analyzer, and the snapshot
+// metadata captured at wiring time.
+type tsRig struct {
+	sampler  *tsdb.Sampler
+	analyzer *tsdb.Analyzer
+	meta     tsdb.SnapshotMeta
+}
+
+// newTSRig wires a sampler and analyzer into one embedding's run config.
+// The sampler config must have been validated up front (run() does), so
+// construction cannot fail here. faulted disables the fault-free floor
+// check, which a mid-run link failure would legitimately break.
+func newTSRig(q, m, sampleEvery, windows int, e *core.Embedding, faulted bool, c *netsim.Config) *tsRig {
+	s := tsdb.MustNew(tsdb.Config{SampleEvery: sampleEvery, Windows: windows})
+	nodes := q*q + q + 1
+	floor := 0.0
+	switch e.Kind {
+	case core.SingleTree:
+		floor = 1.0
+	case core.LowDepth:
+		floor = bandwidth.LowDepthBound(q, 1.0)
+	case core.Hamiltonian:
+		floor = bandwidth.HamiltonianBound(len(e.Forest), 1.0)
+	default: // DepthTwo has no proven floor
+	}
+	a := tsdb.NewAnalyzer(s, tsdb.AnalyzerConfig{
+		Tolerance: 0.10,
+		Bounds: tsdb.Bounds{
+			Nodes:     nodes,
+			Aggregate: e.Model.Aggregate,
+			Optimal:   bandwidth.Optimal(q, 1.0),
+			Floor:     floor,
+			FaultFree: !faulted,
+		},
+		Predicted: core.ModelLinkLoads(e),
+	})
+	c.SampleEvery = sampleEvery
+	c.Sample = s.Sample
+	return &tsRig{sampler: s, analyzer: a, meta: tsdb.SnapshotMeta{
+		Q: q, Kind: e.Kind.String(), M: m, Nodes: nodes,
+		Aggregate: e.Model.Aggregate, Optimal: bandwidth.Optimal(q, 1.0), Floor: floor}}
+}
+
+// writeTimelines renders every rig's phase timeline, in run order.
+func writeTimelines(path string, order []core.EmbeddingKind, rigs map[core.EmbeddingKind]*tsRig) error {
+	return writeFile(path, func(w io.Writer) error {
+		first := true
+		for _, kind := range order {
+			r, ok := rigs[kind]
+			if !ok {
+				continue
+			}
+			if !first {
+				if _, err := fmt.Fprintln(w); err != nil {
+					return err
+				}
+			}
+			first = false
+			sn := tsdb.BuildSnapshot(r.sampler, r.analyzer, r.meta)
+			if err := sn.WriteMarkdown(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// startHeartbeat prints a liveness line to w every few seconds until the
+// returned stop function is called. Stdout is untouched, so -progress
+// never changes the comparison's byte-identical output contract.
+func startHeartbeat(w io.Writer) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		start := time.Now()
+		t := time.NewTicker(2 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintf(w, "allreduce-sim: still running (%s elapsed)\n",
+					time.Since(start).Round(time.Second))
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
 }
 
 func writeFile(path string, write func(io.Writer) error) error {
@@ -287,7 +420,8 @@ func treeLinks(e *core.Embedding) [][2]int {
 //   - fseed: one generated link-down fault per embedding, drawn from that
 //     embedding's own tree links (ER and Singer topologies number nodes
 //     differently, so a shared random link would be meaningless).
-func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed int64, planPath, traceOut, metricsOut string, stdout, stderr io.Writer) int {
+func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed int64, planPath, traceOut, metricsOut string,
+	tsOut string, sampleEvery, tsWindows int, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "allreduce-sim:", err)
 		return 1
@@ -339,8 +473,11 @@ func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed in
 	}
 
 	// With -trace-out/-metrics-out, attach one collector per embedding so
-	// the fault and recovery marks land in the exported telemetry.
+	// the fault and recovery marks land in the exported telemetry; with
+	// -ts-out, one telemetry rig per embedding captures the degraded run's
+	// phase timeline (floor checks off — a fault legitimately breaks them).
 	collectors := make(map[core.EmbeddingKind]*obsv.Collector)
+	rigs := make(map[core.EmbeddingKind]*tsRig)
 	var kindOrder []core.EmbeddingKind
 
 	fmt.Fprintf(stdout, "degraded runs, PolarFly q=%d (N=%d), m=%d elements, link latency=%d, VC depth=%d\n",
@@ -379,13 +516,18 @@ func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed in
 		}
 
 		cfg := netsim.Config{LinkLatency: latency, VCDepth: vc, Faults: plan}
+		if traceOut != "" || metricsOut != "" || tsOut != "" {
+			kindOrder = append(kindOrder, kind)
+		}
 		if traceOut != "" || metricsOut != "" {
 			c := obsv.NewCollector()
 			c.LinkLatency = latency
 			c.SpanMergeGap = latency
 			collectors[kind] = c
-			kindOrder = append(kindOrder, kind)
 			cfg.Trace = c.Observe
+		}
+		if tsOut != "" {
+			rigs[kind] = newTSRig(q, m, sampleEvery, tsWindows, e, len(plan.Faults) > 0, &cfg)
 		}
 		res, err := inst.Allreduce(e, inputs, cfg)
 		if c, ok := collectors[kind]; ok && res != nil {
@@ -458,6 +600,12 @@ func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed in
 			return fail(err)
 		}
 		fmt.Fprintf(stdout, "metrics written to %s\n", metricsOut)
+	}
+	if tsOut != "" {
+		if err := writeTimelines(tsOut, kindOrder, rigs); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "telemetry timeline written to %s\n", tsOut)
 	}
 	return 0
 }

@@ -12,11 +12,17 @@
 //	benchreport scorecard -degraded -q 7            # inject the worst-case link failure per
 //	                                                # embedding, gate post-recovery bandwidth
 //	                                                # against the core.Degrade prediction
+//	benchreport timeline -q 7 -fault-at 200         # simulate with the streaming telemetry
+//	                                                # sampler attached, write TIMELINE_<label>.json,
+//	                                                # gate on bounds / footprint / ground truth
+//	benchreport overhead BENCH_main.json            # pair X ↔ XSampled benchmarks, gate the
+//	                                                # sampling cost against the 5% budget
 //
 // Snapshots are written to BENCH_<label>.json (schema polarfly-bench/v1,
-// see internal/perf); a markdown rendering goes to stdout. Exit codes:
-// 0 clean, 1 failed benchmarks / gating regression / scorecard violation,
-// 2 usage error.
+// see internal/perf); timeline sweeps go to TIMELINE_<label>.json with the
+// same envelope. A markdown rendering goes to stdout. Exit codes: 0 clean,
+// 1 failed benchmarks / gating regression / scorecard violation, 2 usage
+// error.
 package main
 
 import (
@@ -46,6 +52,8 @@ commands:
   run        run (or parse with -in) go test benchmarks and snapshot them
   compare    diff two snapshots and gate on regressions
   scorecard  run the measured-vs-model simulation sweep
+  timeline   run the streaming-telemetry sweep and emit a phase timeline
+  overhead   gate the telemetry sampling cost from a bench snapshot
 
 run 'benchreport <command> -h' for the command's flags`)
 }
@@ -64,6 +72,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdCompare(args[1:], stdout, stderr)
 	case "scorecard":
 		return cmdScorecard(args[1:], stdout, stderr)
+	case "timeline":
+		return cmdTimeline(args[1:], stdout, stderr)
+	case "overhead":
+		return cmdOverhead(args[1:], stdout, stderr)
 	case "help", "-h", "-help", "--help":
 		usage(stdout)
 		return 0
@@ -116,7 +128,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	benchRe := fs.String("bench", ".", "benchmark regex passed to go test -bench")
 	benchtime := fs.String("benchtime", "", "go test -benchtime value (e.g. 1x, 100ms); empty for the default")
 	count := fs.Int("count", 5, "go test -count repetitions (run-to-run spread needs >1)")
-	pkgs := fs.String("pkg", "./...", "package pattern passed to go test")
+	pkgs := fs.String("pkg", "./...", "comma-separated package patterns passed to go test")
 	outDir := fs.String("out", ".", "directory for the BENCH_<label>.json snapshot")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -146,7 +158,15 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		if *count > 1 {
 			gt = append(gt, "-count", strconv.Itoa(*count))
 		}
-		gt = append(gt, *pkgs)
+		// -pkg accepts a comma-separated list so one run can cover several
+		// packages (e.g. ./internal/netsim,./internal/tsdb) — required for
+		// the overhead gate, which pairs base and sampled benchmarks from
+		// the same snapshot.
+		for _, p := range strings.Split(*pkgs, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				gt = append(gt, p)
+			}
+		}
 		var buf bytes.Buffer
 		cmd := exec.Command("go", gt...)
 		// Tee the raw bench output to stderr so progress is visible while
@@ -355,6 +375,114 @@ func cmdScorecardDegraded(qs []int, m, latency, vc, failAt, parallel int, seed i
 	}
 	fmt.Fprintf(stderr, "benchreport: wrote %s (%d fault-injected points)\n", path, len(points))
 	if fails := perf.DegradedFailures(points); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(stderr, "benchreport: FAIL:", f)
+		}
+		return 1
+	}
+	return 0
+}
+
+// cmdTimeline runs the streaming-telemetry sweep: one sampled simulation
+// per embedding of the design point, a TIMELINE_<label>.json snapshot,
+// the markdown phase timeline on stdout, and a non-zero exit when any run
+// violates the telemetry contract (bounds, footprint, ground truth).
+func cmdTimeline(args []string, stdout, stderr io.Writer) int {
+	def := perf.DefaultTimelineConfig()
+	fs := flag.NewFlagSet("benchreport timeline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	q := fs.Int("q", def.Q, "PolarFly order")
+	m := fs.Int("m", def.M, "Allreduce vector elements")
+	latency := fs.Int("latency", def.LinkLatency, "link latency in cycles")
+	vc := fs.Int("vc", def.VCDepth, "virtual channel depth in flits")
+	sampleEvery := fs.Int("sample-every", def.SampleEvery, "telemetry sampling window in cycles")
+	windows := fs.Int("windows", def.Windows, "ring capacity per resolution level")
+	levels := fs.Int("levels", def.Levels, "downsampling levels (1×, 8×, 64×, ...)")
+	factor := fs.Int("factor", def.Factor, "downsampling factor between levels")
+	seed := fs.Int64("seed", def.Seed, "workload seed")
+	tol := fs.Float64("tol", def.Tolerance, "bound-check tolerance (relative)")
+	maxBytes := fs.Int("max-bytes", 0, "fail if the sampler footprint exceeds this many bytes per run (0 disables)")
+	faultAt := fs.Int("fault-at", 0, "inject a link failure at this cycle on multi-tree embeddings and cross-check the telemetry-derived events against the trace (0 disables)")
+	parallel := fs.Int("parallel", 0, "simulation worker-pool size; 1 forces serial, <1 means GOMAXPROCS (output is byte-identical either way)")
+	label := fs.String("label", "timeline", "snapshot label; output file is TIMELINE_<label>.json")
+	outDir := fs.String("out", ".", "directory for the TIMELINE_<label>.json snapshot")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	cfg := perf.TimelineConfig{
+		Q: *q, M: *m, LinkLatency: *latency, VCDepth: *vc,
+		SampleEvery: *sampleEvery, Windows: *windows, Levels: *levels, Factor: *factor,
+		Seed: *seed, Tolerance: *tol, MaxBytes: *maxBytes, FaultAt: *faultAt,
+		Parallel: *parallel,
+	}
+	runs, err := perf.Timeline(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	snap := &perf.Snapshot{
+		Schema:         perf.SnapshotSchema,
+		Label:          *label,
+		Kind:           perf.KindTimeline,
+		GoVersion:      runtime.Version(),
+		Timeline:       runs,
+		TimelineConfig: &cfg,
+	}
+	path := filepath.Join(*outDir, "TIMELINE_"+sanitizeLabel(*label)+".json")
+	if err := writeSnapshot(path, snap); err != nil {
+		return fail(err)
+	}
+	if err := perf.WriteTimelineMarkdown(stdout, snap); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stderr, "benchreport: wrote %s (%d embeddings)\n", path, len(runs))
+	if fails := perf.TimelineFailures(runs, cfg); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(stderr, "benchreport: FAIL:", f)
+		}
+		return 1
+	}
+	return 0
+}
+
+// cmdOverhead loads a bench snapshot, pairs every XSampled benchmark with
+// its X twin, and gates the median ns/op overhead against the budget.
+func cmdOverhead(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchreport overhead", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	max := fs.Float64("max", perf.DefaultMaxOverhead, "maximum allowed sampling overhead (relative ns/op)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: benchreport overhead [-max f] BENCH.json")
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
+	defer func() { _ = f.Close() }()
+	snap, err := perf.DecodeSnapshot(f)
+	if err != nil {
+		return fail(err)
+	}
+	pairs := perf.TelemetryOverhead(snap)
+	if err := perf.WriteOverheadMarkdown(stdout, pairs, *max); err != nil {
+		return fail(err)
+	}
+	if len(pairs) == 0 {
+		fmt.Fprintln(stderr, "benchreport: no base↔sampled benchmark pairs in the snapshot; run both packages into one snapshot (e.g. -pkg ./internal/netsim,./internal/tsdb)")
+		return 1
+	}
+	if fails := perf.OverheadFailures(pairs, *max); len(fails) > 0 {
 		for _, f := range fails {
 			fmt.Fprintln(stderr, "benchreport: FAIL:", f)
 		}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -265,5 +266,88 @@ func TestSnapshotJSONDeterminism(t *testing.T) {
 	}
 	if a, b := read("one"), read("two"); !bytes.Equal(a, b) {
 		t.Errorf("snapshots differ between identical runs:\n%s\n%s", a, b)
+	}
+}
+
+func TestTimelineSmoke(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runCLI(t, "timeline",
+		"-q", "5", "-m", "2048", "-sample-every", "32", "-windows", "32",
+		"-fault-at", "100", "-max-bytes", "2000000", "-parallel", "2",
+		"-label", "tl", "-out", dir)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"# Telemetry timelines — tl", "## Telemetry timeline — q=5",
+		"Cross-check against trace ground truth: **exact match**"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q", want)
+		}
+	}
+	snap := loadSnapshot(t, filepath.Join(dir, "TIMELINE_tl.json"))
+	if snap.Kind != perf.KindTimeline || len(snap.Timeline) == 0 {
+		t.Fatalf("snapshot kind=%q runs=%d", snap.Kind, len(snap.Timeline))
+	}
+	if snap.TimelineConfig == nil || snap.TimelineConfig.Q != 5 || snap.TimelineConfig.FaultAt != 100 {
+		t.Errorf("timeline config %+v", snap.TimelineConfig)
+	}
+}
+
+func TestTimelineFootprintGate(t *testing.T) {
+	dir := t.TempDir()
+	code, _, stderr := runCLI(t, "timeline",
+		"-q", "3", "-m", "512", "-sample-every", "32", "-windows", "32",
+		"-max-bytes", "1", "-label", "tiny", "-out", dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 for a 1-byte footprint ceiling", code)
+	}
+	if !strings.Contains(stderr, "ceiling") {
+		t.Errorf("stderr does not mention the footprint ceiling:\n%s", stderr)
+	}
+}
+
+func TestOverheadCLI(t *testing.T) {
+	dir := t.TempDir()
+	mkSnap := func(name string, sampledNs int) string {
+		fixture := "goos: linux\npkg: polarfly\n" +
+			"BenchmarkHotLoop/q=11/single-8 \t 10\t 100000 ns/op\n" +
+			"BenchmarkHotLoopSampled/q=11/single-8 \t 10\t " + strconv.Itoa(sampledNs) + " ns/op\nPASS\n"
+		in := writeFixture(t, dir, name+".txt", fixture)
+		code, _, stderr := runCLI(t, "run", "-in", in, "-label", name, "-out", dir)
+		if code != 0 {
+			t.Fatalf("run exit %d: %s", code, stderr)
+		}
+		return filepath.Join(dir, "BENCH_"+name+".json")
+	}
+
+	ok := mkSnap("fast", 103000) // 3% overhead
+	code, stdout, _ := runCLI(t, "overhead", ok)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 for 3%% overhead", code)
+	}
+	if !strings.Contains(stdout, "HotLoop/q=11/single") || !strings.Contains(stdout, "+3.0%") {
+		t.Errorf("overhead table wrong:\n%s", stdout)
+	}
+
+	bad := mkSnap("slow", 112000) // 12% overhead
+	code, _, stderr := runCLI(t, "overhead", bad)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 for 12%% overhead", code)
+	}
+	if !strings.Contains(stderr, "budget") {
+		t.Errorf("stderr does not mention the budget:\n%s", stderr)
+	}
+	if code, _, _ := runCLI(t, "overhead", "-max", "0.2", bad); code != 0 {
+		t.Fatalf("exit %d, want 0 with a 20%% budget", code)
+	}
+
+	// A snapshot with no sampled series must fail loudly, not pass silently.
+	empty := writeFixture(t, dir, "empty.txt", benchFixture)
+	if code, _, _ := runCLI(t, "run", "-in", empty, "-label", "plain", "-out", dir); code != 0 {
+		t.Fatal("plain run failed")
+	}
+	code, _, stderr = runCLI(t, "overhead", filepath.Join(dir, "BENCH_plain.json"))
+	if code != 1 || !strings.Contains(stderr, "no base") {
+		t.Fatalf("exit %d, stderr %q: want 1 and a no-pairs message", code, stderr)
 	}
 }

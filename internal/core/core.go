@@ -211,6 +211,25 @@ func (e *Embedding) ModelMaxLinkLoad() float64 {
 	return max
 }
 
+// ModelLinkLoads is the Algorithm 1 prediction per DIRECTED link, keyed
+// by {from, to}: each tree streams B_i flits per cycle through both
+// directions of each of its edges (reduce up, broadcast down), so a
+// directed link's steady-state load is the sum of B_i over the trees
+// crossing it. This is the per-link decomposition of ModelMaxLinkLoad,
+// in the shape the telemetry analyzer consumes (tsdb.AnalyzerConfig's
+// Predicted field) to flag links running hotter than the waterfill says
+// they should.
+func ModelLinkLoads(e *Embedding) map[[2]int]float64 {
+	load := make(map[[2]int]float64)
+	for i, t := range e.Forest {
+		for _, edge := range t.Edges() {
+			load[[2]int{edge.U, edge.V}] += e.Model.PerTree[i]
+			load[[2]int{edge.V, edge.U}] += e.Model.PerTree[i]
+		}
+	}
+	return load
+}
+
 // AllreduceResult is the outcome of a simulated in-network Allreduce.
 type AllreduceResult struct {
 	// Outputs[v] is node v's reduced vector (verified equal across nodes by

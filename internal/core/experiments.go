@@ -8,6 +8,7 @@ import (
 	"polarfly/internal/er"
 	"polarfly/internal/netsim"
 	"polarfly/internal/numtheory"
+	"polarfly/internal/parrun"
 	"polarfly/internal/singer"
 	"polarfly/internal/workload"
 )
@@ -216,10 +217,20 @@ type SimRow struct {
 	BcastCycles  int
 }
 
+// ComparisonKinds is the embedding sweep SimulationComparison runs for
+// one q: all three embeddings, minus LowDepth for even q (the paper's
+// layout needs odd q).
+func ComparisonKinds(q int) []EmbeddingKind {
+	if q%2 == 0 {
+		return []EmbeddingKind{SingleTree, Hamiltonian}
+	}
+	return []EmbeddingKind{SingleTree, LowDepth, Hamiltonian}
+}
+
 // SimulationComparison runs all three embeddings (two for even q) on the
 // same inputs and fabric configuration.
 func SimulationComparison(q, m int, cfg netsim.Config, seed int64) ([]SimRow, error) {
-	return SimulationComparisonHooked(q, m, cfg, seed, nil)
+	return SimulationComparisonPar(q, m, cfg, seed, 1, nil)
 }
 
 // SimulationComparisonHooked is SimulationComparison with an optional
@@ -229,36 +240,57 @@ func SimulationComparison(q, m int, cfg netsim.Config, seed int64) ([]SimRow, er
 // per embedding without altering the comparison itself.
 func SimulationComparisonHooked(q, m int, cfg netsim.Config, seed int64,
 	hook func(EmbeddingKind) func(netsim.TraceEvent)) ([]SimRow, error) {
+	var prep func(EmbeddingKind, *Embedding, *netsim.Config)
+	if hook != nil {
+		prep = func(kind EmbeddingKind, _ *Embedding, c *netsim.Config) {
+			c.Trace = hook(kind)
+		}
+	}
+	return SimulationComparisonPar(q, m, cfg, seed, 1, prep)
+}
+
+// SimulationComparisonPar is the general form: the embeddings are built
+// serially in ComparisonKinds order and prep (optional) customises each
+// run's config — attach a trace collector, a telemetry sampler, a fault
+// plan — with the embedding in hand for model-derived wiring. The
+// simulations then run on a parrun pool of the given size (1 forces
+// serial, <1 means GOMAXPROCS). Because prep runs before the pool
+// dispatches and each run only touches its own config, per-kind consumers
+// need no synchronisation, and the ordered commit keeps the rows — and
+// anything prep wired up — byte-identical to a serial sweep.
+func SimulationComparisonPar(q, m int, cfg netsim.Config, seed int64, parallel int,
+	prep func(EmbeddingKind, *Embedding, *netsim.Config)) ([]SimRow, error) {
 	inst, err := NewInstance(q)
 	if err != nil {
 		return nil, err
 	}
-	kinds := []EmbeddingKind{SingleTree, LowDepth, Hamiltonian}
-	if q%2 == 0 {
-		kinds = []EmbeddingKind{SingleTree, Hamiltonian}
-	}
+	kinds := ComparisonKinds(q)
 	inputs := workload.Vectors(inst.N(), m, 1000, seed)
-	var rows []SimRow
-	singleCycles := 0
-	for _, kind := range kinds {
+	want := netsim.ExpectedOutput(inputs)
+	embeds := make([]*Embedding, len(kinds))
+	cfgs := make([]netsim.Config, len(kinds))
+	for i, kind := range kinds {
 		e, err := inst.Embed(kind)
 		if err != nil {
 			return nil, err
 		}
-		runCfg := cfg
-		if hook != nil {
-			runCfg.Trace = hook(kind)
+		embeds[i] = e
+		cfgs[i] = cfg
+		if prep != nil {
+			prep(kind, e, &cfgs[i])
 		}
-		res, err := inst.Allreduce(e, inputs, runCfg)
+	}
+	rows, err := parrun.Map(parallel, len(kinds), func(i int) (SimRow, error) {
+		kind, e := kinds[i], embeds[i]
+		res, err := inst.Allreduce(e, inputs, cfgs[i])
 		if err != nil {
-			return nil, err
+			return SimRow{}, err
 		}
 		// Verify numerical correctness on every run.
-		want := netsim.ExpectedOutput(inputs)
 		for v := range res.Outputs {
 			for k := range want {
 				if res.Outputs[v][k] != want[k] {
-					return nil, fmt.Errorf("core: %v: wrong sum at node %d element %d", kind, v, k)
+					return SimRow{}, fmt.Errorf("core: %v: wrong sum at node %d element %d", kind, v, k)
 				}
 			}
 		}
@@ -289,13 +321,23 @@ func SimulationComparisonHooked(q, m int, cfg netsim.Config, seed int64,
 		if row.ModelMaxLinkUtil > 0 {
 			row.UtilRelErr = (row.MaxLinkUtil - row.ModelMaxLinkUtil) / row.ModelMaxLinkUtil
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Speedups need the single-tree cycle count, so they land after the
+	// pool's barrier; SingleTree is always part of the sweep.
+	singleCycles := 0
+	for i, kind := range kinds {
 		if kind == SingleTree {
-			singleCycles = res.Cycles
+			singleCycles = rows[i].Cycles
 		}
+	}
+	for i := range rows {
 		if singleCycles > 0 {
-			row.SpeedupVsOne = float64(singleCycles) / float64(res.Cycles)
+			rows[i].SpeedupVsOne = float64(singleCycles) / float64(rows[i].Cycles)
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

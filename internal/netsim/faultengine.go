@@ -106,6 +106,7 @@ func (s *sim) applyFaults(now int) {
 				}
 			}
 			if active {
+				s.lastFaultCycle = now
 				s.emit(TraceEvent{Cycle: now, Kind: TraceFault, Tree: -1, Phase: int(f.Kind),
 					From: f.U, To: f.V, Flit: -1, Value: int64(dropped)})
 			}
@@ -123,12 +124,14 @@ func (s *sim) applyFaults(now int) {
 				}
 			}
 			if active {
+				s.lastFaultCycle = now
 				s.emit(TraceEvent{Cycle: now, Kind: TraceFault, Tree: -1, Phase: int(f.Kind),
 					From: f.U, To: f.V, Flit: -1, Value: 0})
 			}
 		case faults.EngineStall:
 			s.stalled[f.Node] = active
 			if active {
+				s.lastFaultCycle = now
 				s.emit(TraceEvent{Cycle: now, Kind: TraceFault, Tree: -1, Phase: int(f.Kind),
 					From: f.Node, To: f.Node, Flit: -1, Value: 0})
 			}
@@ -152,6 +155,7 @@ func (s *sim) purgePipeline(l *link, now int) int {
 		pos[fl.f]++
 		fl.f.lost = true
 		s.result.DroppedFlits++
+		l.dropped++
 		s.emit(TraceEvent{Cycle: now, Kind: TraceDrop, Tree: fl.f.tree, Phase: fl.f.phase,
 			From: fl.f.from, To: fl.f.to, Flit: k, Value: fl.val})
 	}
@@ -263,6 +267,7 @@ func (s *sim) detectAndRecover(now int) (bool, error) {
 		for _, fl := range live {
 			if fl.f.j.dead {
 				s.result.DroppedFlits++
+				l.dropped++
 				s.emit(TraceEvent{Cycle: now, Kind: TraceDrop, Tree: fl.f.tree, Phase: fl.f.phase,
 					From: fl.f.from, To: fl.f.to, Flit: -1, Value: fl.val})
 				continue
@@ -364,6 +369,8 @@ func (s *sim) detectAndRecover(now int) (bool, error) {
 		Reissued:    reissued,
 		Remaining:   remaining,
 	})
+	s.reissuedTotal += reissued
+	s.lastRecoverCycle = now
 	s.emit(TraceEvent{Cycle: now, Kind: TraceRecover, Tree: -1, Phase: -1,
 		From: suspects[0][0], To: suspects[0][1], Flit: reissued, Value: int64(remaining)})
 	return true, nil

@@ -75,6 +75,16 @@ type Config struct {
 	// so any value ≥ 0 is free of false positives. Defaults to
 	// 4·LinkLatency when zero.
 	FaultDetectTimeout int
+	// SampleEvery is the telemetry sampling window in cycles: every
+	// SampleEvery cycles (and once after the run ends) the Sample hook
+	// receives a SampleFrame of cumulative counters. Zero disables
+	// sampling; it must be ≥ 1 when Sample is set. Like Trace, the hook
+	// is gated so untraced, unsampled runs pay nothing in the cycle loop.
+	SampleEvery int
+	// Sample, when non-nil, receives the periodic telemetry frames. The
+	// frame and its Links slice are reused between calls; the hook must
+	// copy anything it retains. Requires SampleEvery ≥ 1.
+	Sample func(*SampleFrame)
 }
 
 // DefaultProgressTimeout is the deadlock-diagnostic threshold applied by
@@ -114,6 +124,15 @@ func (c *Config) validate() error {
 	}
 	if c.FaultDetectTimeout == 0 {
 		c.FaultDetectTimeout = 4 * c.LinkLatency
+	}
+	if c.SampleEvery < 0 {
+		return fmt.Errorf("netsim: SampleEvery must be ≥ 0, got %d", c.SampleEvery)
+	}
+	if c.Sample != nil && c.SampleEvery == 0 {
+		return fmt.Errorf("netsim: Sample hook requires a sampling window; set SampleEvery ≥ 1")
+	}
+	if c.Sample == nil && c.SampleEvery > 0 {
+		return fmt.Errorf("netsim: SampleEvery=%d without a Sample hook to receive frames", c.SampleEvery)
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
@@ -242,6 +261,9 @@ type LinkStat struct {
 	// StallCycles counts cycles in which at least one of the link's
 	// virtual channels had a flit ready but no credit to send it.
 	StallCycles int
+	// Dropped counts flits destroyed on this link by faults (zero on
+	// fault-free runs); the per-link split of Result.DroppedFlits.
+	Dropped int
 	// PeakBufferFlits is the maximum simultaneous receive-buffer
 	// occupancy across the link's virtual channels.
 	PeakBufferFlits int
@@ -408,6 +430,7 @@ type link struct {
 	stallMark   int // last cycle counted in stallCycles
 	peakBuf     int
 	lastBuf     int // occupancy at the end of the previous cycle
+	dropped     int // flits destroyed on this link by faults
 }
 
 // pipeLen is the number of in-flight flits.

@@ -44,6 +44,21 @@ type sim struct {
 	// building TraceEvent values on untraced runs.
 	traced bool
 
+	// Telemetry sampling state (see sample.go); sampling is cfg.Sample !=
+	// nil, hoisted like traced so the unsampled cycle loop never branches
+	// into frame assembly. The scratch frame is the only allocation.
+	sampling      bool
+	nextSample    int
+	sampleScratch []LinkCounters
+	sampleFrame   SampleFrame
+	delivered     int // completed target deliveries (root computes + bcast arrivals)
+	reduceFlits   int // FlitsSent split: reduce-phase injections
+	reissuedTotal int // elements re-issued across all recovery rounds
+	// lastFaultCycle / lastRecoverCycle are the RunCounters gauges, -1
+	// until the first event.
+	lastFaultCycle   int
+	lastRecoverCycle int
+
 	// outputs[v] is node v's assembled m-element result, written in place
 	// at delivery time (broadcast arrival or root-local compute). All rows
 	// share one contiguous backing array.
@@ -184,6 +199,7 @@ func newSim(spec Spec, cfg Config) (*sim, error) {
 		l.pipeline = make([]inflight, 0, bw*cfg.LinkLatency)
 	}
 	s.frozen = true
+	s.initSampling()
 	return s, nil
 }
 
@@ -428,6 +444,9 @@ func (s *sim) rootCompute(now int) {
 				s.result.TreeReduceDone[j.tree] = now
 			}
 			nt.delivered++
+			if s.sampling {
+				s.delivered++
+			}
 			s.engineUsed[root]++
 			s.pending--
 			j.remaining--
@@ -499,6 +518,7 @@ func (s *sim) run() (*Result, error) {
 					// is out of sequence and must not land at the wrong
 					// prefix index. Discard; recovery re-issues the range.
 					s.result.DroppedFlits++
+					l.dropped++
 					s.emit(TraceEvent{Cycle: now, Kind: TraceDrop, Tree: f.tree, Phase: f.phase,
 						From: f.from, To: f.to, Flit: -1, Value: fl.val})
 					continue
@@ -519,6 +539,9 @@ func (s *sim) run() (*Result, error) {
 					nt := f.rcv
 					s.outputs[f.to][f.j.goff+k] = fl.val
 					nt.delivered++
+					if s.sampling {
+						s.delivered++
+					}
 					s.pending--
 					f.j.remaining--
 					s.checkJobDone(f.j, now)
@@ -607,6 +630,9 @@ func (s *sim) run() (*Result, error) {
 					f.pushSentAt(now, s.cfg.VCDepth)
 				}
 				s.result.FlitsSent++
+				if s.sampling && f.phase == phaseReduce {
+					s.reduceFlits++
+				}
 				if s.traced {
 					s.emit(TraceEvent{Cycle: now, Kind: TraceSend, Tree: f.tree, Phase: f.phase,
 						From: f.from, To: f.to, Flit: f.sent - 1, Value: val})
@@ -616,6 +642,7 @@ func (s *sim) run() (*Result, error) {
 					// its cycle, the flit evaporates, the stream is broken.
 					f.lost = true
 					s.result.DroppedFlits++
+					l.dropped++
 					s.emit(TraceEvent{Cycle: now, Kind: TraceDrop, Tree: f.tree, Phase: f.phase,
 						From: f.from, To: f.to, Flit: f.sent - 1, Value: val})
 				} else {
@@ -659,6 +686,14 @@ func (s *sim) run() (*Result, error) {
 			s.result.PeakBufferFlits = buffered
 		}
 
+		// Telemetry sample boundary: hand the cumulative counters to the
+		// hook. Cold unless sampling is enabled, and O(links) only at
+		// boundary cycles.
+		if s.sampling && now >= s.nextSample {
+			s.sampleNow(now, false)
+			s.nextSample = now + s.cfg.SampleEvery
+		}
+
 		if progressed {
 			idle = 0
 		} else {
@@ -669,6 +704,14 @@ func (s *sim) run() (*Result, error) {
 		}
 	}
 	s.result.Cycles = now
+
+	// Final telemetry frame: closes the partial tail window and flushes
+	// downsampling accumulators. Emitted even when the last cycle was a
+	// boundary — consumers treat a zero-duration final frame as a flush
+	// marker.
+	if s.sampling {
+		s.sampleNow(now, true)
+	}
 
 	// Post-run invariants: every stream fully drained, no flit stranded in
 	// a pipeline or buffer, all credits returned. A violation indicates a
@@ -713,6 +756,7 @@ func (s *sim) run() (*Result, error) {
 			Flits:           l.flits,
 			BusyCycles:      l.busyCycles,
 			StallCycles:     l.stallCycles,
+			Dropped:         l.dropped,
 			PeakBufferFlits: l.peakBuf,
 			Trees:           len(treeSet),
 		}

@@ -27,11 +27,6 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-type chromeFile struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
-}
-
 func linkName(from, to int) string { return fmt.Sprintf("%d->%d", from, to) }
 
 func phaseName(phase int) string {
@@ -61,9 +56,55 @@ func (ct *ChromeTrace) Add(label string, c *Collector) {
 	ct.sections = append(ct.sections, chromeSection{label: label, collector: c})
 }
 
-// Write renders the trace-event JSON. Deterministic for given inputs.
+// eventStream marshals trace events straight to the writer as they are
+// produced, so a long run's trace never materialises as one in-memory
+// slice — the writer is the only O(events) consumer. Each event is
+// json.Marshal'ed individually, which produces exactly the bytes the old
+// whole-file encoder emitted for that array element, so the streamed
+// output is byte-identical to buffering. The first error latches.
+type eventStream struct {
+	w   io.Writer
+	n   int
+	err error
+}
+
+func (s *eventStream) emit(evs ...chromeEvent) {
+	for _, ev := range evs {
+		if s.err != nil {
+			return
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			s.err = err
+			return
+		}
+		if s.n > 0 {
+			if _, err := io.WriteString(s.w, ","); err != nil {
+				s.err = err
+				return
+			}
+		}
+		if _, err := s.w.Write(b); err != nil {
+			s.err = err
+			return
+		}
+		s.n++
+	}
+}
+
+func (s *eventStream) literal(lit string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, lit)
+}
+
+// Write renders the trace-event JSON, streaming each event to w as it is
+// generated. Deterministic and byte-identical to encoding the whole file
+// at once (encoding/json field order and HTML escaping included).
 func (ct *ChromeTrace) Write(w io.Writer) error {
-	file := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	s := &eventStream{w: w}
+	s.literal(`{"traceEvents":[`)
 	pidBase := 0
 	for _, sec := range ct.sections {
 		c := sec.collector
@@ -92,7 +133,7 @@ func (ct *ChromeTrace) Write(w io.Writer) error {
 			if sec.label != "" {
 				name = sec.label + " " + name
 			}
-			file.TraceEvents = append(file.TraceEvents,
+			s.emit(
 				chromeEvent{Name: "process_name", Ph: "M", Pid: pid,
 					Args: map[string]any{"name": name}},
 				chromeEvent{Name: "process_sort_index", Ph: "M", Pid: pid,
@@ -108,14 +149,14 @@ func (ct *ChromeTrace) Write(w io.Writer) error {
 			if sec.label != "" {
 				name = sec.label + " faults"
 			}
-			file.TraceEvents = append(file.TraceEvents,
+			s.emit(
 				chromeEvent{Name: "process_name", Ph: "M", Pid: faultPid,
 					Args: map[string]any{"name": name}},
 				chromeEvent{Name: "process_sort_index", Ph: "M", Pid: faultPid,
 					Args: map[string]any{"sort_index": faultPid}},
 			)
 			for _, fm := range c.faultMarks {
-				file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				s.emit(chromeEvent{
 					Name: fmt.Sprintf("fault kind=%d %s", fm.Kind, linkName(fm.U, fm.V)),
 					Cat:  "fault", Ph: "i", S: "g",
 					Ts: int64(fm.Cycle), Pid: faultPid, Tid: 1,
@@ -123,7 +164,7 @@ func (ct *ChromeTrace) Write(w io.Writer) error {
 				})
 			}
 			for _, rm := range c.recoverMarks {
-				file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				s.emit(chromeEvent{
 					Name: fmt.Sprintf("recover %s", linkName(rm.U, rm.V)),
 					Cat:  "recover", Ph: "i", S: "g",
 					Ts: int64(rm.Cycle), Pid: faultPid, Tid: 1,
@@ -150,7 +191,7 @@ func (ct *ChromeTrace) Write(w io.Writer) error {
 				continue
 			}
 			seen[tr] = true
-			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			s.emit(chromeEvent{
 				Name: "thread_name", Ph: "M", Pid: tr.pid, Tid: tr.tid,
 				Args: map[string]any{"name": fmt.Sprintf("tree %d %s", tr.tree, phaseName(tr.phase))},
 			})
@@ -175,9 +216,9 @@ func (ct *ChromeTrace) Write(w io.Writer) error {
 				ev.Dur = int64(sp.End - sp.Start + 1)
 				ev.Args = map[string]any{"cycles": sp.End - sp.Start + 1}
 			}
-			file.TraceEvents = append(file.TraceEvents, ev)
+			s.emit(ev)
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(file)
+	s.literal("],\"displayTimeUnit\":\"ms\"}\n")
+	return s.err
 }

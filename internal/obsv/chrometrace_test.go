@@ -183,3 +183,73 @@ func TestChromeTraceMultiSectionPidsDisjoint(t *testing.T) {
 		t.Errorf("expected 4 link tracks per section, got %d and %d", first, second)
 	}
 }
+
+// TestChromeTraceStreamedBytesMatchReference locks in the streaming
+// writer's byte-identity contract: emitting events one json.Marshal at a
+// time must produce exactly what encoding one whole file object would —
+// same field order, same HTML escaping of the "->" link names, same
+// trailing newline. The reference is rebuilt here by decoding the
+// streamed output and re-encoding it with the stdlib whole-file encoder.
+func TestChromeTraceStreamedBytesMatchReference(t *testing.T) {
+	spec, cfg := lineSpec(4, 16), netsim.Config{LinkLatency: 3, VCDepth: 2}
+	c := obsv.NewCollector()
+	c.Attach(&cfg)
+	res, err := netsim.Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCycles(res.Cycles)
+	ct := obsv.NewChromeTrace()
+	ct.Add("line", c)
+	var streamed bytes.Buffer
+	if err := ct.Write(&streamed); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mirror of the trace-file shape with the same field order and types
+	// as the events the writer emits.
+	type event struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat,omitempty"`
+		Ph   string         `json:"ph"`
+		Ts   int64          `json:"ts"`
+		Dur  int64          `json:"dur,omitempty"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		S    string         `json:"s,omitempty"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	type file struct {
+		TraceEvents     []event `json:"traceEvents"`
+		DisplayTimeUnit string  `json:"displayTimeUnit"`
+	}
+	var f file
+	if err := json.Unmarshal(streamed.Bytes(), &f); err != nil {
+		t.Fatalf("streamed trace is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 || f.DisplayTimeUnit != "ms" {
+		t.Fatalf("decoded trace empty or missing displayTimeUnit: %d events, unit %q",
+			len(f.TraceEvents), f.DisplayTimeUnit)
+	}
+	var reference bytes.Buffer
+	if err := json.NewEncoder(&reference).Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if streamed.String() != reference.String() {
+		t.Fatalf("streamed bytes differ from the whole-file encoding:\n--- streamed ---\n%s\n--- reference ---\n%s",
+			streamed.String(), reference.String())
+	}
+}
+
+// TestChromeTraceEmpty: a builder with no sections still writes a valid,
+// loadable file.
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obsv.NewChromeTrace().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n"
+	if buf.String() != want {
+		t.Fatalf("empty trace = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,140 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DefaultMaxOverhead is the telemetry budget: sampling may cost at most
+// this fraction of the unsampled hot loop's median ns/op.
+const DefaultMaxOverhead = 0.05
+
+// OverheadPair is one sampled benchmark matched with its unsampled twin.
+type OverheadPair struct {
+	// Name is the shared sub-benchmark path (e.g. "HotLoop/q=11/lowdepth");
+	// the sampled series carries a "Sampled" suffix on the first segment.
+	Name  string `json:"name"`
+	Procs int    `json:"procs"`
+	// BaseNs and SampledNs are the median ns/op of each series.
+	BaseNs    float64 `json:"base_ns"`
+	SampledNs float64 `json:"sampled_ns"`
+	// Overhead is SampledNs/BaseNs − 1 (negative when sampling measured
+	// faster — pure machine noise).
+	Overhead float64 `json:"overhead"`
+}
+
+// TelemetryOverhead pairs every benchmark whose first path segment ends
+// in "Sampled" with the suffix-stripped counterpart from the same
+// snapshot (same remaining path, same Procs) and reports the median
+// ns/op ratio. Pairing within one snapshot is deliberate: both series
+// ran back to back on the same machine, so drift between benchmarking
+// sessions — which on a noisy box easily exceeds the 5% budget — cancels
+// out of the ratio.
+func TelemetryOverhead(s *Snapshot) []OverheadPair {
+	type key struct {
+		name  string
+		procs int
+	}
+	base := make(map[key]float64)
+	for _, b := range s.Benchmarks {
+		if baseNameOf(b.Name) != "" {
+			continue // a sampled series is never a base
+		}
+		if m, ok := b.Metric("ns/op"); ok {
+			base[key{b.Name, b.Procs}] = m.Median
+		}
+	}
+	var pairs []OverheadPair
+	for _, b := range s.Benchmarks {
+		name := baseNameOf(b.Name)
+		if name == "" {
+			continue
+		}
+		m, ok := b.Metric("ns/op")
+		if !ok {
+			continue
+		}
+		bn, ok := base[key{name, b.Procs}]
+		if !ok || bn <= 0 {
+			continue
+		}
+		pairs = append(pairs, OverheadPair{
+			Name: name, Procs: b.Procs,
+			BaseNs: bn, SampledNs: m.Median,
+			Overhead: m.Median/bn - 1,
+		})
+	}
+	// Benchmarks is sorted by (name, procs), so pairs inherit a
+	// deterministic order.
+	return pairs
+}
+
+// baseNameOf strips the "Sampled" suffix from the first path segment of
+// a sampled benchmark name ("HotLoopSampled/q=11/x" → "HotLoop/q=11/x").
+// It returns "" when the name is not a sampled series.
+func baseNameOf(name string) string {
+	head := name
+	rest := ""
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		head, rest = name[:i], name[i:]
+	}
+	const suffix = "Sampled"
+	if !strings.HasSuffix(head, suffix) || len(head) == len(suffix) {
+		return ""
+	}
+	return head[:len(head)-len(suffix)] + rest
+}
+
+// OverheadFailures lists every pair above the budget. maxOverhead ≤ 0
+// uses DefaultMaxOverhead.
+func OverheadFailures(pairs []OverheadPair, maxOverhead float64) []string {
+	if maxOverhead <= 0 {
+		maxOverhead = DefaultMaxOverhead
+	}
+	var fails []string
+	for _, p := range pairs {
+		if p.Overhead > maxOverhead {
+			fails = append(fails, fmt.Sprintf(
+				"%s (procs=%d): sampling overhead %.1f%% exceeds the %.1f%% budget (%.0f → %.0f ns/op)",
+				p.Name, p.Procs, p.Overhead*100, maxOverhead*100, p.BaseNs, p.SampledNs))
+		}
+	}
+	return fails
+}
+
+// WriteOverheadMarkdown renders the pairing table.
+func WriteOverheadMarkdown(w io.Writer, pairs []OverheadPair, maxOverhead float64) error {
+	if maxOverhead <= 0 {
+		maxOverhead = DefaultMaxOverhead
+	}
+	ew := &mdWriter{w: w}
+	ew.printf("# Telemetry overhead (budget %.1f%%)\n\n", maxOverhead*100)
+	if len(pairs) == 0 {
+		ew.printf("No base↔sampled benchmark pairs found.\n")
+		return ew.err
+	}
+	ew.printf("| benchmark | base ns/op | sampled ns/op | overhead | verdict |\n|---|---|---|---|---|\n")
+	for _, p := range pairs {
+		verdict := "ok"
+		if p.Overhead > maxOverhead {
+			verdict = "**OVER BUDGET**"
+		}
+		ew.printf("| %s | %.0f | %.0f | %+.1f%% | %s |\n",
+			p.Name, p.BaseNs, p.SampledNs, p.Overhead*100, verdict)
+	}
+	return ew.err
+}
+
+// mdWriter latches the first write error (same idiom as tsdb's renderer).
+type mdWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *mdWriter) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

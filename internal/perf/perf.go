@@ -15,6 +15,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"polarfly/internal/tsdb"
 )
 
 // SnapshotSchema identifies the BENCH_*.json format version.
@@ -56,6 +58,10 @@ type Snapshot struct {
 	Degraded []DegradedPoint `json:"degraded,omitempty"`
 	// DegradedConfig records the sweep parameters behind Degraded.
 	DegradedConfig *DegradedConfig `json:"degraded_config,omitempty"`
+	// Timeline holds the streaming-telemetry snapshots, one per embedding.
+	Timeline []*tsdb.Snapshot `json:"timeline,omitempty"`
+	// TimelineConfig records the sweep parameters behind Timeline.
+	TimelineConfig *TimelineConfig `json:"timeline_config,omitempty"`
 }
 
 // WriteJSON writes the snapshot as indented JSON. Field order is fixed by

@@ -1,0 +1,92 @@
+package tsdb
+
+import (
+	"testing"
+
+	"polarfly/internal/bandwidth"
+	"polarfly/internal/er"
+	"polarfly/internal/netsim"
+	"polarfly/internal/singer"
+	"polarfly/internal/trees"
+	"polarfly/internal/workload"
+)
+
+// benchSpec mirrors internal/netsim's hot-loop benchmark spec exactly
+// (same q, m, embeddings, fabric config), so the "HotLoopSampled" series
+// is directly comparable to the unsampled "HotLoop" series from the same
+// benchmark run — that pairing is what the telemetry-overhead gate in
+// internal/perf checks against the <5% budget.
+func benchSpec(b *testing.B, q, m int, kind string) netsim.Spec {
+	b.Helper()
+	pg, err := er.New(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var forest []*trees.Tree
+	topo := pg.G
+	switch kind {
+	case "single":
+		tr, err := trees.SingleTreeBaseline(pg.G, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		forest = []*trees.Tree{tr}
+	case "lowdepth":
+		l, err := er.NewLayout(pg, -1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		forest, err = trees.LowDepthForest(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+	case "hamiltonian":
+		s, err := singer.New(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		forest, err = trees.HamiltonianForest(s, 30, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		topo = s.Topology()
+	}
+	wf := bandwidth.ForForest(forest, 1.0)
+	split, err := bandwidth.SubvectorSplit(m, wf.PerTree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return netsim.Spec{Topology: topo, Forest: forest, Split: split,
+		Inputs: workload.Vectors(topo.N(), m, 100, 1)}
+}
+
+// BenchmarkHotLoopSampled is netsim.BenchmarkHotLoop with the telemetry
+// sampler attached at the default 64-cycle window: same design point
+// (q=11, m=8192), same fabric (LinkLatency 5, VCDepth 8), same sub-names,
+// plus a Sampler consuming every frame into the default 3×64-window
+// rings. The perf overhead gate pairs each sub-benchmark with its
+// unsampled twin from the same snapshot and fails if sampling costs more
+// than 5% ns/op.
+func BenchmarkHotLoopSampled(b *testing.B) {
+	for _, kind := range []string{"single", "lowdepth", "hamiltonian"} {
+		spec := benchSpec(b, 11, 8192, kind)
+		b.Run("q=11/"+kind, func(b *testing.B) {
+			cfg := netsim.Config{LinkLatency: 5, VCDepth: 8}
+			s := MustNew(Config{SampleEvery: 64})
+			cfg.SampleEvery = 64
+			cfg.Sample = s.Sample
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Reset()
+				res, err := netsim.Run(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !s.Finished() {
+					b.Fatal("sampler missed the final frame")
+				}
+				b.ReportMetric(float64(res.Cycles), "simcycles")
+			}
+		})
+	}
+}

@@ -1,0 +1,429 @@
+// Package tsdb is the repository's bounded-memory streaming telemetry
+// engine: a fixed-size, multi-resolution time-series store fed by the
+// netsim sampling hook (Config.Sample), plus a hotspot analyzer that
+// compares each window against the Algorithm 1 waterfill prediction and
+// the Theorem 7.6 / Theorem 7.19 bandwidth bounds and detects fault
+// onset and recovery latency purely from telemetry.
+//
+// The Sampler differences successive cumulative SampleFrames into exact
+// per-window counters and stores them in RRD-style ring buffers: level 0
+// holds the most recent Windows base windows (SampleEvery cycles each),
+// level 1 the most recent Windows windows of Factor base windows, and so
+// on. Memory is fixed at construction — links × levels × Windows rows —
+// and independent of how many cycles the simulation runs, which is what
+// makes telemetry viable at the ROADMAP's 100×-scale design points
+// (q=127 has ~2M directed links·levels·windows rows only if asked for;
+// the default 3 levels × 64 windows costs tens of bytes per link).
+//
+// Because windows are exact counter deltas, the per-link window sums over
+// a fully retained level reconcile exactly against the end-of-run
+// Result.LinkStats counters — the conservation property the tests pin.
+package tsdb
+
+import (
+	"fmt"
+	"unsafe"
+
+	"polarfly/internal/netsim"
+)
+
+// Config sizes the sampler's fixed-memory rings.
+type Config struct {
+	// SampleEvery is the base window length in cycles; it must match the
+	// netsim.Config.SampleEvery of the run feeding the sampler.
+	SampleEvery int `json:"sample_every"`
+	// Windows is the ring capacity per resolution level: how many of the
+	// most recent windows each level retains. Defaults to 64.
+	Windows int `json:"windows"`
+	// Levels is the number of resolution levels. Defaults to 3
+	// (base, Factor×, Factor²× — the RRD-style 1×/8×/64× hierarchy).
+	Levels int `json:"levels"`
+	// Factor is the downsampling ratio between adjacent levels.
+	// Defaults to 8.
+	Factor int `json:"factor"`
+}
+
+// withDefaults validates the config and fills documented defaults.
+func (c Config) withDefaults() (Config, error) {
+	if c.SampleEvery < 1 {
+		return c, fmt.Errorf("tsdb: SampleEvery must be ≥ 1, got %d", c.SampleEvery)
+	}
+	if c.Windows == 0 {
+		c.Windows = 64
+	}
+	if c.Windows < 1 {
+		return c, fmt.Errorf("tsdb: Windows must be ≥ 1, got %d", c.Windows)
+	}
+	if c.Levels == 0 {
+		c.Levels = 3
+	}
+	if c.Levels < 1 {
+		return c, fmt.Errorf("tsdb: Levels must be ≥ 1, got %d", c.Levels)
+	}
+	if c.Factor == 0 {
+		c.Factor = 8
+	}
+	if c.Factor < 2 {
+		return c, fmt.Errorf("tsdb: Factor must be ≥ 2, got %d", c.Factor)
+	}
+	return c, nil
+}
+
+// LinkWindow is one closed window of one directed link's series: exact
+// counter deltas over the window, so sums across windows reconcile
+// against the run totals. uint32 bounds a single window at ~4G flits —
+// far beyond any simulated window — while keeping the ring rows at 20
+// bytes per link per window.
+type LinkWindow struct {
+	// Flits, Busy, Stalls, and Dropped are the window's deltas of the
+	// corresponding LinkStat counters.
+	Flits   uint32 `json:"flits"`
+	Busy    uint32 `json:"busy"`
+	Stalls  uint32 `json:"stalls"`
+	Dropped uint32 `json:"dropped"`
+	// MaxBuf is the receive-buffer occupancy observed at base-window
+	// close; coarser levels keep the max over their child windows.
+	MaxBuf uint32 `json:"max_buf"`
+}
+
+// RunWindow is one closed window of the run-level series: fabric-wide
+// counter deltas plus end-of-window gauges.
+type RunWindow struct {
+	// Start and End delimit the window: it covers cycles (Start, End].
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Partial marks a window shorter than its level's nominal duration —
+	// the flushed tail at the end of a run.
+	Partial bool `json:"partial,omitempty"`
+	// Flits, ReduceFlits, and BcastFlits are injection deltas.
+	Flits       int `json:"flits"`
+	ReduceFlits int `json:"reduce_flits"`
+	BcastFlits  int `json:"bcast_flits"`
+	// Delivered, Dropped, Reissued, and Recoveries are deltas of the
+	// corresponding run counters.
+	Delivered  int `json:"delivered"`
+	Dropped    int `json:"dropped,omitempty"`
+	Reissued   int `json:"reissued,omitempty"`
+	Recoveries int `json:"recoveries,omitempty"`
+	// BufferedFlits is the total buffered flits at window close.
+	BufferedFlits int `json:"buffered_flits"`
+	// MaxLinkUtil is the window's hottest link utilization (injection
+	// busy cycles over window duration) and MaxLinkFrom/To that link;
+	// ties resolve to the first link in (From, To) order.
+	MaxLinkUtil float64 `json:"max_link_util"`
+	MaxLinkFrom int     `json:"max_link_from"`
+	MaxLinkTo   int     `json:"max_link_to"`
+	// LastFaultCycle and LastRecoverCycle are the end-of-window gauges
+	// from netsim.RunCounters (-1 before the first event).
+	LastFaultCycle   int `json:"last_fault_cycle"`
+	LastRecoverCycle int `json:"last_recover_cycle"`
+}
+
+// level is one resolution ring plus the accumulator collecting child
+// windows for the next coarser level.
+type level struct {
+	dur  int          // nominal window duration in cycles
+	seq  int          // windows closed at this level so far
+	run  []RunWindow  // ring, capacity Windows
+	data []LinkWindow // window-major ring: [slot*nlinks + link]
+
+	// Accumulation toward this level from the finer one (unused at
+	// level 0, whose windows close directly from frames).
+	openCount   int
+	openPartial bool
+	openRun     RunWindow
+	openLinks   []LinkWindow
+}
+
+// Sampler is the fixed-memory multi-resolution store. Feed it by setting
+// netsim.Config.Sample = sampler.Sample (with matching SampleEvery); all
+// storage is allocated on the first frame and reused for the rest of the
+// run.
+type Sampler struct {
+	cfg    Config
+	nlinks int
+	keys   [][2]int // directed link identities, in frame order
+
+	prev      []netsim.LinkCounters // cumulative counters at the previous boundary
+	prevRun   netsim.RunCounters
+	prevCycle int
+
+	levels   []level
+	delta    []LinkWindow // scratch: one base window of per-link deltas
+	finished bool
+
+	// onWindow observes every closed base window (set by NewAnalyzer).
+	onWindow func(run RunWindow, links []LinkWindow)
+}
+
+// New constructs a sampler; ring storage is allocated lazily on the
+// first frame, when the link count is known.
+func New(cfg Config) (*Sampler, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{cfg: c}, nil
+}
+
+// MustNew is New for callers with a statically valid config.
+func MustNew(cfg Config) *Sampler {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Sample is the netsim.Config.Sample hook: it differences the cumulative
+// frame against the previous boundary into one base window and cascades
+// full groups of Factor windows into the coarser levels. Frames after
+// the final one are ignored.
+func (s *Sampler) Sample(fr *netsim.SampleFrame) {
+	if s.finished {
+		return
+	}
+	if s.prev == nil {
+		s.init(fr)
+	}
+	if dur := fr.Cycle - s.prevCycle; dur > 0 {
+		s.closeBase(fr, dur)
+	}
+	if fr.Final {
+		s.finished = true
+		s.flush()
+	}
+}
+
+// init allocates all ring storage for the run's link set.
+func (s *Sampler) init(fr *netsim.SampleFrame) {
+	s.nlinks = len(fr.Links)
+	s.keys = make([][2]int, s.nlinks)
+	for i, lc := range fr.Links {
+		s.keys[i] = [2]int{lc.From, lc.To}
+	}
+	s.prev = make([]netsim.LinkCounters, s.nlinks)
+	s.prevRun = netsim.RunCounters{LastFaultCycle: -1, LastRecoverCycle: -1}
+	s.delta = make([]LinkWindow, s.nlinks)
+	s.levels = make([]level, s.cfg.Levels)
+	dur := s.cfg.SampleEvery
+	for l := range s.levels {
+		lv := &s.levels[l]
+		lv.dur = dur
+		lv.run = make([]RunWindow, s.cfg.Windows)
+		lv.data = make([]LinkWindow, s.cfg.Windows*s.nlinks)
+		if l > 0 {
+			lv.openLinks = make([]LinkWindow, s.nlinks)
+		}
+		dur *= s.cfg.Factor
+	}
+}
+
+// closeBase turns the frame into one base window and pushes it.
+func (s *Sampler) closeBase(fr *netsim.SampleFrame, dur int) {
+	bestBusy, bestIdx := uint32(0), -1
+	for i := range fr.Links {
+		c, p := &fr.Links[i], &s.prev[i]
+		d := &s.delta[i]
+		d.Flits = uint32(c.Flits - p.Flits)
+		d.Busy = uint32(c.BusyCycles - p.BusyCycles)
+		d.Stalls = uint32(c.StallCycles - p.StallCycles)
+		d.Dropped = uint32(c.Dropped - p.Dropped)
+		d.MaxBuf = uint32(c.Buffered)
+		if d.Busy > bestBusy {
+			bestBusy, bestIdx = d.Busy, i
+		}
+	}
+	run := RunWindow{
+		Start:            s.prevCycle,
+		End:              fr.Cycle,
+		Partial:          fr.Final && dur < s.cfg.SampleEvery,
+		Flits:            fr.Run.FlitsSent - s.prevRun.FlitsSent,
+		ReduceFlits:      fr.Run.ReduceFlits - s.prevRun.ReduceFlits,
+		BcastFlits:       fr.Run.BcastFlits - s.prevRun.BcastFlits,
+		Delivered:        fr.Run.Delivered - s.prevRun.Delivered,
+		Dropped:          fr.Run.Dropped - s.prevRun.Dropped,
+		Reissued:         fr.Run.Reissued - s.prevRun.Reissued,
+		Recoveries:       fr.Run.Recoveries - s.prevRun.Recoveries,
+		BufferedFlits:    fr.Run.BufferedFlits,
+		MaxLinkFrom:      -1,
+		MaxLinkTo:        -1,
+		LastFaultCycle:   fr.Run.LastFaultCycle,
+		LastRecoverCycle: fr.Run.LastRecoverCycle,
+	}
+	if bestIdx >= 0 {
+		run.MaxLinkUtil = float64(bestBusy) / float64(dur)
+		run.MaxLinkFrom = s.keys[bestIdx][0]
+		run.MaxLinkTo = s.keys[bestIdx][1]
+	}
+	copy(s.prev, fr.Links)
+	s.prevRun = fr.Run
+	s.prevCycle = fr.Cycle
+	s.push(0, run, s.delta)
+}
+
+// push commits one closed window into level l's ring, hands base windows
+// to the analyzer hook, and accumulates toward level l+1, cascading when
+// a full group of Factor children closes.
+func (s *Sampler) push(l int, run RunWindow, links []LinkWindow) {
+	lv := &s.levels[l]
+	slot := lv.seq % s.cfg.Windows
+	lv.run[slot] = run
+	copy(lv.data[slot*s.nlinks:(slot+1)*s.nlinks], links)
+	lv.seq++
+	if l == 0 && s.onWindow != nil {
+		s.onWindow(run, links)
+	}
+	if l+1 >= len(s.levels) {
+		return
+	}
+	next := &s.levels[l+1]
+	if next.openCount == 0 {
+		next.openRun = run
+		next.openPartial = run.Partial
+		copy(next.openLinks, links)
+	} else {
+		o := &next.openRun
+		o.End = run.End
+		o.Flits += run.Flits
+		o.ReduceFlits += run.ReduceFlits
+		o.BcastFlits += run.BcastFlits
+		o.Delivered += run.Delivered
+		o.Dropped += run.Dropped
+		o.Reissued += run.Reissued
+		o.Recoveries += run.Recoveries
+		o.BufferedFlits = run.BufferedFlits
+		o.LastFaultCycle = run.LastFaultCycle
+		o.LastRecoverCycle = run.LastRecoverCycle
+		if run.MaxLinkUtil > o.MaxLinkUtil {
+			o.MaxLinkUtil = run.MaxLinkUtil
+			o.MaxLinkFrom = run.MaxLinkFrom
+			o.MaxLinkTo = run.MaxLinkTo
+		}
+		next.openPartial = next.openPartial || run.Partial
+		for i := range next.openLinks {
+			a, b := &next.openLinks[i], &links[i]
+			a.Flits += b.Flits
+			a.Busy += b.Busy
+			a.Stalls += b.Stalls
+			a.Dropped += b.Dropped
+			if b.MaxBuf > a.MaxBuf {
+				a.MaxBuf = b.MaxBuf
+			}
+		}
+	}
+	next.openCount++
+	if next.openCount == s.cfg.Factor {
+		closed := next.openRun
+		closed.Partial = next.openPartial
+		next.openCount = 0
+		s.push(l+1, closed, next.openLinks)
+	}
+}
+
+// flush closes every level's partial accumulator at end of run, bottom
+// up, so each level's total history is complete (and marked partial).
+func (s *Sampler) flush() {
+	for l := 1; l < len(s.levels); l++ {
+		lv := &s.levels[l]
+		if lv.openCount == 0 {
+			continue
+		}
+		closed := lv.openRun
+		closed.Partial = true
+		lv.openCount = 0
+		s.push(l, closed, lv.openLinks)
+	}
+}
+
+// Links returns the directed link identities in ring order (the order of
+// every Window's links slice). The slice is owned by the sampler.
+func (s *Sampler) Links() [][2]int { return s.keys }
+
+// NumLinks is the number of directed links in the series.
+func (s *Sampler) NumLinks() int { return s.nlinks }
+
+// Levels is the number of resolution levels.
+func (s *Sampler) Levels() int { return len(s.levels) }
+
+// LevelDuration is level l's nominal window length in cycles.
+func (s *Sampler) LevelDuration(l int) int { return s.levels[l].dur }
+
+// TotalWindows is how many windows level l has closed over the whole
+// run; Retained is how many of the most recent ones the ring still
+// holds.
+func (s *Sampler) TotalWindows(l int) int { return s.levels[l].seq }
+
+// Retained reports how many windows of level l are available to Window.
+func (s *Sampler) Retained(l int) int {
+	if s.levels == nil {
+		return 0
+	}
+	if s.levels[l].seq < s.cfg.Windows {
+		return s.levels[l].seq
+	}
+	return s.cfg.Windows
+}
+
+// Window returns level l's i-th retained window, oldest first
+// (i in [0, Retained(l))). The links slice aliases ring storage and is
+// valid until the ring wraps over it.
+func (s *Sampler) Window(l, i int) (RunWindow, []LinkWindow) {
+	lv := &s.levels[l]
+	idx := lv.seq - s.Retained(l) + i
+	slot := idx % s.cfg.Windows
+	return lv.run[slot], lv.data[slot*s.nlinks : (slot+1)*s.nlinks]
+}
+
+// Reset clears all series so the sampler can consume another run of the
+// SAME spec (same link set, in the same order), reusing the ring storage
+// allocated for the first run. Sweep runners and benchmarks use it to
+// keep the steady state allocation-free across repeated runs.
+func (s *Sampler) Reset() {
+	s.finished = false
+	s.prevCycle = 0
+	if s.prev == nil {
+		return
+	}
+	for i := range s.prev {
+		s.prev[i] = netsim.LinkCounters{From: s.keys[i][0], To: s.keys[i][1]}
+	}
+	s.prevRun = netsim.RunCounters{LastFaultCycle: -1, LastRecoverCycle: -1}
+	for l := range s.levels {
+		lv := &s.levels[l]
+		lv.seq = 0
+		lv.openCount = 0
+		lv.openPartial = false
+	}
+}
+
+// Finished reports whether the final frame was consumed.
+func (s *Sampler) Finished() bool { return s.finished }
+
+// Cycles is the last sampled cycle (the run length once finished).
+func (s *Sampler) Cycles() int { return s.prevCycle }
+
+// FootprintBytes is the sampler's steady-state memory footprint, computed
+// from the actual capacities of every slice it allocated. It depends only
+// on the link count and the ring configuration — never on how many cycles
+// were simulated — and is deterministic, which is what lets CI assert a
+// byte ceiling on the q=31 telemetry smoke.
+func (s *Sampler) FootprintBytes() int {
+	const (
+		lwSize = int(unsafe.Sizeof(LinkWindow{}))
+		rwSize = int(unsafe.Sizeof(RunWindow{}))
+		lcSize = int(unsafe.Sizeof(netsim.LinkCounters{}))
+	)
+	n := int(unsafe.Sizeof(*s))
+	n += cap(s.keys) * int(unsafe.Sizeof([2]int{}))
+	n += cap(s.prev) * lcSize
+	n += cap(s.delta) * lwSize
+	for i := range s.levels {
+		lv := &s.levels[i]
+		n += int(unsafe.Sizeof(level{}))
+		n += cap(lv.run) * rwSize
+		n += cap(lv.data) * lwSize
+		n += cap(lv.openLinks) * lwSize
+	}
+	return n
+}

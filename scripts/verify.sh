@@ -14,8 +14,8 @@ go build ./...
 echo "== repolint ./..."
 go run ./cmd/repolint ./...
 
-echo "== go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun"
-go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun
+echo "== go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun ./internal/tsdb"
+go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun ./internal/tsdb
 
 echo "== go test ./..."
 go test ./...
@@ -38,5 +38,11 @@ rm -rf "$pardir"
 
 echo "== degraded scorecard (fault-injection recovery vs core.Degrade, q=7)"
 go run ./cmd/benchreport scorecard -degraded -q 7 -label degraded-smoke >/dev/null
+
+echo "== telemetry timeline smoke (tsdb sampler/analyzer gate + trace cross-check, q=5)"
+tldir=$(mktemp -d)
+go run ./cmd/benchreport timeline -q 5 -m 4096 -sample-every 32 -windows 32 \
+    -fault-at 100 -max-bytes 2000000 -label timeline-smoke -out "$tldir" >/dev/null
+rm -rf "$tldir"
 
 echo "verify: OK"
