@@ -1,4 +1,4 @@
-.PHONY: build test lint verify bench bench-netsim bench-smoke scorecard scorecard-degraded timeline bench-overhead
+.PHONY: build test lint selfcheck hotcheck verify bench bench-netsim bench-smoke scorecard scorecard-degraded timeline bench-overhead
 
 build:
 	go build ./...
@@ -11,8 +11,25 @@ test:
 lint:
 	go run ./cmd/repolint ./...
 
-# verify is the pre-commit gate: vet + build + repolint + race-enabled
-# tests for the concurrency-bearing packages + the full suite.
+# selfcheck runs repolint over its own testdata fixtures at the CLI
+# level: every analyzer's bad fixture must fail, every clean fixture
+# must pass under the full suite.
+selfcheck:
+	./scripts/selfcheck.sh
+
+# hotcheck cross-checks the static hotalloc proof against measured
+# allocations: reruns the q=11 cycle-loop benchmarks and asserts every
+# BenchmarkCycleLoop variant stays at or below 1 allocs/op. Fails when
+# the static "allocation-free" verdict and the measured numbers
+# disagree — in either direction (a regression, or a vacuous proof).
+hotcheck:
+	go run ./cmd/benchreport run -label hotcheck -bench CycleLoop -pkg ./internal/netsim -count 3
+	go run ./cmd/benchreport hotcheck -root . BENCH_hotcheck.json
+
+# verify is the pre-commit gate: gofmt + vet + build + repolint (with
+# fixture selfcheck) + race-enabled tests for the concurrency-bearing
+# packages + the full suite + the measured gates (bench smoke,
+# hotcheck, scorecards, timeline).
 verify:
 	./scripts/verify.sh
 

@@ -17,6 +17,9 @@
 //	                                                # gate on bounds / footprint / ground truth
 //	benchreport overhead BENCH_main.json            # pair X ↔ XSampled benchmarks, gate the
 //	                                                # sampling cost against the 5% budget
+//	benchreport hotcheck BENCH_main.json            # assert the hotalloc analyzer's static
+//	                                                # allocation-free proof agrees with the
+//	                                                # measured BenchmarkCycleLoop allocs/op
 //
 // Snapshots are written to BENCH_<label>.json (schema polarfly-bench/v1,
 // see internal/perf); timeline sweeps go to TIMELINE_<label>.json with the
@@ -37,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 
+	"polarfly/internal/analysis"
 	"polarfly/internal/parrun"
 	"polarfly/internal/perf"
 )
@@ -54,6 +58,8 @@ commands:
   scorecard  run the measured-vs-model simulation sweep
   timeline   run the streaming-telemetry sweep and emit a phase timeline
   overhead   gate the telemetry sampling cost from a bench snapshot
+  hotcheck   cross-check the static hot-path allocation proof against
+             measured allocs/op from a bench snapshot
 
 run 'benchreport <command> -h' for the command's flags`)
 }
@@ -76,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdTimeline(args[1:], stdout, stderr)
 	case "overhead":
 		return cmdOverhead(args[1:], stdout, stderr)
+	case "hotcheck":
+		return cmdHotcheck(args[1:], stdout, stderr)
 	case "help", "-h", "-help", "--help":
 		usage(stdout)
 		return 0
@@ -83,6 +91,79 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stderr, "benchreport: unknown command %q\n", args[0])
 	usage(stderr)
 	return 2
+}
+
+// cmdHotcheck closes the loop between the hotalloc analyzer and the
+// benchmark record: the static claim "everything reachable from the
+// //lint:hotpath roots is allocation-free" must agree with the measured
+// allocs/op of the benchmarks that time exactly those roots. Either side
+// failing alone is a red flag — a broken proof or a stale suppression.
+func cmdHotcheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchreport hotcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	benchPrefix := fs.String("bench", "BenchmarkCycleLoop", "benchmark name prefix measuring the hot path")
+	maxAllocs := fs.Float64("max", perf.DefaultHotAllocBudget, "maximum measured allocs/op consistent with the static claim")
+	root := fs.String("root", ".", "module root for the static analysis")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: benchreport hotcheck [-bench prefix] [-max f] [-root dir] BENCH.json")
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+
+	// Static half: hotalloc over the whole module must be clean.
+	pkgs, err := analysis.LoadModule(*root)
+	if err != nil {
+		return fail(err)
+	}
+	var allow []analysis.AllowRule
+	if data, err := os.ReadFile(filepath.Join(*root, "repolint.allow")); err == nil {
+		if allow, err = analysis.ParseAllowFile(string(data)); err != nil {
+			return fail(err)
+		}
+	}
+	diags := analysis.Run(pkgs, []*analysis.Analyzer{analysis.HotAlloc}, allow)
+	for _, d := range diags {
+		fmt.Fprintln(stderr, "benchreport: FAIL static:", d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+
+	// Measured half: the hot-loop benchmarks must corroborate the proof.
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
+	defer func() { _ = f.Close() }()
+	snap, err := perf.DecodeSnapshot(f)
+	if err != nil {
+		return fail(err)
+	}
+	results, err := perf.HotAllocCrossCheck(snap, *benchPrefix, *maxAllocs)
+	if err != nil {
+		return fail(err)
+	}
+	bad := 0
+	for _, r := range results {
+		status := "ok"
+		if !r.OK {
+			status = "FAIL"
+			bad++
+		}
+		fmt.Fprintf(stdout, "hotcheck: %-4s %s  allocs/op=%g (budget %g)\n", status, r.Name, r.Allocs, *maxAllocs)
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "benchreport: %d benchmark(s) contradict the static allocation-free claim\n", bad)
+		return 1
+	}
+	fmt.Fprintf(stdout, "hotcheck: static hotalloc proof and %d measured benchmark(s) agree\n", len(results))
+	return 0
 }
 
 // sanitizeLabel maps a label to the filename-safe alphabet so

@@ -351,3 +351,107 @@ func TestOverheadCLI(t *testing.T) {
 		t.Fatalf("exit %d, stderr %q: want 1 and a no-pairs message", code, stderr)
 	}
 }
+
+const cycleLoopFixture = `goos: linux
+pkg: polarfly/internal/netsim
+BenchmarkCycleLoop/q=11/single-8 	 3	 110000000 ns/op	 0 B/op	 0 allocs/op
+BenchmarkCycleLoop/q=11/lowdepth-8 	 3	 205000000 ns/op	 0 B/op	 0 allocs/op
+PASS
+`
+
+const cycleLoopRegressedFixture = `goos: linux
+pkg: polarfly/internal/netsim
+BenchmarkCycleLoop/q=11/single-8 	 3	 110000000 ns/op	 4096 B/op	 128 allocs/op
+PASS
+`
+
+// hotcheckModule builds a minimal module for the static half of the gate:
+// one hotpath root whose body is provably allocation-free.
+func hotcheckModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	writeFixture(t, root, "go.mod", "module hotmod\n\ngo 1.22\n")
+	writeFixture(t, root, "hot.go", `package hotmod
+
+//lint:hotpath test root
+func Step(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+`)
+	return root
+}
+
+// TestHotcheck exercises the static-vs-measured cross-check end to end:
+// agreement passes, a measured allocation regression fails, and a
+// snapshot without the witness benchmark fails rather than passing
+// vacuously.
+func TestHotcheck(t *testing.T) {
+	dir := t.TempDir()
+	root := hotcheckModule(t)
+
+	in := writeFixture(t, dir, "bench.txt", cycleLoopFixture)
+	if code, _, stderr := runCLI(t, "run", "-in", in, "-label", "clean", "-out", dir); code != 0 {
+		t.Fatal(stderr)
+	}
+	code, stdout, stderr := runCLI(t, "hotcheck", "-root", root, filepath.Join(dir, "BENCH_clean.json"))
+	if code != 0 {
+		t.Fatalf("clean hotcheck exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "agree") {
+		t.Errorf("missing agreement summary:\n%s", stdout)
+	}
+
+	in = writeFixture(t, dir, "bench2.txt", cycleLoopRegressedFixture)
+	if code, _, stderr := runCLI(t, "run", "-in", in, "-label", "regressed", "-out", dir); code != 0 {
+		t.Fatal(stderr)
+	}
+	code, stdout, stderr = runCLI(t, "hotcheck", "-root", root, filepath.Join(dir, "BENCH_regressed.json"))
+	if code != 1 {
+		t.Fatalf("regressed hotcheck exit %d, want 1\nstdout:\n%s", code, stdout)
+	}
+	if !strings.Contains(stderr, "contradict") {
+		t.Errorf("missing contradiction report:\n%s", stderr)
+	}
+
+	in = writeFixture(t, dir, "bench3.txt", benchFixture)
+	if code, _, stderr := runCLI(t, "run", "-in", in, "-label", "nowitness", "-out", dir); code != 0 {
+		t.Fatal(stderr)
+	}
+	code, _, stderr = runCLI(t, "hotcheck", "-root", root, filepath.Join(dir, "BENCH_nowitness.json"))
+	if code != 1 {
+		t.Fatalf("witness-less hotcheck exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "no benchmark") {
+		t.Errorf("missing no-witness diagnostic:\n%s", stderr)
+	}
+}
+
+// TestHotcheckStaticFailure proves the static half gates independently: a
+// module whose hotpath root allocates fails before any snapshot is read.
+func TestHotcheckStaticFailure(t *testing.T) {
+	root := t.TempDir()
+	writeFixture(t, root, "go.mod", "module hotmod\n\ngo 1.22\n")
+	writeFixture(t, root, "hot.go", `package hotmod
+
+//lint:hotpath test root
+func Step(n int) []int {
+	return make([]int, n)
+}
+`)
+	dir := t.TempDir()
+	in := writeFixture(t, dir, "bench.txt", cycleLoopFixture)
+	if code, _, stderr := runCLI(t, "run", "-in", in, "-label", "ok", "-out", dir); code != 0 {
+		t.Fatal(stderr)
+	}
+	code, _, stderr := runCLI(t, "hotcheck", "-root", root, filepath.Join(dir, "BENCH_ok.json"))
+	if code != 1 {
+		t.Fatalf("exit %d for allocating hot path, want 1", code)
+	}
+	if !strings.Contains(stderr, "FAIL static") {
+		t.Errorf("missing static failure report:\n%s", stderr)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -41,6 +42,12 @@ type Pass struct {
 	Info     *types.Info
 	// ModulePath is the import path of the module under analysis.
 	ModulePath string
+	// Package is the loaded package this pass inspects (carries Dir,
+	// FileNames and GoVersion alongside the type information).
+	Package *Package
+	// Module is the whole-program view shared across passes; call-graph
+	// analyzers use it for reachability and interprocedural summaries.
+	Module *Module
 
 	local map[*types.Package]bool
 	sink  *diagSink
@@ -99,7 +106,10 @@ func ParseAllowFile(content string) ([]AllowRule, error) {
 		if len(fields) != 2 {
 			return nil, fmt.Errorf("allowlist line %d: want \"analyzer path-prefix\", got %q", i+1, line)
 		}
-		rules = append(rules, AllowRule{Analyzer: fields[0], PathPrefix: fields[1]})
+		// Normalise to a canonical separator-free form: forward slashes,
+		// no trailing slash. Matching is segment-anchored either way.
+		prefix := strings.TrimSuffix(filepath.ToSlash(fields[1]), "/")
+		rules = append(rules, AllowRule{Analyzer: fields[0], PathPrefix: prefix})
 	}
 	return rules, nil
 }
@@ -108,7 +118,16 @@ func (r AllowRule) matches(analyzer, relPath string) bool {
 	if r.Analyzer != "*" && r.Analyzer != analyzer {
 		return false
 	}
-	return strings.HasPrefix(relPath, r.PathPrefix)
+	relPath = strings.TrimSuffix(filepath.ToSlash(relPath), "/")
+	prefix := strings.TrimSuffix(r.PathPrefix, "/")
+	if prefix == "" || prefix == "." {
+		return true
+	}
+	if !strings.HasPrefix(relPath, prefix) {
+		return false
+	}
+	// Segment-anchored: "cmd" allows cmd and cmd/treegen, never cmdx.
+	return len(relPath) == len(prefix) || relPath[len(prefix)] == '/'
 }
 
 // diagSink collects diagnostics across passes and applies suppressions.
@@ -172,8 +191,14 @@ func scanIgnores(fset *token.FileSet, f *ast.File, known map[string]bool, sink *
 // //lint:ignore directive (same line or the line above) or an allow rule,
 // and returns the survivors sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer, allow []AllowRule) []Diagnostic {
-	known := make(map[string]bool, len(analyzers)+1)
+	// Directive validation recognises the whole registry, not just the
+	// analyzers in this run: a caller running one analyzer (e.g. the
+	// hotcheck gate) must not flag other analyzers' suppressions.
+	known := make(map[string]bool, len(analyzers)+len(All())+1)
 	known["lint"] = true
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
@@ -183,6 +208,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer, allow []AllowRule) []Diagnostic
 		local[p.Types] = true
 	}
 
+	mod := NewModule(pkgs)
 	sink := &diagSink{}
 	var ignores []ignoreDirective
 	for _, p := range pkgs {
@@ -197,6 +223,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer, allow []AllowRule) []Diagnostic
 				Pkg:        p.Types,
 				Info:       p.Info,
 				ModulePath: p.ModulePath,
+				Package:    p,
+				Module:     mod,
 				local:      local,
 				sink:       sink,
 			}

@@ -3,9 +3,12 @@ package analysis
 // All returns the full analyzer suite in reporting-name order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		DetTaint,
 		ErrCheckLite,
 		Exhaustive,
 		FloatCmp,
+		GoCapture,
+		HotAlloc,
 		MapOrder,
 		Nondeterminism,
 	}

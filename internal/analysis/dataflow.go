@@ -1,0 +1,911 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the intra-procedural dataflow walker behind the
+// dettaint analyzer, plus the interprocedural summary fixpoint that lifts
+// it to whole-module precision.
+//
+// Taint is a small sorted set of "kind" strings per object. Kinds come in
+// three flavours:
+//
+//   - value kinds ("time.Now wall-clock read", "global math/rand draw"):
+//     the value itself is nondeterministic;
+//   - order kinds ("map iteration order", "select arrival order"): the
+//     value depends on an observation order. Order kinds are dropped
+//     across commutative integer accumulation (x += n over ints), which
+//     is order-insensitive; float accumulation keeps them because float
+//     addition does not commute bit-for-bit;
+//   - param markers ("\x00param:i"): placeholders used while computing a
+//     function's summary, recording that parameter i flows somewhere.
+//
+// The walker is flow-sensitive in statement order (assigning a clean
+// value clears a variable's taint) and walks loop bodies twice to reach a
+// fixpoint for taint accumulated across iterations. sort.* / slices.Sort*
+// calls sanitize their argument — the canonical "range a map, collect,
+// sort" pattern comes out clean.
+
+const paramMarkerPrefix = "\x00param:"
+
+func paramMarker(i int) string { return paramMarkerPrefix + strconv.Itoa(i) }
+
+func paramMarkerIndex(kind string) (int, bool) {
+	if !strings.HasPrefix(kind, paramMarkerPrefix) {
+		return 0, false
+	}
+	i, err := strconv.Atoi(kind[len(paramMarkerPrefix):])
+	return i, err == nil
+}
+
+func isOrderKind(kind string) bool {
+	return kind == "map iteration order" || kind == "select arrival order"
+}
+
+// mergeKinds returns the sorted union of kind sets.
+func mergeKinds(sets ...[]string) []string {
+	var out []string
+	for _, s := range sets {
+		for _, k := range s {
+			found := false
+			for _, have := range out {
+				if have == k {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func realKinds(kinds []string) []string {
+	var out []string
+	for _, k := range kinds {
+		if _, isParam := paramMarkerIndex(k); !isParam {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// taintSummary is one function's interprocedural contract.
+type taintSummary struct {
+	retKinds  []string // source kinds that taint the results unconditionally
+	retParam  []bool   // parameter i flows to a result
+	sinkParam []bool   // parameter i reaches a stdout/detsink write inside
+}
+
+func (s *taintSummary) equal(o *taintSummary) bool {
+	if len(s.retKinds) != len(o.retKinds) ||
+		len(s.retParam) != len(o.retParam) || len(s.sinkParam) != len(o.sinkParam) {
+		return false
+	}
+	for i := range s.retKinds {
+		if s.retKinds[i] != o.retKinds[i] {
+			return false
+		}
+	}
+	for i := range s.retParam {
+		if s.retParam[i] != o.retParam[i] {
+			return false
+		}
+	}
+	for i := range s.sinkParam {
+		if s.sinkParam[i] != o.sinkParam[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// taintSummaries computes (once) the per-function summaries by iterating
+// the walker over every module function until the summaries stop
+// changing, bounded at 5 rounds — enough for the module's call-depth.
+func (m *Module) taintSummaries() map[*types.Func]*taintSummary {
+	if m.summaries != nil {
+		return m.summaries
+	}
+	m.summaries = make(map[*types.Func]*taintSummary, len(m.funcList))
+	for round := 0; round < 5; round++ {
+		changed := false
+		for _, fn := range m.funcList {
+			node := m.node(fn)
+			if node == nil || node.decl.Body == nil {
+				continue
+			}
+			next := m.summarize(node)
+			prev, ok := m.summaries[fn]
+			if !ok || !prev.equal(next) {
+				m.summaries[fn] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return m.summaries
+}
+
+// summarize runs one summary-mode walk over node: parameters carry
+// markers, sinks record marker hits, returns record both marker and real
+// flows.
+func (m *Module) summarize(node *funcNode) *taintSummary {
+	sig := node.fn.Type().(*types.Signature)
+	sum := &taintSummary{
+		retParam:  make([]bool, sig.Params().Len()),
+		sinkParam: make([]bool, sig.Params().Len()),
+	}
+	w := &taintWalker{
+		m:       m,
+		pkg:     node.pkg,
+		info:    node.pkg.Info,
+		taint:   make(map[types.Object][]string),
+		summary: sum,
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		w.taint[sig.Params().At(i)] = []string{paramMarker(i)}
+	}
+	w.block(node.decl.Body)
+	sum.retKinds = mergeKinds(sum.retKinds)
+	return sum
+}
+
+// reportTaint runs one report-mode walk over node: parameters are
+// unknown (callers report through sinkParam), sinks fire the callback.
+// Reports are deduplicated — loop bodies are walked twice for fixpoint,
+// which would otherwise double every in-loop sink.
+func (m *Module) reportTaint(node *funcNode, report func(pos token.Pos, kinds []string, sink string)) {
+	m.taintSummaries() // ensure summaries exist
+	type repKey struct {
+		pos  token.Pos
+		sink string
+	}
+	seen := make(map[repKey]bool)
+	w := &taintWalker{
+		m:     m,
+		pkg:   node.pkg,
+		info:  node.pkg.Info,
+		taint: make(map[types.Object][]string),
+		report: func(pos token.Pos, kinds []string, sink string) {
+			k := repKey{pos, sink}
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			report(pos, kinds, sink)
+		},
+	}
+	w.block(node.decl.Body)
+}
+
+// taintWalker is one walk over one function body.
+type taintWalker struct {
+	m    *Module
+	pkg  *Package
+	info *types.Info
+
+	taint  map[types.Object][]string
+	stdout map[types.Object]bool
+
+	summary *taintSummary // non-nil in summary mode
+	report  func(pos token.Pos, kinds []string, sink string)
+
+	// closureDepth > 0 while walking a FuncLit body inline: its return
+	// statements return from the closure, not the enclosing function, so
+	// they must not feed the enclosing summary.
+	closureDepth int
+	// rangeKeys holds the key variables of the map-range loops currently
+	// being walked. A compound update indexed by the live range key
+	// (m2[k] += v inside `for k, v := range m`) touches each key exactly
+	// once per sweep — pointwise, hence order-independent.
+	rangeKeys []types.Object
+}
+
+// liveRangeKey reports whether e is an identifier bound to the key of an
+// enclosing map-range loop.
+func (w *taintWalker) liveRangeKey(e ast.Expr) bool {
+	// Accept any expression whose variable references are all live range
+	// keys: the bare key `k`, but also a re-keying like `canon(k[0], k[1])`
+	// — a pure function of the key still writes each key's slot once.
+	vars := 0
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := w.info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		vars++
+		live := false
+		for _, k := range w.rangeKeys {
+			if k == v {
+				live = true
+				break
+			}
+		}
+		if !live {
+			pure = false
+		}
+		return true
+	})
+	return vars > 0 && pure
+}
+
+func (w *taintWalker) kindsOf(obj types.Object) []string {
+	if obj == nil {
+		return nil
+	}
+	return w.taint[obj]
+}
+
+func (w *taintWalker) setTaint(obj types.Object, kinds []string, strong bool) {
+	if obj == nil {
+		return
+	}
+	if strong {
+		if len(kinds) == 0 {
+			delete(w.taint, obj)
+		} else {
+			w.taint[obj] = kinds
+		}
+		return
+	}
+	if len(kinds) > 0 {
+		w.taint[obj] = mergeKinds(w.taint[obj], kinds)
+	}
+}
+
+// sinkHit routes a tainted flow into a sink: real kinds are reported (in
+// report mode), param markers feed the summary's sinkParam.
+func (w *taintWalker) sinkHit(pos token.Pos, kinds []string, sink string) {
+	if len(kinds) == 0 {
+		return
+	}
+	for _, k := range kinds {
+		if i, ok := paramMarkerIndex(k); ok {
+			if w.summary != nil && i < len(w.summary.sinkParam) {
+				w.summary.sinkParam[i] = true
+			}
+		}
+	}
+	if w.report != nil {
+		if rk := realKinds(kinds); len(rk) > 0 {
+			w.report(pos, rk, sink)
+		}
+	}
+}
+
+func (w *taintWalker) block(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		w.stmt(s)
+	}
+}
+
+func (w *taintWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.block(s)
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		w.assignStmt(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var kinds []string
+					if i < len(vs.Values) {
+						kinds = w.expr(vs.Values[i])
+					} else if len(vs.Values) == 1 {
+						kinds = w.expr(vs.Values[0])
+					}
+					w.setTaint(w.info.Defs[name], kinds, true)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		if acc, val, ok := maxMinIdiom(s); ok {
+			// if x > acc { acc = x }: a max/min reduction commutes, so
+			// observation-order kinds do not survive it; value kinds do.
+			kinds := w.expr(val)
+			var keep []string
+			for _, k := range kinds {
+				if !isOrderKind(k) {
+					keep = append(keep, k)
+				}
+			}
+			w.assignTo(acc, mergeKinds(keep, w.expr(acc)), false)
+		} else {
+			w.block(s.Body)
+		}
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		for i := 0; i < 2; i++ {
+			if s.Cond != nil {
+				w.expr(s.Cond)
+			}
+			w.block(s.Body)
+			w.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.rangeStmt(s)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.expr(e)
+				}
+				for _, st := range cc.Body {
+					w.stmt(st)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, st := range cc.Body {
+					w.stmt(st)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		w.selectStmt(s)
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			kinds := w.expr(res)
+			if w.summary == nil || w.closureDepth > 0 {
+				continue
+			}
+			for _, k := range kinds {
+				if i, ok := paramMarkerIndex(k); ok {
+					if i < len(w.summary.retParam) {
+						w.summary.retParam[i] = true
+					}
+				} else {
+					w.summary.retKinds = mergeKinds(w.summary.retKinds, []string{k})
+				}
+			}
+		}
+	case *ast.GoStmt:
+		w.expr(s.Call)
+	case *ast.DeferStmt:
+		w.expr(s.Call)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+func (w *taintWalker) assignStmt(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+			kinds := w.expr(s.Rhs[0])
+			for _, lhs := range s.Lhs {
+				w.assignTo(lhs, kinds, s.Tok == token.DEFINE)
+			}
+			return
+		}
+		for i, lhs := range s.Lhs {
+			var kinds []string
+			if i < len(s.Rhs) {
+				kinds = w.expr(s.Rhs[i])
+				// Re-keying idiom: `m2[canon(k)] = v` inside a map range
+				// writes one slot per key, so sweep order cannot reach the
+				// stored values (value kinds still propagate).
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && w.liveRangeKey(ix.Index) {
+					var keep []string
+					for _, k := range kinds {
+						if !isOrderKind(k) {
+							keep = append(keep, k)
+						}
+					}
+					kinds = keep
+				}
+				if w.stdoutExpr(s.Rhs[i]) {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						obj := w.info.Defs[id]
+						if obj == nil {
+							obj = w.info.Uses[id]
+						}
+						w.markStdout(obj)
+					}
+				}
+			}
+			w.assignTo(lhs, kinds, s.Tok == token.DEFINE)
+		}
+	default: // compound assignment: x op= v
+		kinds := w.expr(s.Rhs[0])
+		w.expr(s.Lhs[0]) // evaluate for side effects (index reads)
+		// Two order-insensitivity exemptions:
+		//   - pointwise update keyed by the live range key (m2[k] op= v
+		//     inside `for k, v := range m`): each key is touched once per
+		//     sweep, so sweep order cannot matter;
+		//   - commutative integer accumulation (x += n over ints).
+		// Order kinds drop; value kinds (a wall-clock read is wrong in
+		// any order) always keep.
+		pointwise := false
+		if ix, ok := ast.Unparen(s.Lhs[0]).(*ast.IndexExpr); ok && w.liveRangeKey(ix.Index) {
+			pointwise = true
+		}
+		if pointwise || (commutativeIntOp(s.Tok) && isIntegerExpr(w.info, s.Lhs[0])) {
+			var keep []string
+			for _, k := range kinds {
+				if !isOrderKind(k) {
+					keep = append(keep, k)
+				}
+			}
+			kinds = keep
+		}
+		// The accumulator's prior taint comes from its root object alone:
+		// merging the full lhs expression would pull the index variable's
+		// order taint into a pointwise update.
+		kinds = mergeKinds(kinds, w.kindsOf(rootIdentObject(w.info, s.Lhs[0])))
+		w.assignTo(s.Lhs[0], kinds, false)
+	}
+}
+
+// assignTo stores kinds into the assignment target: strong update for
+// plain identifiers, weak (merging) update through selectors, indexing
+// and derefs. Writes into lint:detsink-marked types are sink sites.
+func (w *taintWalker) assignTo(lhs ast.Expr, kinds []string, define bool) {
+	switch t := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return
+		}
+		obj := w.info.Defs[t]
+		if obj == nil {
+			obj = w.info.Uses[t]
+		}
+		w.setTaint(obj, kinds, true)
+	case *ast.SelectorExpr:
+		if sel, ok := w.info.Selections[t]; ok && w.m.sinkType(sel.Recv()) {
+			w.sinkHit(t.Pos(), kinds,
+				fmt.Sprintf("stored into determinism-critical %s.%s", typeName(sel.Recv()), t.Sel.Name))
+		}
+		w.setTaint(w.info.Uses[t.Sel], kinds, false)
+		w.setTaint(rootIdentObject(w.info, t.X), kinds, false)
+	case *ast.IndexExpr, *ast.StarExpr:
+		w.setTaint(rootIdentObject(w.info, lhs), kinds, false)
+	}
+}
+
+func (w *taintWalker) rangeStmt(s *ast.RangeStmt) {
+	xKinds := w.expr(s.X)
+	overMap := false
+	if tv, ok := w.info.Types[s.X]; ok && tv.Type != nil {
+		_, overMap = tv.Type.Underlying().(*types.Map)
+	}
+	loopKinds := xKinds
+	if overMap {
+		loopKinds = mergeKinds(xKinds, []string{"map iteration order"})
+	}
+	define := s.Tok == token.DEFINE
+	for _, v := range []ast.Expr{s.Key, s.Value} {
+		if v == nil {
+			continue
+		}
+		if define {
+			if id, ok := v.(*ast.Ident); ok {
+				w.setTaint(w.info.Defs[id], loopKinds, true)
+				continue
+			}
+		}
+		w.assignTo(v, loopKinds, false)
+	}
+	if overMap && s.Key != nil {
+		if id, ok := s.Key.(*ast.Ident); ok && id.Name != "_" {
+			keyObj := w.info.Defs[id]
+			if keyObj == nil {
+				keyObj = w.info.Uses[id]
+			}
+			if keyObj != nil {
+				w.rangeKeys = append(w.rangeKeys, keyObj)
+				defer func() { w.rangeKeys = w.rangeKeys[:len(w.rangeKeys)-1] }()
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		w.block(s.Body)
+	}
+}
+
+func (w *taintWalker) selectStmt(s *ast.SelectStmt) {
+	comm := 0
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comm++
+		}
+	}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if comm >= 2 {
+			if as, ok := cc.Comm.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					w.assignTo(lhs, []string{"select arrival order"}, as.Tok == token.DEFINE)
+				}
+			}
+		} else {
+			w.stmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			w.stmt(st)
+		}
+	}
+}
+
+// expr evaluates e for taint, handling calls (sources, sanitizers,
+// summaries, sinks) along the way.
+func (w *taintWalker) expr(e ast.Expr) []string {
+	switch e := ast.Unparen(e).(type) {
+	case nil:
+		return nil
+	case *ast.Ident:
+		return w.kindsOf(w.info.Uses[e])
+	case *ast.SelectorExpr:
+		return mergeKinds(w.kindsOf(w.info.Uses[e.Sel]), w.kindsOf(rootIdentObject(w.info, e.X)))
+	case *ast.IndexExpr:
+		return mergeKinds(w.expr(e.X), w.expr(e.Index))
+	case *ast.StarExpr:
+		return w.expr(e.X)
+	case *ast.UnaryExpr:
+		return w.expr(e.X)
+	case *ast.BinaryExpr:
+		return mergeKinds(w.expr(e.X), w.expr(e.Y))
+	case *ast.CallExpr:
+		return w.call(e)
+	case *ast.CompositeLit:
+		var kinds []string
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				kinds = mergeKinds(kinds, w.expr(kv.Value))
+			} else {
+				kinds = mergeKinds(kinds, w.expr(el))
+			}
+		}
+		return kinds
+	case *ast.TypeAssertExpr:
+		return w.expr(e.X)
+	case *ast.SliceExpr:
+		return w.expr(e.X)
+	case *ast.FuncLit:
+		w.closureDepth++
+		w.block(e.Body) // captured variables share this walker's state
+		w.closureDepth--
+		return nil
+	}
+	return nil
+}
+
+func (w *taintWalker) call(call *ast.CallExpr) []string {
+	// Conversion: taint passes through.
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
+		var kinds []string
+		for _, a := range call.Args {
+			kinds = mergeKinds(kinds, w.expr(a))
+		}
+		return kinds
+	}
+
+	// Builtins: len/cap launder order taint (a count does not depend on
+	// order); append/copy propagate.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := w.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "delete", "clear", "panic", "print", "println":
+				for _, a := range call.Args {
+					w.expr(a)
+				}
+				return nil
+			case "copy":
+				if len(call.Args) == 2 {
+					w.setTaint(rootIdentObject(w.info, call.Args[0]), w.expr(call.Args[1]), false)
+				}
+				return nil
+			default:
+				var kinds []string
+				for _, a := range call.Args {
+					kinds = mergeKinds(kinds, w.expr(a))
+				}
+				return kinds
+			}
+		}
+	}
+
+	argKinds := make([][]string, len(call.Args))
+	for i, a := range call.Args {
+		argKinds[i] = w.expr(a)
+	}
+
+	// Nondeterminism sources.
+	if desc := nondetSourceDesc(w.info, call); desc != "" {
+		return []string{desc}
+	}
+
+	// Sanitizers: sorting imposes a deterministic order on its argument.
+	// Every variable mentioned in the arguments is cleared, so wrapped
+	// forms like sort.Sort(sort.Reverse(sort.IntSlice(out))) work too.
+	if isSortCall(w.info, call) {
+		for _, a := range call.Args {
+			ast.Inspect(a, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false // a comparator's locals are its own
+				}
+				if id, ok := n.(*ast.Ident); ok {
+					if v, isVar := w.info.Uses[id].(*types.Var); isVar {
+						w.setTaint(v, nil, true)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+
+	callee := calleeFunc(w.info, call)
+	targets, _ := w.m.callTargets(w.pkg, call)
+	sums := w.m.taintSummaries()
+
+	var out []string
+	resolvedLocal := false
+	for _, t := range targets {
+		node := w.m.node(t)
+		if node == nil {
+			continue
+		}
+		resolvedLocal = true
+		sum, ok := sums[node.fn]
+		if !ok {
+			continue
+		}
+		out = mergeKinds(out, sum.retKinds)
+		for i, ak := range argKinds {
+			if len(ak) == 0 {
+				continue
+			}
+			if i < len(sum.retParam) && sum.retParam[i] {
+				out = mergeKinds(out, ak)
+			}
+			if i < len(sum.sinkParam) && sum.sinkParam[i] {
+				w.sinkHit(call.Args[i].Pos(), ak,
+					fmt.Sprintf("argument reaches a stdout/determinism sink inside %s", t.Name()))
+			}
+		}
+	}
+
+	// Stdout sinks: direct fmt printers, and any call mixing a
+	// stdout-backed writer with tainted data.
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" &&
+		strings.HasPrefix(callee.Name(), "Print") {
+		for i, ak := range argKinds {
+			w.sinkHit(call.Args[i].Pos(), ak, "written to stdout via fmt."+callee.Name())
+		}
+	}
+	stdoutInvolved := false
+	for _, a := range call.Args {
+		if w.stdoutExpr(a) {
+			stdoutInvolved = true
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && w.stdoutExpr(sel.X) {
+		stdoutInvolved = true
+	}
+	if stdoutInvolved {
+		name := "a stdout-backed writer"
+		if callee != nil {
+			name = pkgFuncName(callee)
+		}
+		for i, ak := range argKinds {
+			if w.stdoutExpr(call.Args[i]) {
+				continue
+			}
+			w.sinkHit(call.Args[i].Pos(), ak, "written to stdout via "+name)
+		}
+	}
+
+	if !resolvedLocal {
+		// Unknown (stdlib or dynamic) callee: assume taint flows through,
+		// including the receiver of a method call (t.UnixNano() is as
+		// tainted as t).
+		for _, ak := range argKinds {
+			out = mergeKinds(out, ak)
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			out = mergeKinds(out, w.expr(sel.X))
+		}
+	}
+	return out
+}
+
+// stdoutExpr reports whether e denotes a writer backed by os.Stdout: the
+// os.Stdout selector itself, a variable assigned from one, or a call
+// wrapping one (tabwriter.NewWriter(os.Stdout, ...)).
+func (w *taintWalker) stdoutExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return w.stdout[w.info.Uses[e]]
+	case *ast.SelectorExpr:
+		if f, ok := w.info.Uses[e.Sel].(*types.Var); ok && f.Pkg() != nil &&
+			f.Pkg().Path() == "os" && f.Name() == "Stdout" {
+			return true
+		}
+		return w.stdout[w.info.Uses[e.Sel]]
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			if w.stdoutExpr(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// markStdout records that obj now aliases a stdout-backed writer.
+func (w *taintWalker) markStdout(obj types.Object) {
+	if obj == nil {
+		return
+	}
+	if w.stdout == nil {
+		w.stdout = make(map[types.Object]bool)
+	}
+	w.stdout[obj] = true
+}
+
+// maxMinIdiom matches the compare-and-assign reduction shape
+//
+//	if x OP acc { acc = x }
+//
+// for a relational OP, with the if-body being exactly that single
+// assignment and both operands textually matching the condition's sides.
+// It returns the accumulator and value expressions.
+func maxMinIdiom(s *ast.IfStmt) (acc, val ast.Expr, ok bool) {
+	if s.Else != nil || s.Init != nil || len(s.Body.List) != 1 {
+		return nil, nil, false
+	}
+	as, oka := s.Body.List[0].(*ast.AssignStmt)
+	if !oka || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, nil, false
+	}
+	lhs := types.ExprString(ast.Unparen(as.Lhs[0]))
+	rhs := types.ExprString(ast.Unparen(as.Rhs[0]))
+	// The relational comparison may be one conjunct of an && chain: a
+	// filtered reduction (`if k.from == v && next > max { max = next }`)
+	// is still order-independent — the other conjuncts are per-item
+	// predicates.
+	for _, conjunct := range andConjuncts(s.Cond) {
+		cond, okc := ast.Unparen(conjunct).(*ast.BinaryExpr)
+		if !okc {
+			continue
+		}
+		switch cond.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			continue
+		}
+		x := types.ExprString(ast.Unparen(cond.X))
+		y := types.ExprString(ast.Unparen(cond.Y))
+		if (lhs == x && rhs == y) || (lhs == y && rhs == x) {
+			return as.Lhs[0], as.Rhs[0], true
+		}
+	}
+	return nil, nil, false
+}
+
+// andConjuncts flattens an && chain into its conjuncts.
+func andConjuncts(e ast.Expr) []ast.Expr {
+	if b, ok := ast.Unparen(e).(*ast.BinaryExpr); ok && b.Op == token.LAND {
+		return append(andConjuncts(b.X), andConjuncts(b.Y)...)
+	}
+	return []ast.Expr{e}
+}
+
+// nondetSourceDesc returns a description when call reads an ambient
+// nondeterminism source, mirroring the nondeterminism analyzer's
+// detection but for dataflow use.
+func nondetSourceDesc(info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		switch f.Name() {
+		case "Now", "Since", "Until":
+			return "time." + f.Name() + " wall-clock read"
+		}
+	case "math/rand", "math/rand/v2":
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "" // explicitly seeded *rand.Rand
+		}
+		if !seededConstructors[f.Name()] {
+			return "global math/rand draw"
+		}
+	}
+	return ""
+}
+
+// isSortCall matches sort.* and slices.Sort* in-place sorts.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(f.Name(), "Sort")
+	}
+	return false
+}
+
+func isIntegerExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func commutativeIntOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return true
+	}
+	return false
+}
+
+func typeName(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name()
+		default:
+			return t.String()
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// DetTaint tracks nondeterminism taint interprocedurally: from sources
+// (wall-clock reads, the global math/rand source, map iteration order,
+// multi-case select arrival order) through assignments, arithmetic,
+// helper calls and struct fields, to the sinks that make nondeterminism
+// observable — stdout writes and stores into lint:detsink-marked types
+// (the simulator's Result and the telemetry snapshots). It replaces the
+// syntactic nondeterminism analyzer's file-local view with whole-module
+// dataflow: a helper that prints its argument is itself a sink for every
+// caller, and a map-ranged value that is sorted before use comes out
+// clean. See dataflow.go for the walker's exact model.
+var DetTaint = &Analyzer{
+	Name: "dettaint",
+	Doc:  "no nondeterministic dataflow into Result, snapshots, or stdout",
+	Run:  runDetTaint,
+}
+
+func runDetTaint(pass *Pass) {
+	m := pass.Module
+	if m == nil {
+		return
+	}
+	for _, fn := range m.funcList {
+		node := m.node(fn)
+		if node == nil || node.pkg.Types != pass.Pkg || node.decl.Body == nil {
+			continue
+		}
+		m.reportTaint(node, func(pos token.Pos, kinds []string, sink string) {
+			pass.Reportf(pos, "nondeterministic value (%s) %s; derive it from seeded/simulated state or impose an order first",
+				strings.Join(kinds, ", "), sink)
+		})
+	}
+}

@@ -106,6 +106,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{FloatCmp, "floatcmp"},
 		{Exhaustive, "exhaustive"},
 		{ErrCheckLite, "errcheck"},
+		{HotAlloc, "hotalloc"},
+		{GoCapture, "gocapture"},
+		{DetTaint, "dettaint"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir+"/bad", func(t *testing.T) {
@@ -123,6 +126,7 @@ func TestFixtureNamesMatchAnalyzers(t *testing.T) {
 	covered := map[string]bool{
 		"maporder": true, "nondeterminism": true, "floatcmp": true,
 		"exhaustive": true, "errcheck": true,
+		"hotalloc": true, "gocapture": true, "dettaint": true,
 	}
 	for _, a := range All() {
 		if !covered[a.Name] {
@@ -194,6 +198,29 @@ func TestAllowRules(t *testing.T) {
 	}
 	if _, err := ParseAllowFile("just-one-field\n"); err == nil {
 		t.Error("malformed allow line should error")
+	}
+}
+
+// TestAllowRuleSegmentAnchoring pins the prefix semantics: a rule for
+// cmd/ covers cmd itself and its subtree, and never leaks onto a sibling
+// directory that merely shares the prefix string (cmdx/).
+func TestAllowRuleSegmentAnchoring(t *testing.T) {
+	for _, raw := range []string{"cmd", "cmd/"} {
+		rules, err := ParseAllowFile("nondeterminism " + raw + "\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rules[0]
+		for _, path := range []string{"cmd", "cmd/treegen", "cmd/treegen/sub"} {
+			if !r.matches("nondeterminism", path) {
+				t.Errorf("rule %q should match %q", raw, path)
+			}
+		}
+		for _, path := range []string{"cmdx", "cmdx/tool", "internal/cmd2"} {
+			if r.matches("nondeterminism", path) {
+				t.Errorf("rule %q must not match %q", raw, path)
+			}
+		}
 	}
 }
 

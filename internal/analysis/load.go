@@ -18,7 +18,10 @@ type Package struct {
 	// Path is the package's import path; ModulePath the module's.
 	Path       string
 	ModulePath string
-	Dir        string
+	// GoVersion is the module's go directive ("1.22"); version-sensitive
+	// checks (pre-1.22 loop-variable capture) key off it.
+	GoVersion string
+	Dir       string
 	// FileNames holds the absolute path of each file in Files, in order.
 	FileNames []string
 	Fset      *token.FileSet
@@ -39,7 +42,7 @@ func LoadModule(root string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	modulePath, err := readModulePath(filepath.Join(root, "go.mod"))
+	modulePath, goVersion, err := readModuleInfo(filepath.Join(root, "go.mod"))
 	if err != nil {
 		return nil, err
 	}
@@ -52,6 +55,7 @@ func LoadModule(root string) ([]*Package, error) {
 	ld := &loader{
 		root:       root,
 		modulePath: modulePath,
+		goVersion:  goVersion,
 		fset:       token.NewFileSet(),
 		dirs:       make(map[string]string, len(dirs)),
 		pkgs:       make(map[string]*Package),
@@ -87,18 +91,23 @@ func LoadModule(root string) ([]*Package, error) {
 	return out, nil
 }
 
-func readModulePath(gomod string) (string, error) {
+func readModuleInfo(gomod string) (path, goVersion string, err error) {
 	data, err := os.ReadFile(gomod)
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
 	for _, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if rest, ok := strings.CutPrefix(line, "module "); ok {
-			return strings.TrimSpace(rest), nil
+			path = strings.TrimSpace(rest)
+		} else if rest, ok := strings.CutPrefix(line, "go "); ok {
+			goVersion = strings.TrimSpace(rest)
 		}
 	}
-	return "", fmt.Errorf("%s: no module directive", gomod)
+	if path == "" {
+		return "", "", fmt.Errorf("%s: no module directive", gomod)
+	}
+	return path, goVersion, nil
 }
 
 // packageDirs returns every directory under root holding at least one
@@ -133,6 +142,7 @@ func packageDirs(root string) ([]string, error) {
 type loader struct {
 	root       string
 	modulePath string
+	goVersion  string
 	fset       *token.FileSet
 	std        types.Importer
 	dirs       map[string]string // import path -> directory
@@ -202,6 +212,7 @@ func (l *loader) load(path string) (*Package, error) {
 	pkg := &Package{
 		Path:       path,
 		ModulePath: l.modulePath,
+		GoVersion:  l.goVersion,
 		Dir:        dir,
 		FileNames:  names,
 		Fset:       l.fset,
@@ -215,11 +226,15 @@ func (l *loader) load(path string) (*Package, error) {
 
 // LoadDir parses and type-checks the single package in dir under the given
 // import path, resolving only standard-library imports. It exists for
-// fixture tests; real runs use LoadModule.
+// fixture tests; real runs use LoadModule. The reported GoVersion is
+// pinned to 1.21 so fixtures exercise version-gated checks (pre-1.22
+// loop-variable capture) that the real module, on a newer go directive,
+// no longer needs.
 func LoadDir(dir, path string) (*Package, error) {
 	ld := &loader{
 		root:       dir,
 		modulePath: path,
+		goVersion:  "1.21",
 		fset:       token.NewFileSet(),
 		dirs:       map[string]string{path: dir},
 		pkgs:       make(map[string]*Package),

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadModuleInfo(t *testing.T) {
+	dir := t.TempDir()
+	gomod := filepath.Join(dir, "go.mod")
+	if err := os.WriteFile(gomod, []byte("module example.com/m\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path, ver, err := readModuleInfo(gomod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "example.com/m" || ver != "1.21" {
+		t.Errorf("got (%q, %q), want (example.com/m, 1.21)", path, ver)
+	}
+	if err := os.WriteFile(gomod, []byte("go 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readModuleInfo(gomod); err == nil {
+		t.Error("go.mod without a module directive should error")
+	}
+}
+
+func TestGoVersionBefore(t *testing.T) {
+	cases := []struct {
+		v    string
+		want bool
+	}{
+		{"1.21", true},
+		{"1.21.5", true},
+		{"1.19", true},
+		{"1.22", false},
+		{"1.22.1", false},
+		{"1.23", false},
+		{"2.0", false},
+		{"", false}, // unknown: assume modern semantics
+		{"bogus", false},
+	}
+	for _, tc := range cases {
+		if got := goVersionBefore(tc.v, 1, 22); got != tc.want {
+			t.Errorf("goVersionBefore(%q, 1, 22) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestLoadModuleMultiPackage builds a two-package module on disk and runs
+// gocapture across it: the cross-package call-graph must recognise the
+// local parrun.Map shape, and the go.mod `go 1.21` directive must enable
+// the pre-1.22 loop-variable capture check.
+func TestLoadModuleMultiPackage(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		full := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpmod\n\ngo 1.21\n")
+	write("parrun/parrun.go", `package parrun
+
+import "sync"
+
+// Map runs fn(0..n-1) concurrently, committing into index-owned slots.
+func Map(n int, fn func(int) error) []error {
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return errs
+}
+`)
+	write("use/use.go", `package use
+
+import "tmpmod/parrun"
+
+func Sum(n int) int {
+	total := 0
+	parrun.Map(n, func(i int) error {
+		total += i
+		return nil
+	})
+	return total
+}
+
+func Capture(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			_ = i
+		}()
+	}
+}
+`)
+
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.GoVersion != "1.21" {
+			t.Errorf("package %s GoVersion = %q, want 1.21", p.Path, p.GoVersion)
+		}
+	}
+
+	diags := Run(pkgs, []*Analyzer{GoCapture}, nil)
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	find := func(sub string) bool {
+		for _, m := range msgs {
+			if strings.Contains(m, sub) {
+				return true
+			}
+		}
+		return false
+	}
+	// The unsynchronised shared write through the parrun.Map closure.
+	if !find("total") {
+		t.Errorf("expected a gocapture finding for the captured write to total, got %v", msgs)
+	}
+	// The pre-1.22 loop-variable capture, enabled by the go 1.21 directive.
+	if !find("loop variable") {
+		t.Errorf("expected a pre-1.22 loop-variable capture finding, got %v", msgs)
+	}
+	// The slot-pattern writes inside parrun.Map itself must stay clean.
+	if find("errs") {
+		t.Errorf("slot-pattern writes in parrun.Map should not be flagged, got %v", msgs)
+	}
+}

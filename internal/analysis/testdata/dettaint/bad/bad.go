@@ -1,0 +1,73 @@
+// Package fix exercises the dettaint finding classes: wall-clock and
+// global-rand taint reaching stdout and determinism-critical stores,
+// map-iteration-order taint surviving float accumulation, select arrival
+// order, and interprocedural flows through helper returns and helper
+// sinks.
+package fix
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Result is the simulation outcome. lint:detsink
+type Result struct {
+	Cycles  int64
+	Quality float64
+}
+
+func stamp(r *Result) {
+	r.Cycles = time.Now().UnixNano() // want "stored into determinism-critical Result.Cycles"
+}
+
+func printClock() {
+	fmt.Println(time.Now()) // want "written to stdout via fmt.Println"
+}
+
+func printDraw() {
+	fmt.Println(rand.Int()) // want "global math/rand draw"
+}
+
+func dumpKeys(scores map[string]int) {
+	for name := range scores {
+		fmt.Println(name) // want "map iteration order"
+	}
+}
+
+// sumFloats: float accumulation is order-sensitive bit-for-bit, so map
+// order taints the total.
+func sumFloats(m map[string]float64) {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	fmt.Println(total) // want "map iteration order"
+}
+
+func firstOf(a, b chan int) {
+	var v int
+	select {
+	case v = <-a:
+	case v = <-b:
+	}
+	fmt.Println(v) // want "select arrival order"
+}
+
+// nowNanos launders a wall-clock read through a return value.
+func nowNanos() int64 {
+	return time.Now().UnixNano()
+}
+
+func recordStart(r *Result) {
+	r.Cycles = nowNanos() // want "stored into determinism-critical Result.Cycles"
+}
+
+// logLine is a stdout sink for every caller.
+func logLine(v int64) {
+	fmt.Println(v)
+}
+
+func emitElapsed() {
+	logLine(nowNanos()) // want "reaches a stdout/determinism sink inside logLine"
+}

@@ -1,0 +1,58 @@
+// Package fix is the dettaint clean fixture: the sanctioned patterns —
+// integer accumulation over maps (order-insensitive), sort-before-print,
+// order-independent len(), explicitly seeded rand, and deterministic
+// stores into the determinism-critical type.
+package fix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Result is the simulation outcome. lint:detsink
+type Result struct {
+	Cycles int64
+	Count  int
+}
+
+// sumInts: integer addition commutes, so map order cannot reach the total.
+func sumInts(m map[string]int) {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	fmt.Println(total)
+}
+
+// sortedKeys imposes an order before printing.
+func sortedKeys(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k)
+	}
+}
+
+// countEntries: a count does not depend on iteration order.
+func countEntries(m map[string]int) {
+	fmt.Println(len(m))
+}
+
+// seededDraw: an explicitly seeded source is deterministic.
+func seededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func record(r *Result, cycles int64) {
+	r.Cycles = cycles
+	r.Count = len(map[string]int{})
+}
+
+func printDraws(seed int64) {
+	fmt.Println(seededDraw(seed))
+}

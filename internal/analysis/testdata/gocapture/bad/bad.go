@@ -1,0 +1,63 @@
+// Package fix exercises the gocapture finding classes: loop-variable
+// capture (the fixture loads as Go 1.21, before per-iteration loop
+// variables), unsynchronized writes to captured state, captured-map
+// writes, slot writes with a non-owned index, and lock copies.
+package fix
+
+import "sync"
+
+func loopCapture(n int) {
+	total := 0
+	for i := 0; i < n; i++ {
+		go func() { // want "goroutine captures loop variable i"
+			total += i // want "assigns captured variable total"
+		}()
+	}
+}
+
+func mapWrite(keys []string) {
+	m := map[string]int{}
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m[k] = 1 // want "writes captured map m"
+		}()
+	}
+	wg.Wait()
+}
+
+func foreignIndex(out []int, idx int) {
+	go func() {
+		out[idx] = 1 // want "index captured from outside the closure"
+	}()
+}
+
+type counter struct{ n int }
+
+func fieldWrite(c *counter) {
+	go func() {
+		c.n++ // want "writes field n of captured c"
+	}()
+}
+
+func pointerWrite(p *int) {
+	go func() {
+		*p = 1 // want "writes through captured pointer p"
+	}()
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockByValue(g guarded) { // want "value parameter copies"
+	_ = g
+}
+
+func (g guarded) snapshot() int { // want "value receiver copies"
+	return g.n
+}

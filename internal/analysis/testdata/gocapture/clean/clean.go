@@ -1,0 +1,60 @@
+// Package fix is the gocapture clean fixture: the ordered-commit slot
+// pattern with closure-owned indices, mutex-guarded shared writes,
+// loop variables passed as arguments, and pointer-borne locks.
+package fix
+
+import "sync"
+
+// slotWorkers is the parrun.Map shape: results commit into index-owned
+// slots, the index arriving through a channel the closure ranges itself.
+func slotWorkers(n int, fn func(int) int) []int {
+	out := make([]int, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// mutexTotal shows the mutex alternative: captured state written only
+// while holding a captured lock.
+func mutexTotal(n int) int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			total += i
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// inc takes the lock-bearing struct by pointer, as required.
+func (g *guarded) inc() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}

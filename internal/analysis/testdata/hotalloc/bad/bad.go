@@ -1,0 +1,55 @@
+// Package fix exercises every hotalloc finding class: direct allocators,
+// composite literals, closures, goroutine/defer records, string work,
+// interface boxing, variadic packing, allocating conversions, dynamic
+// calls, out-of-module calls, and transitive reachability through the
+// call graph.
+package fix
+
+import "strings"
+
+type sink interface{ accept(v any) }
+
+type dev struct{}
+
+func (dev) accept(v any) {}
+
+type state struct {
+	buf  []int
+	name string
+	hook func(int)
+	out  sink
+}
+
+func vary(xs ...int) int { return len(xs) }
+
+//lint:hotpath cycle-loop root for the fixture
+func (s *state) step(v int) {
+	s.buf = append(s.buf, v) // want "append without a capacity guard"
+	m := make([]int, 4)      // want "make allocates"
+	_ = m
+	p := new(int) // want "new allocates"
+	_ = p
+	t := map[string]int{"a": 1} // want "map literal allocates"
+	_ = t
+	sl := []int{1, 2} // want "slice literal allocates"
+	_ = sl
+	q := &state{} // want "composite literal escapes to the heap"
+	_ = q
+	f := func() {} // want "closure creation allocates"
+	_ = f
+	go s.helper(v)        // want "go statement allocates a goroutine"
+	defer s.helper(v)     // want "defer allocates"
+	s.name = s.name + "x" // want "string concatenation allocates"
+	b := []byte(s.name)   // want "conversion copies and allocates"
+	_ = b
+	_ = vary(1, 2)          // want "variadic call packs arguments into a new slice"
+	s.hook(v)               // want "dynamic call through a function value"
+	s.out.accept(v)         // want "boxed into interface parameter"
+	_ = strings.ToUpper("") // want "leaves the module"
+	s.helper(v)
+}
+
+// helper is hot only transitively, via step.
+func (s *state) helper(v int) {
+	s.buf = make([]int, v) // want "make allocates"
+}

@@ -1,0 +1,72 @@
+// Package fix is the hotalloc clean fixture: a hot loop in the shape the
+// simulator actually uses — compaction-guarded appends, telemetry and
+// failure paths behind cold guards, value struct literals, pointer-shaped
+// interface arguments, and spread (not packed) variadics — none of which
+// may be flagged.
+package fix
+
+import "errors"
+
+type handler interface{ accept(v any) }
+
+type dev struct{}
+
+func (dev) accept(v any) {}
+
+type event struct {
+	kind int
+	val  int
+}
+
+type state struct {
+	buf  []int
+	head int
+	vals []int
+	// traced enables the tracing path; nil on benchmarked runs. lint:cold
+	traced bool
+	// hook is the telemetry callback. lint:cold
+	hook func(event)
+	out  handler
+	bad  bool
+}
+
+func vary(xs ...int) int { return len(xs) }
+
+//lint:hotpath steady-state loop for the fixture
+func (s *state) step(v int) error {
+	// Compaction-guarded append: capacity is managed in-function.
+	if len(s.buf) == cap(s.buf) && s.head > 0 {
+		copy(s.buf, s.buf[s.head:])
+		s.buf = s.buf[:len(s.buf)-s.head]
+		s.head = 0
+	}
+	s.buf = append(s.buf, v)
+
+	// Value struct literals stay on the stack.
+	ev := event{kind: 1, val: v}
+
+	// Cold: the tracing flag gates this branch.
+	if s.traced {
+		s.vals = append(s.vals, make([]int, 8)...)
+	}
+	// Cold: nil-guarded telemetry hook.
+	if s.hook != nil {
+		s.hook(ev)
+	}
+	// Cold: failure exit returning a non-nil error.
+	if s.bad {
+		return errors.New("invariant violated")
+	}
+	// Cold: crash path.
+	if v < 0 {
+		panic("negative value")
+	}
+
+	// Pointer-shaped values don't allocate when boxed.
+	s.out.accept(s)
+	// Constants don't box either.
+	s.out.accept(3)
+	// Spread variadics reuse the existing slice.
+	_ = vary(s.vals...)
+	return nil
+}

@@ -61,6 +61,16 @@ func isErrorType(t types.Type) bool {
 	return types.Identical(t, types.Universe.Lookup("error").Type())
 }
 
+// implementsError reports whether t satisfies the error interface,
+// covering concrete error types as well as error itself.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return iface != nil && types.Implements(t, iface)
+}
+
 // pkgFuncName returns "path.Name" for a package-level function or
 // "(recv).Name" via FullName for methods; empty for nil.
 func pkgFuncName(f *types.Func) string {

@@ -100,6 +100,38 @@ func BenchmarkHotLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkCycleLoop times the cycle loop alone: simulator construction
+// and result finalization run outside the timer, so allocs/op measures
+// exactly what the hotalloc analyzer proves about cycleLoop's call graph.
+// The benchreport hotcheck gate asserts this stays ≤ 1 alloc/op on the
+// fault-free path.
+func BenchmarkCycleLoop(b *testing.B) {
+	for _, kind := range []string{"single", "lowdepth", "hamiltonian"} {
+		spec := benchSpec(b, 11, 8192, kind)
+		b.Run("q=11/"+kind, func(b *testing.B) {
+			cfg := hotLoopCfg()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := newSim(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				now, err := s.cycleLoop()
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.finalize(now); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
 // BenchmarkHotLoopFaulted measures the faulted hot path at q=11: the
 // per-flow send timestamps, the timeout scan, one mid-run link-down, and
 // the recovery re-issue. The single-tree baseline is excluded — any link

@@ -53,7 +53,7 @@ type Config struct {
 	EngineRate int
 	// Trace, when non-nil, receives every send/arrive/compute event in
 	// deterministic order. Tracing large runs is expensive; intended for
-	// debugging and fine-grained analysis.
+	// debugging and fine-grained analysis. lint:cold
 	Trace func(TraceEvent)
 	// LinkBandwidth is the number of flits a directed link can accept per
 	// cycle (trunked links). Zero means 1. All analytic comparisons in
@@ -63,7 +63,7 @@ type Config struct {
 	// runs fault-free. Link faults drop flits and (unless DisableRecovery
 	// is set) trigger timeout detection and tree-level recovery; degraded
 	// links and engine stalls only slow the run down. Fault injection is
-	// supported for OpAllreduce only.
+	// supported for OpAllreduce only. lint:cold
 	Faults *faults.Plan
 	// DisableRecovery turns off loss detection and recovery: trees hit by
 	// a link fault simply stop making progress, so the run ends in a
@@ -83,7 +83,7 @@ type Config struct {
 	SampleEvery int
 	// Sample, when non-nil, receives the periodic telemetry frames. The
 	// frame and its Links slice are reused between calls; the hook must
-	// copy anything it retains. Requires SampleEvery ≥ 1.
+	// copy anything it retains. Requires SampleEvery ≥ 1. lint:cold
 	Sample func(*SampleFrame)
 }
 
@@ -186,7 +186,8 @@ type Spec struct {
 	Inputs [][]int64
 }
 
-// Result reports a completed simulation.
+// Result reports a completed simulation. Every field must be a pure
+// function of (Spec, Config): runs are bit-reproducible. lint:detsink
 type Result struct {
 	// Cycles is the completion time: the first cycle by which every node
 	// holds the complete reduced vector.
@@ -333,7 +334,7 @@ type flow struct {
 	// pushed at the wrong prefix index.
 	sentAt     []int
 	sentAtHead int
-	lost       bool
+	lost       bool // lint:cold: set only under an active fault plan
 }
 
 // pushSentAt records an injection cycle, allocating the fixed VCDepth
@@ -418,8 +419,8 @@ type link struct {
 	// Fault state: failed links swallow injections and deliver nothing;
 	// degraded links meter injections through a token bucket refilled at
 	// degRate flits per cycle.
-	failed    bool
-	degraded  bool
+	failed    bool // lint:cold
+	degraded  bool // lint:cold
 	degRate   float64
 	degBudget float64
 

@@ -41,12 +41,13 @@ type sim struct {
 	pending int    // flit deliveries still outstanding (all jobs, all nodes)
 
 	// traced is cfg.Trace != nil, hoisted so hot-loop emit sites skip
-	// building TraceEvent values on untraced runs.
+	// building TraceEvent values on untraced runs. lint:cold
 	traced bool
 
 	// Telemetry sampling state (see sample.go); sampling is cfg.Sample !=
 	// nil, hoisted like traced so the unsampled cycle loop never branches
 	// into frame assembly. The scratch frame is the only allocation.
+	// lint:cold
 	sampling      bool
 	nextSample    int
 	sampleScratch []LinkCounters
@@ -69,6 +70,7 @@ type sim struct {
 	engineUsed []int
 
 	// Fault-engine state; zero-valued and untouched on fault-free runs.
+	// lint:cold
 	faultsOn    bool
 	faultActive []bool          // per plan fault: currently in its window
 	stalled     []bool          // per node: reduction engine frozen
@@ -492,6 +494,20 @@ func (s *sim) checkJobDone(j *job, now int) {
 }
 
 func (s *sim) run() (*Result, error) {
+	now, err := s.cycleLoop()
+	if err != nil {
+		return nil, err
+	}
+	return s.finalize(now)
+}
+
+// cycleLoop advances the simulation one cycle at a time until every flit
+// is delivered, returning the cycle count. This is the simulator's hot
+// path: everything reachable from here must stay allocation-free outside
+// the cold tracing/sampling/fault branches.
+//
+//lint:hotpath per-cycle simulation loop; allocation here scales with cycles × links
+func (s *sim) cycleLoop() (int, error) {
 	now := 0
 	idle := 0
 	for s.pending > 0 {
@@ -560,7 +576,7 @@ func (s *sim) run() (*Result, error) {
 		if s.faultsOn && !s.cfg.DisableRecovery {
 			recovered, err := s.detectAndRecover(now)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if recovered {
 				progressed = true
@@ -699,10 +715,16 @@ func (s *sim) run() (*Result, error) {
 		} else {
 			idle++
 			if idle > s.cfg.ProgressTimeout {
-				return nil, s.progressError(now, idle)
+				return 0, s.progressError(now, idle)
 			}
 		}
 	}
+	return now, nil
+}
+
+// finalize runs the post-loop invariant checks and assembles the Result.
+// It is off the hot path: per-link summaries may allocate freely.
+func (s *sim) finalize(now int) (*Result, error) {
 	s.result.Cycles = now
 
 	// Final telemetry frame: closes the partial tail window and flushes

@@ -1,0 +1,46 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultHotAllocBudget is the measured allocs/op ceiling for benchmarks
+// backing a static "allocation-free" claim. One — not zero — because a
+// benchmark harness occasionally books a stray allocation (timer
+// bookkeeping, a first-iteration warm-up) against the timed section.
+const DefaultHotAllocBudget = 1
+
+// HotCheckResult is the measured side of the static-vs-measured
+// allocation cross-check for one benchmark.
+type HotCheckResult struct {
+	Name string
+	// Allocs is the median measured allocs/op.
+	Allocs float64
+	// OK is Allocs ≤ the budget.
+	OK bool
+}
+
+// HotAllocCrossCheck verifies the measured half of the hot-path claim:
+// every benchmark in snap whose name starts with benchPrefix must report
+// allocs/op at or below maxAllocs. It returns one result per matched
+// benchmark and an error when the snapshot cannot support the check at
+// all — no matching benchmark, or a match without allocation data —
+// because a vacuously green gate is worse than a red one.
+func HotAllocCrossCheck(snap *Snapshot, benchPrefix string, maxAllocs float64) ([]HotCheckResult, error) {
+	var out []HotCheckResult
+	for _, b := range snap.Benchmarks {
+		if !strings.HasPrefix(b.Name, benchPrefix) {
+			continue
+		}
+		m, ok := b.Metric("allocs/op")
+		if !ok {
+			return nil, fmt.Errorf("perf: benchmark %s has no allocs/op metric; run with -benchmem or b.ReportAllocs", b.Name)
+		}
+		out = append(out, HotCheckResult{Name: b.Name, Allocs: m.Median, OK: m.Median <= maxAllocs})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("perf: no benchmark named %s* in snapshot %q; the hot-path claim has no measured witness", benchPrefix, snap.Label)
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func hotSnap(benches ...BenchSummary) *Snapshot {
+	return &Snapshot{Schema: SnapshotSchema, Label: "t", Kind: KindBench, Benchmarks: benches}
+}
+
+func hotBench(name string, allocs float64) BenchSummary {
+	return BenchSummary{Name: name, Runs: 1, Metrics: []MetricSummary{
+		{Unit: "allocs/op", N: 1, Min: allocs, Median: allocs, Mean: allocs, Max: allocs},
+	}}
+}
+
+func TestHotAllocCrossCheck(t *testing.T) {
+	snap := hotSnap(
+		hotBench("BenchmarkCycleLoop/q=11/single", 0),
+		hotBench("BenchmarkCycleLoop/q=11/lowdepth", 1),
+		hotBench("BenchmarkCycleLoop/q=11/hamiltonian", 7487),
+		hotBench("BenchmarkHotLoop/q=11/single", 2_300_000),
+	)
+	results, err := HotAllocCrossCheck(snap, "BenchmarkCycleLoop", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("matched %d benchmarks, want 3 (prefix must exclude BenchmarkHotLoop)", len(results))
+	}
+	wantOK := map[string]bool{
+		"BenchmarkCycleLoop/q=11/single":      true,
+		"BenchmarkCycleLoop/q=11/lowdepth":    true, // exactly at budget
+		"BenchmarkCycleLoop/q=11/hamiltonian": false,
+	}
+	for _, r := range results {
+		if r.OK != wantOK[r.Name] {
+			t.Errorf("%s: OK=%v, want %v (allocs=%g)", r.Name, r.OK, wantOK[r.Name], r.Allocs)
+		}
+	}
+}
+
+func TestHotAllocCrossCheckNoWitness(t *testing.T) {
+	_, err := HotAllocCrossCheck(hotSnap(hotBench("BenchmarkOther", 0)), "BenchmarkCycleLoop", 1)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark") {
+		t.Errorf("want no-witness error, got %v", err)
+	}
+}
+
+func TestHotAllocCrossCheckMissingMetric(t *testing.T) {
+	snap := hotSnap(BenchSummary{Name: "BenchmarkCycleLoop/x", Runs: 1,
+		Metrics: []MetricSummary{{Unit: "ns/op", N: 1, Median: 100}}})
+	_, err := HotAllocCrossCheck(snap, "BenchmarkCycleLoop", 1)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("want missing-metric error, got %v", err)
+	}
+}

@@ -12,6 +12,7 @@ package torus
 
 import (
 	"fmt"
+	"sort"
 
 	"polarfly/internal/graph"
 )
@@ -136,18 +137,30 @@ func (t *Torus) EdgeDisjointRingCover() error {
 			}
 		}
 	}
+	// Check edges in a fixed order so the first reported violation does
+	// not depend on map iteration order.
+	edges := make([]graph.Edge, 0, len(seen))
+	for e := range seen {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
 	if t.K == 2 {
 		// Each ring of length 2 visits its single edge twice (once per
 		// direction step); normalise.
-		for e, c := range seen {
-			if c != 2 {
+		for _, e := range edges {
+			if c := seen[e]; c != 2 {
 				return fmt.Errorf("torus: edge %v covered %d times (want 2 for k=2)", e, c)
 			}
 		}
 		return nil
 	}
-	for e, c := range seen {
-		if c != 1 {
+	for _, e := range edges {
+		if c := seen[e]; c != 1 {
 			return fmt.Errorf("torus: edge %v covered %d times", e, c)
 		}
 	}

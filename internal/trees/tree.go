@@ -8,6 +8,7 @@ package trees
 
 import (
 	"fmt"
+	"sort"
 
 	"polarfly/internal/graph"
 )
@@ -201,7 +202,20 @@ func OpposedReductionFlows(forest []*Tree) error {
 			flows[graph.NewEdge(v, p)] = append(flows[graph.NewEdge(v, p)], dir{ti, v})
 		}
 	}
-	for e, ds := range flows {
+	// Check links in a fixed order so the first reported violation does
+	// not depend on map iteration order.
+	edges := make([]graph.Edge, 0, len(flows))
+	for e := range flows {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	for _, e := range edges {
+		ds := flows[e]
 		if len(ds) == 1 {
 			continue
 		}

@@ -120,6 +120,8 @@ type Analyzer struct {
 	windows   int // base windows observed
 	delivered int // cumulative delivered elements
 
+	// utils is nil until the first window allocates the fixed-size state;
+	// the nil check in observe is the one-time init gate. lint:cold
 	utils    []float64 // scratch: per-link utilization of the current window
 	peakUtil []float64
 	peakAt   [][2]int // window (start, end] of each link's peak
@@ -127,6 +129,7 @@ type Analyzer struct {
 	pred     []float64 // per-link predicted load, frame order
 
 	recent    []HotspotWindow // ring of the last cfg-Windows hotspot windows
+	recentTop []Hotspot       // slot-major backing for the rings' Top slices
 	recentSeq int
 
 	lastFaultGauge   int
@@ -155,6 +158,8 @@ func NewAnalyzer(s *Sampler, cfg AnalyzerConfig) *Analyzer {
 }
 
 // observe is the Sampler's base-window hook.
+//
+//lint:hotpath per-window analysis driven from the sampler's ingest path
 func (a *Analyzer) observe(run RunWindow, links []LinkWindow) {
 	if a.utils == nil {
 		a.init(len(links))
@@ -171,8 +176,11 @@ func (a *Analyzer) observe(run RunWindow, links []LinkWindow) {
 			a.peakAt[i] = [2]int{run.Start, run.End}
 		}
 	}
+	// Each ring slot owns a fixed TopK segment of recentTop; reslicing it
+	// keeps the per-window top-k allocation-free after init.
+	slot := a.recentSeq % cap(a.recent)
 	hw := HotspotWindow{Start: run.Start, End: run.End,
-		Top: make([]Hotspot, 0, a.cfg.TopK)}
+		Top: a.recentTop[slot*a.cfg.TopK : slot*a.cfg.TopK : (slot+1)*a.cfg.TopK]}
 	for k := 0; k < a.cfg.TopK; k++ {
 		best, bestIdx := 0.0, -1
 		for i, u := range a.utils {
@@ -189,10 +197,10 @@ func (a *Analyzer) observe(run RunWindow, links []LinkWindow) {
 			h.Predicted = a.pred[bestIdx]
 			h.Exceeds = best > h.Predicted*(1+a.cfg.Tolerance)
 		}
+		//lint:ignore hotalloc the three-index reslice caps Top at TopK and the loop runs at most TopK times
 		hw.Top = append(hw.Top, h)
 		a.flagged[bestIdx]++
 	}
-	slot := a.recentSeq % cap(a.recent)
 	a.recent = a.recent[:minInt(len(a.recent)+1, cap(a.recent))]
 	a.recent[slot] = hw
 	a.recentSeq++
@@ -207,6 +215,8 @@ func (a *Analyzer) init(nlinks int) {
 	a.peakAt = make([][2]int, nlinks)
 	a.flagged = make([]int, nlinks)
 	a.recent = make([]HotspotWindow, 0, a.sampler.cfg.Windows)
+	a.recentTop = make([]Hotspot, a.sampler.cfg.Windows*a.cfg.TopK)
+	a.violations = make([]Violation, 0, maxViolations)
 	if a.cfg.Predicted != nil {
 		a.pred = make([]float64, nlinks)
 		for i, key := range a.sampler.keys {
@@ -232,6 +242,7 @@ func (a *Analyzer) inTop(top []Hotspot, i int) bool {
 func (a *Analyzer) observeGauges(run RunWindow) {
 	if run.LastFaultCycle != a.lastFaultGauge {
 		a.lastFaultGauge = run.LastFaultCycle
+		//lint:ignore hotalloc fault events are bounded by the fault plan, not the cycle count
 		a.faults = append(a.faults, FaultEvent{
 			Cycle: run.LastFaultCycle, ObservedEnd: run.End})
 	}
@@ -247,6 +258,7 @@ func (a *Analyzer) observeGauges(run RunWindow) {
 				break
 			}
 		}
+		//lint:ignore hotalloc recovery events are bounded by the fault plan, not the cycle count
 		a.recoveries = append(a.recoveries, ev)
 	}
 }
@@ -301,7 +313,8 @@ func (a *Analyzer) finishChecks() {
 }
 
 // Report summarises the analysis. Call after the run (the floor check
-// needs the final frame); safe to call repeatedly.
+// needs the final frame); safe to call repeatedly. Reports are
+// reproducible run artifacts. lint:detsink
 type Report struct {
 	// Windows is how many base windows were analyzed, Cycles the last
 	// sampled cycle.
@@ -388,7 +401,11 @@ func (a *Analyzer) recentHotspots() []HotspotWindow {
 	out := make([]HotspotWindow, 0, n)
 	start := a.recentSeq - n
 	for i := 0; i < n; i++ {
-		out = append(out, a.recent[(start+i)%cap(a.recent)])
+		hw := a.recent[(start+i)%cap(a.recent)]
+		// The ring reuses each slot's Top backing; a report must not alias
+		// storage the next window will overwrite.
+		hw.Top = append([]Hotspot(nil), hw.Top...)
+		out = append(out, hw)
 	}
 	return out
 }

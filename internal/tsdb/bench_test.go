@@ -60,6 +60,36 @@ func benchSpec(b *testing.B, q, m int, kind string) netsim.Spec {
 		Inputs: workload.Vectors(topo.N(), m, 100, 1)}
 }
 
+// BenchmarkAnalyzerWindow isolates the per-window ingest path — one
+// Sample call closing one base window, observed by an attached Analyzer —
+// on synthetic frames, with the one-time init outside the timer. This is
+// the path the hotalloc analyzer proves allocation-free (Sample and
+// observe roots); allocs/op must stay at 0 in steady state. Before the
+// slot-backed hotspot ring it paid one make([]Hotspot) per window.
+func BenchmarkAnalyzerWindow(b *testing.B) {
+	const nlinks = 512
+	s := MustNew(Config{SampleEvery: 64})
+	NewAnalyzer(s, AnalyzerConfig{TopK: 3})
+	fr := &netsim.SampleFrame{Links: make([]netsim.LinkCounters, nlinks)}
+	for i := range fr.Links {
+		fr.Links[i].From = i
+		fr.Links[i].To = i + 1
+	}
+	s.Sample(fr) // first frame: allocates all ring storage
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.Cycle += 64
+		for j := range fr.Links {
+			fr.Links[j].Flits += j % 7
+			fr.Links[j].BusyCycles += j % 5
+		}
+		fr.Run.FlitsSent += nlinks
+		fr.Run.Delivered += nlinks / 2
+		s.Sample(fr)
+	}
+}
+
 // BenchmarkHotLoopSampled is netsim.BenchmarkHotLoop with the telemetry
 // sampler attached at the default 64-cycle window: same design point
 // (q=11, m=8192), same fabric (LinkLatency 5, VCDepth 8), same sub-names,

@@ -64,6 +64,8 @@ type GroundTruth struct {
 }
 
 // Snapshot is the versioned timeline document benchreport emits.
+// Snapshots are diffed across runs, so every field must be
+// deterministic. lint:detsink
 type Snapshot struct {
 	Schema string       `json:"schema"`
 	Meta   SnapshotMeta `json:"meta"`

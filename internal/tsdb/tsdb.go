@@ -144,6 +144,8 @@ type Sampler struct {
 	nlinks int
 	keys   [][2]int // directed link identities, in frame order
 
+	// prev is nil until the first frame allocates all ring storage; the
+	// nil check in Sample is the one-time init gate. lint:cold
 	prev      []netsim.LinkCounters // cumulative counters at the previous boundary
 	prevRun   netsim.RunCounters
 	prevCycle int
@@ -179,6 +181,8 @@ func MustNew(cfg Config) *Sampler {
 // frame against the previous boundary into one base window and cascades
 // full groups of Factor windows into the coarser levels. Frames after
 // the final one are ignored.
+//
+//lint:hotpath telemetry ingest runs once per sampling window inside the simulation
 func (s *Sampler) Sample(fr *netsim.SampleFrame) {
 	if s.finished {
 		return
@@ -272,6 +276,7 @@ func (s *Sampler) push(l int, run RunWindow, links []LinkWindow) {
 	copy(lv.data[slot*s.nlinks:(slot+1)*s.nlinks], links)
 	lv.seq++
 	if l == 0 && s.onWindow != nil {
+		//lint:ignore hotalloc the hook target is (*Analyzer).observe, itself a checked hotpath root
 		s.onWindow(run, links)
 	}
 	if l+1 >= len(s.levels) {

@@ -1,0 +1,44 @@
+#!/bin/sh
+# selfcheck.sh — the static-analysis suite checked against its own
+# fixtures at the CLI level: every analyzer's bad fixture must exit 1
+# with at least one diagnostic naming that analyzer, and every clean
+# fixture must exit 0 under the FULL suite (not just its own analyzer).
+# This complements the in-process fixture tests in internal/analysis by
+# exercising argument parsing, module loading and exit-code mapping
+# exactly the way CI's `make lint` does.
+set -u
+cd "$(dirname "$0")/.."
+
+bindir=$(mktemp -d)
+trap 'rm -rf "$bindir"' EXIT
+go build -o "$bindir/repolint" ./cmd/repolint || exit 2
+
+fail=0
+count=0
+for dir in internal/analysis/testdata/*/; do
+    name=$(basename "$dir")
+    count=$((count + 1))
+
+    out=$("$bindir/repolint" "./${dir}bad" 2>&1)
+    code=$?
+    if [ "$code" -ne 1 ]; then
+        echo "selfcheck: FAIL: $name/bad exited $code, want 1" >&2
+        printf '%s\n' "$out" >&2
+        fail=1
+    elif ! printf '%s' "$out" | grep -q "\[$name\]"; then
+        echo "selfcheck: FAIL: $name/bad produced no [$name] diagnostic" >&2
+        printf '%s\n' "$out" >&2
+        fail=1
+    fi
+
+    out=$("$bindir/repolint" "./${dir}clean" 2>&1)
+    code=$?
+    if [ "$code" -ne 0 ]; then
+        echo "selfcheck: FAIL: $name/clean exited $code, want 0" >&2
+        printf '%s\n' "$out" >&2
+        fail=1
+    fi
+done
+
+[ "$fail" -eq 0 ] || exit 1
+echo "selfcheck: OK ($count analyzers, bad and clean fixtures)"

@@ -5,6 +5,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l cmd internal)
+if [ -n "$unformatted" ]; then
+    echo "verify: FAIL: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -14,6 +22,9 @@ go build ./...
 echo "== repolint ./..."
 go run ./cmd/repolint ./...
 
+echo "== repolint selfcheck (bad fixtures fail, clean fixtures pass)"
+./scripts/selfcheck.sh
+
 echo "== go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun ./internal/tsdb"
 go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun ./internal/tsdb
 
@@ -22,6 +33,9 @@ go test ./...
 
 echo "== bench smoke (benchreport run, 1 iteration per benchmark)"
 go run ./cmd/benchreport run -label smoke -count 1 -benchtime 1x >/dev/null
+
+echo "== hotcheck (static alloc-free proof vs measured allocs/op)"
+go run ./cmd/benchreport hotcheck -root . BENCH_smoke.json
 
 echo "== scorecard smoke (measured-vs-model gate at q=3)"
 go run ./cmd/benchreport scorecard -q 3 -m 4096 -label scorecard-smoke >/dev/null
