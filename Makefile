@@ -1,4 +1,4 @@
-.PHONY: build test lint selfcheck hotcheck verify bench bench-netsim bench-smoke scorecard scorecard-degraded timeline bench-overhead
+.PHONY: build test lint selfcheck hotcheck verify bench bench-netsim bench-smoke scorecard scorecard-degraded timeline critpath bench-overhead
 
 build:
 	go build ./...
@@ -70,6 +70,13 @@ scorecard-degraded:
 # TIMELINE_local.json; exits 1 on violation.
 timeline:
 	go run ./cmd/benchreport timeline -label local
+
+# critpath runs the causal critical-path sweep at the default point
+# (q ∈ {3,5,7,11}, m=16384, worst-case link failed at cycle 2000 in the
+# faulted half) and gates on exact per-cycle blame conservation.
+# Writes CRITPATH_scorecard.json; exits 1 on violation.
+critpath:
+	go run ./cmd/benchreport critpath -label scorecard
 
 # bench-overhead measures the sampled vs unsampled hot-loop benchmark
 # pairs into one snapshot and gates the sampling overhead at 5% median

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestSweepOutputDeterministic locks in PR 1's -sweep determinism fix
@@ -139,20 +140,104 @@ func TestTimelineOutputDeterministic(t *testing.T) {
 }
 
 // TestProgressStdoutUnchanged: -progress may only write to stderr; the
-// stdout bytes must match a run without it.
+// stdout bytes must match a run without it, even though the progress
+// meter taps the sampling hook — on the comparison path, on the fault
+// path, and chained behind an existing -ts-out sampler.
 func TestProgressStdoutUnchanged(t *testing.T) {
-	runOnce := func(extra ...string) string {
+	runOnce := func(args ...string) string {
 		var stdout, stderr bytes.Buffer
-		args := append([]string{"-q", "5", "-m", "512", "-latency", "1", "-vc", "4"}, extra...)
 		code := run(args, &stdout, &stderr)
 		if code != 0 {
 			t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 		}
 		return stdout.String()
 	}
-	plain := runOnce()
-	withProgress := runOnce("-progress")
-	if plain != withProgress {
-		t.Fatalf("-progress changed stdout:\n--- plain ---\n%s\n--- progress ---\n%s", plain, withProgress)
+	base := []string{"-q", "5", "-m", "512", "-latency", "1", "-vc", "4"}
+	cases := map[string][]string{
+		"comparison": base,
+		"faults":     append(append([]string{}, base...), "-fail-links", "0-6", "-fail-at", "100"),
+		"sampled": append(append([]string{}, base...),
+			"-ts-out", filepath.Join(t.TempDir(), "tl.md"), "-sample-every", "32"),
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			plain := runOnce(args...)
+			withProgress := runOnce(append(append([]string{}, args...), "-progress")...)
+			if plain != withProgress {
+				t.Fatalf("-progress changed stdout:\n--- plain ---\n%s\n--- progress ---\n%s", plain, withProgress)
+			}
+		})
+	}
+}
+
+// TestHeartbeatLine pins the -progress line format: elapsed always, the
+// simulated rate once cycles advance, the ETA once the model estimate
+// says work remains.
+func TestHeartbeatLine(t *testing.T) {
+	if got := heartbeatLine(5*time.Second, 0, 0); got != "allreduce-sim: still running (5s elapsed)" {
+		t.Errorf("idle line: %q", got)
+	}
+	got := heartbeatLine(10*time.Second, 20_000_000, 60_000_000)
+	for _, want := range []string{"10s elapsed", "2 Mcycles/s", "~20s left"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("line %q missing %q", got, want)
+		}
+	}
+	// Past the estimate there is nothing left to predict: no ETA.
+	if got := heartbeatLine(10*time.Second, 50, 40); strings.Contains(got, "left") {
+		t.Errorf("overdue line still predicts an ETA: %q", got)
+	}
+}
+
+// TestCritPathOutputDeterministic: -critpath-out must produce a byte-
+// identical blame report across runs and a stdout identical to a run
+// without the flag (plus the trailing notice line), fault-free with a
+// parallel pool and under fault injection.
+func TestCritPathOutputDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]string{
+		"comparison": {"-q", "5", "-m", "1024", "-latency", "1", "-vc", "4", "-parallel", "4"},
+		// Link 0-1 is the q=3 Hamiltonian worst case: it kills a tree, and
+		// at this size the re-issued work delivers last, so the recovery
+		// round's latency must show on the critical path.
+		"faults": {"-q", "3", "-m", "512", "-latency", "1", "-vc", "4", "-fail-links", "0-1", "-fail-at", "100"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			runOnce := func(i int) (string, string) {
+				path := filepath.Join(dir, fmt.Sprintf("cp-%s-%d.md", name, i))
+				var stdout, stderr bytes.Buffer
+				code := run(append(append([]string{}, args...), "-critpath-out", path), &stdout, &stderr)
+				if code != 0 {
+					t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+				}
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return strings.ReplaceAll(stdout.String(), path, "CP_OUT"), string(data)
+			}
+			firstOut, firstCP := runOnce(1)
+			if !strings.Contains(firstOut, "critical-path report written to CP_OUT") {
+				t.Fatalf("stdout missing critpath notice:\n%s", firstOut)
+			}
+			for _, want := range []string{"# Critical path", "serialization", "**total**", "Embedding: "} {
+				if !strings.Contains(firstCP, want) {
+					t.Fatalf("report missing %q:\n%s", want, firstCP)
+				}
+			}
+			if name == "faults" && !strings.Contains(firstCP, "Recovery rounds on the path") {
+				t.Errorf("faulted report does not mention recovery rounds:\n%s", firstCP)
+			}
+			for i := 2; i <= 3; i++ {
+				out, cp := runOnce(i)
+				if out != firstOut {
+					t.Fatalf("run %d stdout differs from run 1:\n--- run 1 ---\n%s\n--- run %d ---\n%s", i, firstOut, i, out)
+				}
+				if cp != firstCP {
+					t.Fatalf("run %d report differs from run 1:\n--- run 1 ---\n%s\n--- run %d ---\n%s", i, firstCP, i, cp)
+				}
+			}
+		})
 	}
 }

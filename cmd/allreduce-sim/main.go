@@ -18,7 +18,12 @@
 //	allreduce-sim -q 7 -m 16384 -ts-out tl.md -sample-every 64
 //	                                           # attach the bounded-memory telemetry sampler
 //	                                           # and write the markdown phase timeline
-//	allreduce-sim -q 31 -m 65536 -progress     # heartbeat on stderr for long runs
+//	allreduce-sim -q 7 -m 16384 -critpath-out cp.md
+//	                                           # reconstruct each embedding's causal
+//	                                           # critical path and write the per-cycle
+//	                                           # blame report
+//	allreduce-sim -q 31 -m 65536 -progress     # heartbeat on stderr for long runs,
+//	                                           # with simulated cycles/s and an ETA
 package main
 
 import (
@@ -34,10 +39,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"polarfly/internal/bandwidth"
 	"polarfly/internal/core"
+	"polarfly/internal/critpath"
 	"polarfly/internal/faults"
 	"polarfly/internal/netsim"
 	"polarfly/internal/obsv"
@@ -76,13 +83,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tsOut := fs.String("ts-out", "", "attach the bounded-memory telemetry sampler and write the markdown phase timeline to this file")
 	sampleEvery := fs.Int("sample-every", 64, "telemetry sampling window in cycles (with -ts-out)")
 	tsWindows := fs.Int("ts-windows", 64, "telemetry ring capacity per resolution level (with -ts-out)")
-	progress := fs.Bool("progress", false, "print a heartbeat to stderr while simulations run (stdout is unchanged)")
+	critpathOut := fs.String("critpath-out", "", "reconstruct each embedding's causal critical path from the trace stream and write the markdown blame report to this file")
+	progress := fs.Bool("progress", false, "print a heartbeat with simulated cycles/s and an ETA to stderr while simulations run (stdout is unchanged)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	meter := &progressMeter{}
 	if *progress {
-		stop := startHeartbeat(stderr)
+		stop := startHeartbeat(stderr, meter)
 		defer stop()
+	} else {
+		meter = nil
 	}
 
 	fail := func(err error) int {
@@ -136,20 +147,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *failLinks != "" || *faultSeed != 0 || *faultPlan != "" {
 		return runFaults(*q, *m, *latency, *vc, *seed,
 			*failLinks, *failAt, *faultSeed, *faultPlan, *traceOut, *metricsOut,
-			*tsOut, *sampleEvery, *tsWindows, stdout, stderr)
+			*tsOut, *sampleEvery, *tsWindows, *critpathOut, meter, stdout, stderr)
 	}
 
 	cfg := netsim.Config{LinkLatency: *latency, VCDepth: *vc}
 
-	// With -trace-out/-metrics-out/-ts-out, prep wires one collector
-	// and/or telemetry rig per embedding. prep runs serially before the
+	// With -trace-out/-metrics-out/-ts-out/-critpath-out/-progress, prep
+	// wires one collector, telemetry rig, critical-path builder, and/or
+	// progress tap per embedding. prep runs serially before the
 	// comparison's worker pool dispatches, so the maps need no locks and
 	// -parallel N output stays byte-identical to a serial run.
 	collectors := make(map[core.EmbeddingKind]*obsv.Collector)
 	rigs := make(map[core.EmbeddingKind]*tsRig)
+	builders := make(map[core.EmbeddingKind]*critpath.Builder)
 	var kindOrder []core.EmbeddingKind
 	var prep func(core.EmbeddingKind, *core.Embedding, *netsim.Config)
-	if *traceOut != "" || *metricsOut != "" || *tsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *tsOut != "" || *critpathOut != "" || meter != nil {
 		prep = func(kind core.EmbeddingKind, e *core.Embedding, c *netsim.Config) {
 			kindOrder = append(kindOrder, kind)
 			if *traceOut != "" || *metricsOut != "" {
@@ -161,6 +174,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			if *tsOut != "" {
 				rigs[kind] = newTSRig(*q, *m, *sampleEvery, *tsWindows, e, false, c)
+			}
+			if *critpathOut != "" {
+				b := critpath.NewBuilder()
+				b.Attach(c)
+				builders[kind] = b
+			}
+			if meter != nil {
+				meter.attach(c, estimateCycles(*m, e))
 			}
 		}
 	}
@@ -226,6 +247,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		fmt.Fprintf(stdout, "telemetry timeline written to %s\n", *tsOut)
+	}
+	if *critpathOut != "" {
+		if err := writeCritPaths(*critpathOut, kindOrder, builders, cyclesByKind); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "critical-path report written to %s\n", *critpathOut)
 	}
 
 	if *hosts {
@@ -325,10 +352,103 @@ func writeTimelines(path string, order []core.EmbeddingKind, rigs map[core.Embed
 	})
 }
 
-// startHeartbeat prints a liveness line to w every few seconds until the
+// writeCritPaths analyses every builder's trace index against the run's
+// final cycle count and renders one blame report per embedding, in run
+// order. An Analyze error (a causal-model inconsistency) aborts the
+// whole file — a partial report would hide the engine bug.
+func writeCritPaths(path string, order []core.EmbeddingKind, builders map[core.EmbeddingKind]*critpath.Builder, cycles map[core.EmbeddingKind]int) error {
+	return writeFile(path, func(w io.Writer) error {
+		first := true
+		for _, kind := range order {
+			b, ok := builders[kind]
+			if !ok {
+				continue
+			}
+			a, err := b.Analyze(cycles[kind])
+			if err != nil {
+				return fmt.Errorf("critical path for %v: %w", kind, err)
+			}
+			if !first {
+				if _, err := fmt.Fprintln(w); err != nil {
+					return err
+				}
+			}
+			first = false
+			if _, err := fmt.Fprintf(w, "Embedding: %s\n\n", kind); err != nil {
+				return err
+			}
+			if err := critpath.WriteMarkdown(w, a, 10); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// progressMeterSampleEvery is the sampling stride the -progress tap uses
+// when no telemetry sampler is attached: coarse enough to stay invisible
+// in the cycle loop, fine enough for a live rate.
+const progressMeterSampleEvery = 1024
+
+// progressMeter aggregates simulated-cycle progress across concurrently
+// running simulations so the heartbeat can print a rate and an ETA. The
+// counters are atomics because -parallel runs sample from pool workers.
+type progressMeter struct {
+	cycles   atomic.Int64 // simulated cycles advanced, summed over runs
+	expected atomic.Int64 // rough model-predicted total, summed over runs
+}
+
+// attach taps one run's sampling hook, chaining any sampler already
+// wired (e.g. -ts-out). Sampling is observational, so results and stdout
+// stay byte-identical with or without the tap.
+func (p *progressMeter) attach(c *netsim.Config, estimate int) {
+	p.expected.Add(int64(estimate))
+	prev := c.Sample
+	if prev == nil {
+		c.SampleEvery = progressMeterSampleEvery
+	}
+	last := new(int64)
+	c.Sample = func(f *netsim.SampleFrame) {
+		p.cycles.Add(int64(f.Cycle) - *last)
+		*last = int64(f.Cycle)
+		if prev != nil {
+			prev(f)
+		}
+	}
+}
+
+// estimateCycles is the waterfill model's guess at a run's simulated
+// length (m over the aggregate bandwidth), used only for the -progress
+// ETA — fill, drain, and faults make the real run somewhat longer.
+func estimateCycles(m int, e *core.Embedding) int {
+	if e.Model.Aggregate <= 0 {
+		return 0
+	}
+	return int(float64(m) / e.Model.Aggregate)
+}
+
+// heartbeatLine formats one -progress stderr line. The rate appears once
+// simulations have advanced, and the ETA once the model estimate says
+// work remains; a pure function so the format is testable without timers.
+func heartbeatLine(elapsed time.Duration, cycles, expected int64) string {
+	line := fmt.Sprintf("allreduce-sim: still running (%s elapsed", elapsed.Round(time.Second))
+	secs := elapsed.Seconds()
+	if cycles > 0 && secs > 0 {
+		rate := float64(cycles) / secs
+		line += fmt.Sprintf(", %.3g Mcycles/s", rate/1e6)
+		if expected > cycles && rate > 0 {
+			eta := time.Duration(float64(expected-cycles) / rate * float64(time.Second))
+			line += fmt.Sprintf(", ~%s left", eta.Round(time.Second))
+		}
+	}
+	return line + ")"
+}
+
+// startHeartbeat prints a liveness line — elapsed time, simulated
+// cycles/s, and a model-based ETA — to w every few seconds until the
 // returned stop function is called. Stdout is untouched, so -progress
 // never changes the comparison's byte-identical output contract.
-func startHeartbeat(w io.Writer) (stop func()) {
+func startHeartbeat(w io.Writer, meter *progressMeter) (stop func()) {
 	done := make(chan struct{})
 	finished := make(chan struct{})
 	go func() {
@@ -341,8 +461,8 @@ func startHeartbeat(w io.Writer) (stop func()) {
 			case <-done:
 				return
 			case <-t.C:
-				fmt.Fprintf(w, "allreduce-sim: still running (%s elapsed)\n",
-					time.Since(start).Round(time.Second))
+				fmt.Fprintln(w, heartbeatLine(time.Since(start),
+					meter.cycles.Load(), meter.expected.Load()))
 			}
 		}
 	}()
@@ -421,7 +541,7 @@ func treeLinks(e *core.Embedding) [][2]int {
 //     embedding's own tree links (ER and Singer topologies number nodes
 //     differently, so a shared random link would be meaningless).
 func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed int64, planPath, traceOut, metricsOut string,
-	tsOut string, sampleEvery, tsWindows int, stdout, stderr io.Writer) int {
+	tsOut string, sampleEvery, tsWindows int, critpathOut string, meter *progressMeter, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "allreduce-sim:", err)
 		return 1
@@ -475,9 +595,13 @@ func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed in
 	// With -trace-out/-metrics-out, attach one collector per embedding so
 	// the fault and recovery marks land in the exported telemetry; with
 	// -ts-out, one telemetry rig per embedding captures the degraded run's
-	// phase timeline (floor checks off — a fault legitimately breaks them).
+	// phase timeline (floor checks off — a fault legitimately breaks them);
+	// with -critpath-out, one critical-path builder per embedding indexes
+	// the trace for the post-run blame analysis.
 	collectors := make(map[core.EmbeddingKind]*obsv.Collector)
 	rigs := make(map[core.EmbeddingKind]*tsRig)
+	builders := make(map[core.EmbeddingKind]*critpath.Builder)
+	cyclesByKind := make(map[core.EmbeddingKind]int)
 	var kindOrder []core.EmbeddingKind
 
 	fmt.Fprintf(stdout, "degraded runs, PolarFly q=%d (N=%d), m=%d elements, link latency=%d, VC depth=%d\n",
@@ -516,7 +640,7 @@ func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed in
 		}
 
 		cfg := netsim.Config{LinkLatency: latency, VCDepth: vc, Faults: plan}
-		if traceOut != "" || metricsOut != "" || tsOut != "" {
+		if traceOut != "" || metricsOut != "" || tsOut != "" || critpathOut != "" {
 			kindOrder = append(kindOrder, kind)
 		}
 		if traceOut != "" || metricsOut != "" {
@@ -529,11 +653,24 @@ func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed in
 		if tsOut != "" {
 			rigs[kind] = newTSRig(q, m, sampleEvery, tsWindows, e, len(plan.Faults) > 0, &cfg)
 		}
+		if critpathOut != "" {
+			b := critpath.NewBuilder()
+			b.Attach(&cfg)
+			builders[kind] = b
+		}
+		if meter != nil {
+			meter.attach(&cfg, estimateCycles(m, e))
+		}
 		res, err := inst.Allreduce(e, inputs, cfg)
 		if c, ok := collectors[kind]; ok && res != nil {
 			c.SetCycles(res.Cycles)
 		}
+		if res != nil {
+			cyclesByKind[kind] = res.Cycles
+		}
 		if errors.Is(err, netsim.ErrAllTreesLost) {
+			// No completed run, so no critical path to analyse.
+			delete(builders, kind)
 			fmt.Fprintf(stdout, "%-12v %6d %-14s %-10s %9s %8s %8s %8s %10s %10s %8s %8s\n",
 				kind, len(e.Forest), label, "all", "-", "-", "-", "-", "0.000", "-", "-", "aborted")
 			continue
@@ -606,6 +743,12 @@ func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed in
 			return fail(err)
 		}
 		fmt.Fprintf(stdout, "telemetry timeline written to %s\n", tsOut)
+	}
+	if critpathOut != "" {
+		if err := writeCritPaths(critpathOut, kindOrder, builders, cyclesByKind); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "critical-path report written to %s\n", critpathOut)
 	}
 	return 0
 }

@@ -15,6 +15,9 @@
 //	benchreport timeline -q 7 -fault-at 200         # simulate with the streaming telemetry
 //	                                                # sampler attached, write TIMELINE_<label>.json,
 //	                                                # gate on bounds / footprint / ground truth
+//	benchreport critpath -q 3,5,7,11                # reconstruct each run's causal critical
+//	                                                # path, write CRITPATH_<label>.json, gate
+//	                                                # on exact cycle conservation and blame
 //	benchreport overhead BENCH_main.json            # pair X ↔ XSampled benchmarks, gate the
 //	                                                # sampling cost against the 5% budget
 //	benchreport hotcheck BENCH_main.json            # assert the hotalloc analyzer's static
@@ -57,6 +60,8 @@ commands:
   compare    diff two snapshots and gate on regressions
   scorecard  run the measured-vs-model simulation sweep
   timeline   run the streaming-telemetry sweep and emit a phase timeline
+  critpath   run the causal critical-path sweep and gate on exact
+             per-cycle blame conservation
   overhead   gate the telemetry sampling cost from a bench snapshot
   hotcheck   cross-check the static hot-path allocation proof against
              measured allocs/op from a bench snapshot
@@ -80,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdScorecard(args[1:], stdout, stderr)
 	case "timeline":
 		return cmdTimeline(args[1:], stdout, stderr)
+	case "critpath":
+		return cmdCritPath(args[1:], stdout, stderr)
 	case "overhead":
 		return cmdOverhead(args[1:], stdout, stderr)
 	case "hotcheck":
@@ -521,6 +528,71 @@ func cmdTimeline(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "benchreport: wrote %s (%d embeddings)\n", path, len(runs))
 	if fails := perf.TimelineFailures(runs, cfg); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(stderr, "benchreport: FAIL:", f)
+		}
+		return 1
+	}
+	return 0
+}
+
+// cmdCritPath runs the causal critical-path sweep: every embedding of
+// every listed q fault-free and under the worst-case link failure, a
+// CRITPATH_<label>.json snapshot, the blame scorecard on stdout, and a
+// non-zero exit when any run violates the conservation contract (blame
+// not summing exactly to the cycle count, unattributed residue, a
+// fault-free run not dominated by serialization, or recovery blame
+// disagreeing with the collector's measured latency).
+func cmdCritPath(args []string, stdout, stderr io.Writer) int {
+	def := perf.DefaultCritPathConfig()
+	fs := flag.NewFlagSet("benchreport critpath", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	qList := fs.String("q", joinInts(def.Qs), "comma-separated PolarFly orders to sweep")
+	m := fs.Int("m", def.M, "Allreduce vector elements")
+	latency := fs.Int("latency", def.LinkLatency, "link latency in cycles")
+	vc := fs.Int("vc", def.VCDepth, "virtual channel depth in flits")
+	failAt := fs.Int("fail-at", def.FailAt, "cycle the worst-case link fails in the faulted half of the sweep")
+	seed := fs.Int64("seed", def.Seed, "workload seed")
+	parallel := fs.Int("parallel", 0, "simulation worker-pool size; 1 forces serial, <1 means GOMAXPROCS (output is byte-identical either way)")
+	label := fs.String("label", "critpath", "snapshot label; output file is CRITPATH_<label>.json")
+	outDir := fs.String("out", ".", "directory for the CRITPATH_<label>.json snapshot")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	qs, err := parseInts(*qList)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchreport: -q:", err)
+		return 2
+	}
+	cfg := perf.CritPathConfig{
+		Qs: qs, M: *m, LinkLatency: *latency, VCDepth: *vc,
+		FailAt: *failAt, Seed: *seed, Parallel: *parallel,
+	}
+	points, err := perf.CritPath(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	snap := &perf.Snapshot{
+		Schema:         perf.SnapshotSchema,
+		Label:          *label,
+		Kind:           perf.KindCritPath,
+		GoVersion:      runtime.Version(),
+		CritPath:       points,
+		CritPathConfig: &cfg,
+	}
+	path := filepath.Join(*outDir, "CRITPATH_"+sanitizeLabel(*label)+".json")
+	if err := writeSnapshot(path, snap); err != nil {
+		return fail(err)
+	}
+	if err := perf.WriteCritPathMarkdown(stdout, snap); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stderr, "benchreport: wrote %s (%d design points)\n", path, len(points))
+	if fails := perf.CritPathFailures(points); len(fails) > 0 {
 		for _, f := range fails {
 			fmt.Fprintln(stderr, "benchreport: FAIL:", f)
 		}

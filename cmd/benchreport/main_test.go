@@ -199,6 +199,36 @@ func TestScorecardDegradedSmoke(t *testing.T) {
 	}
 }
 
+// TestCritPathSmoke runs the causal critical-path sweep at the smallest
+// design point: every analysed run must conserve its cycle count exactly
+// across the blame classes, fault-free runs must be serialization-
+// dominated, and the faulted single tree must abort.
+func TestCritPathSmoke(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runCLI(t, "critpath",
+		"-q", "3", "-m", "2048", "-fail-at", "300", "-out", dir, "-label", "cpsmoke")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	snap := loadSnapshot(t, filepath.Join(dir, "CRITPATH_cpsmoke.json"))
+	if snap.Kind != perf.KindCritPath || len(snap.CritPath) != 6 {
+		t.Fatalf("kind=%q points=%d, want critpath with 6 points", snap.Kind, len(snap.CritPath))
+	}
+	if snap.CritPathConfig == nil || snap.CritPathConfig.FailAt != 300 {
+		t.Errorf("critpath config not persisted: %+v", snap.CritPathConfig)
+	}
+	for _, pt := range snap.CritPath {
+		if !pt.AllTreesLost && !pt.ConservationOK {
+			t.Errorf("q=%d %s faulted=%v: conservation violated in snapshot", pt.Q, pt.Embedding, pt.Faulted)
+		}
+	}
+	for _, want := range []string{"serialization", "aborted as predicted", "fault-free"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("markdown missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
 // TestScorecardFailsOutsideTolerance: an absurdly tight tolerance must
 // trip the gate (pipeline fill keeps measured below model).
 func TestScorecardFailsOutsideTolerance(t *testing.T) {

@@ -1,0 +1,102 @@
+package critpath
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteMarkdown renders the per-class blame table and the topK longest
+// path segments as a markdown report (the -critpath-out format).
+func WriteMarkdown(w io.Writer, a *Analysis, topK int) error {
+	if _, err := fmt.Fprintf(w, "# Critical path (%d cycles, %d causal events)\n\n", a.Cycles, a.PathNodes); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "| blame class | cycles | share |")
+	fmt.Fprintln(w, "|---|---:|---:|")
+	for _, e := range a.Blame {
+		if e.Cycles == 0 && e.Class != "serialization" {
+			continue
+		}
+		share := 0.0
+		if a.Cycles > 0 {
+			share = 100 * float64(e.Cycles) / float64(a.Cycles)
+		}
+		fmt.Fprintf(w, "| %s | %d | %.1f%% |\n", e.Class, e.Cycles, share)
+	}
+	fmt.Fprintf(w, "| **total** | %d | 100.0%% |\n\n", a.Cycles)
+
+	if len(a.TopSerialization) > 0 {
+		n := len(a.TopSerialization)
+		if n > 3 {
+			n = 3
+		}
+		fmt.Fprint(w, "Serialization bottleneck links:")
+		for i := 0; i < n; i++ {
+			lb := a.TopSerialization[i]
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprintf(w, " %d→%d (%d cycles)", lb.From, lb.To, lb.Cycles)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w)
+	}
+	if a.RecoveriesOnPath > 0 {
+		fmt.Fprintf(w, "Recovery rounds on the path: %d (%d cycles fault→recovery latency)\n\n",
+			a.RecoveriesOnPath, a.RecoveryLatencyCycles)
+	}
+
+	if topK <= 0 {
+		topK = 10
+	}
+	segs := make([]Segment, len(a.Segments))
+	copy(segs, a.Segments)
+	sort.SliceStable(segs, func(i, j int) bool {
+		if segs[i].Cycles() != segs[j].Cycles() {
+			return segs[i].Cycles() > segs[j].Cycles()
+		}
+		return segs[i].Start < segs[j].Start
+	})
+	if len(segs) > topK {
+		segs = segs[:topK]
+	}
+	fmt.Fprintf(w, "## Top %d path segments (of %d)\n\n", len(segs), len(a.Segments))
+	fmt.Fprintln(w, "| start | end | cycles | class | link | tree | phase | job |")
+	fmt.Fprintln(w, "|---:|---:|---:|---|---|---:|---|---:|")
+	for _, s := range segs {
+		if _, err := fmt.Fprintf(w, "| %d | %d | %d | %s | %s | %s | %s | %s |\n",
+			s.Start, s.End, s.Cycles(), s.Class,
+			linkCell(s.From, s.To), intCell(s.Tree), phaseCell(s.Phase), intCell(s.Job)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func linkCell(from, to int) string {
+	if from < 0 {
+		return "-"
+	}
+	if from == to {
+		return fmt.Sprintf("router %d", from)
+	}
+	return fmt.Sprintf("%d→%d", from, to)
+}
+
+func intCell(v int) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func phaseCell(p int) string {
+	switch p {
+	case phaseReduce:
+		return "reduce"
+	case phaseBcast:
+		return "bcast"
+	}
+	return "-"
+}

@@ -108,7 +108,7 @@ func (s *sim) applyFaults(now int) {
 			if active {
 				s.lastFaultCycle = now
 				s.emit(TraceEvent{Cycle: now, Kind: TraceFault, Tree: -1, Phase: int(f.Kind),
-					From: f.U, To: f.V, Flit: -1, Value: int64(dropped)})
+					From: f.U, To: f.V, Flit: -1, Value: int64(dropped), Job: -1})
 			}
 		case faults.LinkDegraded:
 			for _, key := range [2][2]int{{f.U, f.V}, {f.V, f.U}} {
@@ -126,14 +126,14 @@ func (s *sim) applyFaults(now int) {
 			if active {
 				s.lastFaultCycle = now
 				s.emit(TraceEvent{Cycle: now, Kind: TraceFault, Tree: -1, Phase: int(f.Kind),
-					From: f.U, To: f.V, Flit: -1, Value: 0})
+					From: f.U, To: f.V, Flit: -1, Value: 0, Job: -1})
 			}
 		case faults.EngineStall:
 			s.stalled[f.Node] = active
 			if active {
 				s.lastFaultCycle = now
 				s.emit(TraceEvent{Cycle: now, Kind: TraceFault, Tree: -1, Phase: int(f.Kind),
-					From: f.Node, To: f.Node, Flit: -1, Value: 0})
+					From: f.Node, To: f.Node, Flit: -1, Value: 0, Job: -1})
 			}
 		}
 	}
@@ -157,7 +157,7 @@ func (s *sim) purgePipeline(l *link, now int) int {
 		s.result.DroppedFlits++
 		l.dropped++
 		s.emit(TraceEvent{Cycle: now, Kind: TraceDrop, Tree: fl.f.tree, Phase: fl.f.phase,
-			From: fl.f.from, To: fl.f.to, Flit: k, Value: fl.val})
+			From: fl.f.from, To: fl.f.to, Flit: k, Value: fl.val, Job: fl.f.j.idx})
 	}
 	n := l.pipeLen()
 	l.pipeline = l.pipeline[:0]
@@ -269,7 +269,7 @@ func (s *sim) detectAndRecover(now int) (bool, error) {
 				s.result.DroppedFlits++
 				l.dropped++
 				s.emit(TraceEvent{Cycle: now, Kind: TraceDrop, Tree: fl.f.tree, Phase: fl.f.phase,
-					From: fl.f.from, To: fl.f.to, Flit: -1, Value: fl.val})
+					From: fl.f.from, To: fl.f.to, Flit: -1, Value: fl.val, Job: fl.f.j.idx})
 				continue
 			}
 			keptP = append(keptP, fl)
@@ -289,6 +289,7 @@ func (s *sim) detectAndRecover(now int) (bool, error) {
 		return false, fmt.Errorf("%w: %d suspect links %v killed all %d trees at cycle %d",
 			ErrAllTreesLost, len(suspects), suspects, len(s.spec.Forest), now)
 	}
+	firstNewJob := len(s.jobs)
 	if reissued > 0 {
 		forest := make([]*trees.Tree, len(alive))
 		for i, ti := range alive {
@@ -372,7 +373,8 @@ func (s *sim) detectAndRecover(now int) (bool, error) {
 	s.reissuedTotal += reissued
 	s.lastRecoverCycle = now
 	s.emit(TraceEvent{Cycle: now, Kind: TraceRecover, Tree: -1, Phase: -1,
-		From: suspects[0][0], To: suspects[0][1], Flit: reissued, Value: int64(remaining)})
+		From: suspects[0][0], To: suspects[0][1], Flit: reissued, Value: int64(remaining),
+		Job: firstNewJob})
 	return true, nil
 }
 

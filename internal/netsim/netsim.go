@@ -454,6 +454,7 @@ func (l *link) pipePush(fl inflight) {
 // the Equation 2 split, one per tree; recovery appends new jobs when a
 // dead tree's unfinished range is re-issued over the survivors.
 type job struct {
+	idx  int // simulator-wide creation index (the trace stream's Job)
 	tree int // forest tree carrying this job
 	goff int // global offset of the first element
 	m    int // elements carried

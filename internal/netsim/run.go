@@ -241,7 +241,7 @@ func (s *sim) addFlow(f *flow) *flow {
 // flits, so the sizes are exact.
 func (s *sim) addStream(ti, goff, mt int) *job {
 	t := s.spec.Forest[ti]
-	j := &job{tree: ti, goff: goff, m: mt, nodes: make([]nodeTree, s.n)}
+	j := &job{idx: len(s.jobs), tree: ti, goff: goff, m: mt, nodes: make([]nodeTree, s.n)}
 	for v := 0; v < s.n; v++ {
 		j.nodes[v] = nodeTree{
 			parent: t.Parent[v],
@@ -454,7 +454,7 @@ func (s *sim) rootCompute(now int) {
 			j.remaining--
 			if s.traced {
 				s.emit(TraceEvent{Cycle: now, Kind: TraceRootCompute, Tree: j.tree,
-					From: root, To: root, Flit: k, Value: v})
+					From: root, To: root, Flit: k, Value: v, Job: j.idx})
 			}
 			s.checkJobDone(j, now)
 		}
@@ -474,7 +474,7 @@ func (s *sim) noteStall(l *link, f *flow, now int) {
 		l.stallCycles++
 	}
 	s.emit(TraceEvent{Cycle: now, Kind: TraceStall, Tree: f.tree, Phase: f.phase,
-		From: f.from, To: f.to, Flit: f.sent, Value: int64(f.sent - f.consumed)})
+		From: f.from, To: f.to, Flit: f.sent, Value: int64(f.sent - f.consumed), Job: f.j.idx})
 }
 
 // checkJobDone marks a completed job and, when it was the last unfinished
@@ -536,7 +536,7 @@ func (s *sim) cycleLoop() (int, error) {
 					s.result.DroppedFlits++
 					l.dropped++
 					s.emit(TraceEvent{Cycle: now, Kind: TraceDrop, Tree: f.tree, Phase: f.phase,
-						From: f.from, To: f.to, Flit: -1, Value: fl.val})
+						From: f.from, To: f.to, Flit: -1, Value: fl.val, Job: f.j.idx})
 					continue
 				}
 				f.push(fl.val)
@@ -548,7 +548,7 @@ func (s *sim) cycleLoop() (int, error) {
 				}
 				if s.traced {
 					s.emit(TraceEvent{Cycle: now, Kind: TraceArrive, Tree: f.tree, Phase: f.phase,
-						From: f.from, To: f.to, Flit: k, Value: fl.val})
+						From: f.from, To: f.to, Flit: k, Value: fl.val, Job: f.j.idx})
 				}
 				if f.phase == phaseBcast {
 					// Local delivery on arrival.
@@ -651,7 +651,7 @@ func (s *sim) cycleLoop() (int, error) {
 				}
 				if s.traced {
 					s.emit(TraceEvent{Cycle: now, Kind: TraceSend, Tree: f.tree, Phase: f.phase,
-						From: f.from, To: f.to, Flit: f.sent - 1, Value: val})
+						From: f.from, To: f.to, Flit: f.sent - 1, Value: val, Job: f.j.idx})
 				}
 				if l.failed {
 					// The physical layer fails silently: the sender spends
@@ -660,7 +660,7 @@ func (s *sim) cycleLoop() (int, error) {
 					s.result.DroppedFlits++
 					l.dropped++
 					s.emit(TraceEvent{Cycle: now, Kind: TraceDrop, Tree: f.tree, Phase: f.phase,
-						From: f.from, To: f.to, Flit: f.sent - 1, Value: val})
+						From: f.from, To: f.to, Flit: f.sent - 1, Value: val, Job: f.j.idx})
 				} else {
 					l.pipePush(inflight{f: f, val: val, arrive: now + s.cfg.LinkLatency})
 				}
@@ -695,7 +695,7 @@ func (s *sim) cycleLoop() (int, error) {
 			if lb != l.lastBuf {
 				l.lastBuf = lb
 				s.emit(TraceEvent{Cycle: now, Kind: TraceBufferOccupancy,
-					Tree: -1, Phase: -1, From: l.from, To: l.to, Flit: -1, Value: int64(lb)})
+					Tree: -1, Phase: -1, From: l.from, To: l.to, Flit: -1, Value: int64(lb), Job: -1})
 			}
 		}
 		if buffered > s.result.PeakBufferFlits {

@@ -77,6 +77,15 @@ type TraceEvent struct {
 	Flit int
 	// Value is the payload.
 	Value int64
+	// Job is the simulator-wide job index the event belongs to: the
+	// initial jobs are numbered 0..len(Forest)-1 in tree order and
+	// recovery re-issues append in creation order. It disambiguates
+	// re-issued streams, which reuse a (Tree, Phase, From, To) key with
+	// flit indices restarting at 0. It is -1 for per-link and fault
+	// events (TraceBufferOccupancy, TraceFault); for TraceRecover it is
+	// the index of the first job created by the round's re-issue (equal
+	// to the total job count when the round re-issued nothing).
+	Job int
 }
 
 // emit forwards an event to the trace hook if one is installed.

@@ -29,13 +29,14 @@ type Collector struct {
 	links map[[2]int]*linkTelemetry
 	trees map[int]*treeTelemetry
 
-	bursts     map[streamKey]*burst // open transmit bursts (Chrome spans)
-	stallOpen  map[streamKey]*burst // open stall spans
-	stallRuns  map[streamKey]*burst // open strictly-consecutive stall runs
-	spans      []Span
-	runLengths []int // closed stall-run lengths in cycles
-	events     int
-	totalFlits int
+	bursts        map[streamKey]*burst // open transmit bursts (Chrome spans)
+	stallOpen     map[streamKey]*burst // open stall spans
+	stallRuns     map[streamKey]*burst // open strictly-consecutive stall runs
+	spans         []Span
+	runLengths    []int // closed stall-run lengths in cycles
+	events        int
+	totalFlits    int
+	unknownEvents int // events whose Kind matched no switch arm
 
 	// Fault telemetry, in event order (empty on fault-free runs).
 	faultMarks   []FaultMark
@@ -228,6 +229,11 @@ func (c *Collector) Observe(ev netsim.TraceEvent) {
 			}
 		}
 		c.recoverMarks = append(c.recoverMarks, mark)
+	default:
+		// A kind this collector does not know about — most likely a new
+		// netsim event added without a matching arm here. Count it so the
+		// omission is visible in the report instead of silently dropped.
+		c.unknownEvents++
 	}
 }
 
@@ -420,12 +426,16 @@ type HeatmapCell struct {
 
 // Report is the full telemetry summary of one run.
 type Report struct {
-	Cycles     int           `json:"cycles"`
-	TotalFlits int           `json:"total_flits"`
-	Events     int           `json:"events"`
-	Links      []LinkReport  `json:"links"`
-	Trees      []TreeReport  `json:"trees"`
-	Heatmap    []HeatmapCell `json:"heatmap"`
+	Cycles     int `json:"cycles"`
+	TotalFlits int `json:"total_flits"`
+	Events     int `json:"events"`
+	// UnknownEvents counts trace events whose Kind the collector did not
+	// recognise — nonzero means a netsim event kind was added without a
+	// collector arm and its telemetry is missing from this report.
+	UnknownEvents int           `json:"unknown_events,omitempty"`
+	Links         []LinkReport  `json:"links"`
+	Trees         []TreeReport  `json:"trees"`
+	Heatmap       []HeatmapCell `json:"heatmap"`
 	// MaxEdgeCongestion is the most trees observed crossing one
 	// undirected link — the measured Theorem 7.6 quantity.
 	MaxEdgeCongestion int `json:"max_edge_congestion"`
@@ -464,9 +474,10 @@ type Report struct {
 func (c *Collector) Report() *Report {
 	c.flush()
 	r := &Report{
-		Cycles:     c.cycles,
-		TotalFlits: c.totalFlits,
-		Events:     c.events,
+		Cycles:        c.cycles,
+		TotalFlits:    c.totalFlits,
+		Events:        c.events,
+		UnknownEvents: c.unknownEvents,
 	}
 
 	keys := make([][2]int, 0, len(c.links))
@@ -622,6 +633,11 @@ func (c *Collector) Metrics(reg *Registry) *Report {
 	reg.Counter("sim.cycles").Add(int64(rep.Cycles))
 	reg.Counter("sim.flits_total").Add(int64(rep.TotalFlits))
 	reg.Counter("sim.trace_events").Add(int64(rep.Events))
+	if rep.UnknownEvents > 0 {
+		// Registered only when nonzero so clean runs keep byte-identical
+		// metric exports.
+		reg.Counter("obsv_unknown_events").Add(int64(rep.UnknownEvents))
+	}
 	reg.Gauge("sim.max_link_utilization").Set(rep.MaxLinkUtilization)
 	reg.Gauge("sim.max_edge_congestion").Set(float64(rep.MaxEdgeCongestion))
 	reg.Gauge("sim.shared_directed_links").Set(float64(rep.SharedDirectedLinks))

@@ -192,6 +192,39 @@ func TestMetricsExport(t *testing.T) {
 	}
 }
 
+// TestUnknownEventKindCounted: an event kind the collector has no switch
+// arm for must land in the unknown-events counter — visible in the
+// report and, only when nonzero, as the obsv_unknown_events metric — so
+// a future netsim event kind cannot be dropped invisibly.
+func TestUnknownEventKindCounted(t *testing.T) {
+	c := obsv.NewCollector()
+	c.Observe(netsim.TraceEvent{Kind: netsim.TraceEventKind(250), Cycle: 7})
+	c.Observe(netsim.TraceEvent{Kind: netsim.TraceEventKind(251), Cycle: 9})
+	c.Observe(netsim.TraceEvent{Kind: netsim.TraceSend, Cycle: 10, From: 0, To: 1})
+	reg := obsv.NewRegistry()
+	rep := c.Metrics(reg)
+	if rep.UnknownEvents != 2 {
+		t.Errorf("UnknownEvents = %d, want 2", rep.UnknownEvents)
+	}
+	if rep.Events != 3 {
+		t.Errorf("Events = %d, want 3 (unknown events still count as events)", rep.Events)
+	}
+	if got := reg.Snapshot().Counters["obsv_unknown_events"]; got != 2 {
+		t.Errorf("obsv_unknown_events = %d, want 2", got)
+	}
+
+	// A clean run must not register the counter at all, keeping metric
+	// exports byte-identical to before the counter existed.
+	clean, _, _ := collectRun(t, 3, 16, core.Hamiltonian, netsim.Config{LinkLatency: 2, VCDepth: 4})
+	cleanReg := obsv.NewRegistry()
+	if rep := clean.Metrics(cleanReg); rep.UnknownEvents != 0 {
+		t.Errorf("clean run UnknownEvents = %d, want 0", rep.UnknownEvents)
+	}
+	if _, ok := cleanReg.Snapshot().Counters["obsv_unknown_events"]; ok {
+		t.Error("clean run registered obsv_unknown_events; it must stay absent when zero")
+	}
+}
+
 // TestPhaseBreakdown verifies the reduce/broadcast phase split: every
 // tree's boundary sits at its root's last compute, the phases tile the
 // run, and the run-level split matches the slowest tree.

@@ -30,6 +30,8 @@ const (
 	KindScorecard = "scorecard"
 	// KindDegraded is a fault-injection degraded-run scorecard snapshot.
 	KindDegraded = "degraded-scorecard"
+	// KindCritPath is a causal critical-path blame scorecard snapshot.
+	KindCritPath = "critpath"
 )
 
 // Snapshot is the persisted form of one benchmark or scorecard run — the
@@ -62,6 +64,10 @@ type Snapshot struct {
 	Timeline []*tsdb.Snapshot `json:"timeline,omitempty"`
 	// TimelineConfig records the sweep parameters behind Timeline.
 	TimelineConfig *TimelineConfig `json:"timeline_config,omitempty"`
+	// CritPath holds the causal critical-path blame records.
+	CritPath []CritPathPoint `json:"critpath,omitempty"`
+	// CritPathConfig records the sweep parameters behind CritPath.
+	CritPathConfig *CritPathConfig `json:"critpath_config,omitempty"`
 }
 
 // WriteJSON writes the snapshot as indented JSON. Field order is fixed by

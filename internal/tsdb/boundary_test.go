@@ -1,0 +1,160 @@
+package tsdb
+
+import (
+	"testing"
+
+	"polarfly/internal/netsim"
+)
+
+// feedFrames drives a sampler with n synthetic base windows of
+// SampleEvery cycles, one flit and one busy cycle per link per window,
+// then the final flush frame at the last boundary (zero duration, the
+// shape netsim emits when the run ends exactly on a boundary).
+func feedFrames(s *Sampler, sampleEvery, nlinks, n int) {
+	fr := netsim.SampleFrame{Links: make([]netsim.LinkCounters, nlinks)}
+	for i := range fr.Links {
+		fr.Links[i].From, fr.Links[i].To = i, i+1
+	}
+	fr.Run.LastFaultCycle, fr.Run.LastRecoverCycle = -1, -1
+	// The init frame: netsim samples cycle 0 so the sampler learns the
+	// link set before any window elapses.
+	s.Sample(&fr)
+	for w := 1; w <= n; w++ {
+		fr.Cycle = w * sampleEvery
+		for i := range fr.Links {
+			fr.Links[i].Flits++
+			fr.Links[i].BusyCycles++
+			fr.Links[i].Buffered = w % 3
+		}
+		fr.Run.FlitsSent += nlinks
+		fr.Run.ReduceFlits += nlinks
+		s.Sample(&fr)
+	}
+	fr.Final = true
+	s.Sample(&fr)
+}
+
+// TestExactRingFill pins the ring boundary where the window count
+// exactly fills a level: with Windows base windows closed, the ring
+// holds its complete history (nothing evicted, nothing wrapped), and
+// with Windows an exact multiple of Factor the cascade closes only
+// full-group coarse windows — the end-of-run flush must not mint an
+// extra partial from an empty accumulator.
+func TestExactRingFill(t *testing.T) {
+	const (
+		sampleEvery = 4
+		windows     = 8
+		factor      = 4
+		nlinks      = 3
+	)
+	s := MustNew(Config{SampleEvery: sampleEvery, Windows: windows, Levels: 3, Factor: factor})
+	feedFrames(s, sampleEvery, nlinks, windows)
+
+	if got := s.TotalWindows(0); got != windows {
+		t.Fatalf("level 0 closed %d windows, want exactly %d", got, windows)
+	}
+	if got := s.Retained(0); got != windows {
+		t.Fatalf("level 0 retains %d windows, want the full ring %d", got, windows)
+	}
+	for i := 0; i < windows; i++ {
+		run, links := s.Window(0, i)
+		if run.Start != i*sampleEvery || run.End != (i+1)*sampleEvery {
+			t.Errorf("window %d spans (%d, %d], want (%d, %d]",
+				i, run.Start, run.End, i*sampleEvery, (i+1)*sampleEvery)
+		}
+		if run.Partial {
+			t.Errorf("window %d marked partial; every base window was full length", i)
+		}
+		for li, lw := range links {
+			if lw.Flits != 1 || lw.Busy != 1 {
+				t.Errorf("window %d link %d: flits=%d busy=%d, want 1/1", i, li, lw.Flits, lw.Busy)
+			}
+		}
+	}
+
+	// windows/factor full groups and not one window more: a flush with an
+	// empty accumulator must be a no-op at every coarser level.
+	if got, want := s.TotalWindows(1), windows/factor; got != want {
+		t.Fatalf("level 1 closed %d windows, want exactly %d full groups", got, want)
+	}
+	for i := 0; i < windows/factor; i++ {
+		run, links := s.Window(1, i)
+		if run.Partial {
+			t.Errorf("level 1 window %d marked partial; it closed as a full Factor group", i)
+		}
+		if dur := run.End - run.Start; dur != factor*sampleEvery {
+			t.Errorf("level 1 window %d covers %d cycles, want %d", i, dur, factor*sampleEvery)
+		}
+		for li, lw := range links {
+			if lw.Flits != factor {
+				t.Errorf("level 1 window %d link %d: %d flits, want %d", i, li, lw.Flits, factor)
+			}
+		}
+	}
+	// Level 2 saw windows/factor = 2 children — less than a group — so
+	// flush closes them as one partial window.
+	if got := s.TotalWindows(2); got != 1 {
+		t.Fatalf("level 2 closed %d windows, want 1 flushed partial", got)
+	}
+	if run, _ := s.Window(2, 0); !run.Partial {
+		t.Error("level 2 flush window not marked partial despite an incomplete group")
+	}
+}
+
+// TestNonDivisibleRunLength pins the flush path when the base-window
+// count does not divide by Factor: the leftover children close as a
+// partial coarse window, and the level-1 series still accounts for every
+// base window — full groups plus the flushed tail reconcile exactly
+// against the run totals.
+func TestNonDivisibleRunLength(t *testing.T) {
+	const (
+		sampleEvery = 4
+		windows     = 32
+		factor      = 4
+		total       = 11 // 2 full groups of 4 + 3 leftover
+		nlinks      = 2
+	)
+	s := MustNew(Config{SampleEvery: sampleEvery, Windows: windows, Levels: 2, Factor: factor})
+	feedFrames(s, sampleEvery, nlinks, total)
+
+	if got, want := s.TotalWindows(1), total/factor+1; got != want {
+		t.Fatalf("level 1 closed %d windows, want %d full + 1 partial = %d", got, total/factor, want)
+	}
+	flits := 0
+	for i := 0; i < s.Retained(1); i++ {
+		run, links := s.Window(1, i)
+		last := i == s.Retained(1)-1
+		if run.Partial != last {
+			t.Errorf("level 1 window %d partial=%v, want %v (only the flushed tail is partial)",
+				i, run.Partial, last)
+		}
+		wantDur := factor * sampleEvery
+		if last {
+			wantDur = (total % factor) * sampleEvery
+		}
+		if dur := run.End - run.Start; dur != wantDur {
+			t.Errorf("level 1 window %d covers %d cycles, want %d", i, dur, wantDur)
+		}
+		for li, lw := range links {
+			wantFlits := uint32(factor)
+			if last {
+				wantFlits = uint32(total % factor)
+			}
+			if lw.Flits != wantFlits {
+				t.Errorf("level 1 window %d link %d: %d flits, want %d", i, li, lw.Flits, wantFlits)
+			}
+		}
+		flits += run.Flits
+	}
+	if want := total * nlinks; flits != want {
+		t.Errorf("level 1 windows sum to %d flits, run injected %d — the cascade lost flits", flits, want)
+	}
+	// Windows tile the run with no gap or overlap across the flush seam.
+	for i := 1; i < s.Retained(1); i++ {
+		prev, _ := s.Window(1, i-1)
+		cur, _ := s.Window(1, i)
+		if cur.Start != prev.End {
+			t.Errorf("level 1 window %d starts at %d, previous ended at %d", i, cur.Start, prev.End)
+		}
+	}
+}

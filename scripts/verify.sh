@@ -25,11 +25,11 @@ go run ./cmd/repolint ./...
 echo "== repolint selfcheck (bad fixtures fail, clean fixtures pass)"
 ./scripts/selfcheck.sh
 
-echo "== go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun ./internal/tsdb"
-go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun ./internal/tsdb
+echo "== go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun ./internal/tsdb ./internal/critpath"
+go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun ./internal/tsdb ./internal/critpath
 
-echo "== go test ./..."
-go test ./...
+echo "== go test -shuffle=on ./..."
+go test -shuffle=on ./...
 
 echo "== bench smoke (benchreport run, 1 iteration per benchmark)"
 go run ./cmd/benchreport run -label smoke -count 1 -benchtime 1x >/dev/null
@@ -52,6 +52,11 @@ rm -rf "$pardir"
 
 echo "== degraded scorecard (fault-injection recovery vs core.Degrade, q=7)"
 go run ./cmd/benchreport scorecard -degraded -q 7 -label degraded-smoke >/dev/null
+
+echo "== critical-path smoke (exact blame conservation gate, q=3)"
+cpdir=$(mktemp -d)
+go run ./cmd/benchreport critpath -q 3 -m 2048 -fail-at 300 -label critpath-smoke -out "$cpdir" >/dev/null
+rm -rf "$cpdir"
 
 echo "== telemetry timeline smoke (tsdb sampler/analyzer gate + trace cross-check, q=5)"
 tldir=$(mktemp -d)
