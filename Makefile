@@ -1,4 +1,4 @@
-.PHONY: build test lint selfcheck hotcheck verify bench bench-netsim bench-smoke scorecard scorecard-degraded timeline critpath bench-overhead
+.PHONY: build test lint selfcheck hotcheck verify bench bench-netsim bench-smoke scorecard scorecard-degraded timeline critpath bench-overhead campaign campaign-smoke
 
 build:
 	go build ./...
@@ -77,6 +77,20 @@ timeline:
 # Writes CRITPATH_scorecard.json; exits 1 on violation.
 critpath:
 	go run ./cmd/benchreport critpath -label scorecard
+
+# campaign runs the full seeded chaos campaign: 64 randomized fault
+# plans per design point over q ∈ {3,5,7,11} × {low-depth, hamiltonian}
+# (512 runs), checking the per-run invariants (exact outputs, flit
+# conservation, exact critpath blame, Degrade-predicted bandwidth,
+# classified sentinels). Writes CAMPAIGN_scorecard.json; exits 1 on any
+# violation.
+campaign:
+	go run ./cmd/benchreport campaign -label scorecard
+
+# campaign-smoke is the CI-sized variant: q=5 only, 16 plans per
+# embedding. Writes CAMPAIGN_smoke.json; exits 1 on any violation.
+campaign-smoke:
+	go run ./cmd/benchreport campaign -q 5 -runs 16 -m 1024 -label smoke
 
 # bench-overhead measures the sampled vs unsampled hot-loop benchmark
 # pairs into one snapshot and gates the sampling overhead at 5% median

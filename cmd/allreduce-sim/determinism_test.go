@@ -76,13 +76,77 @@ func TestFaultRunOutputDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosFaultRunOutputDeterministic covers the correlated-domain
+// flags: -fail-routers (router-down expands to every incident link) and
+// -chaos-seed (the campaign engine's weighted per-embedding draw). Three
+// serial runs must be byte-identical, and a -parallel 4 run must match
+// -parallel 1 byte for byte — the degraded-run table renders its rows
+// inside the pool's jobs and commits them in embedding order.
+func TestChaosFaultRunOutputDeterministic(t *testing.T) {
+	cases := map[string]struct {
+		args []string
+		want string // a substring the table must contain
+	}{
+		// Router 3 down at cycle 150: on a PolarFly every spanning tree
+		// touches every node, so all three embeddings abort all-trees-lost.
+		"fail-routers": {
+			args: []string{"-q", "5", "-m", "4096", "-latency", "1", "-vc", "4", "-fail-routers", "3", "-fail-at", "150"},
+			want: "r3",
+		},
+		// Seed 42 draws survivable link faults for every embedding at this
+		// size, so the table shows real recoveries and measured bandwidth.
+		"chaos-seed": {
+			args: []string{"-q", "5", "-m", "2048", "-latency", "2", "-vc", "6", "-chaos-seed", "42", "-fail-at", "100"},
+			want: "low-depth",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			runOnce := func(parallel string) (string, string) {
+				var stdout, stderr bytes.Buffer
+				code := run(append(append([]string{}, tc.args...), "-parallel", parallel), &stdout, &stderr)
+				if code != 0 {
+					t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+				}
+				return stdout.String(), stderr.String()
+			}
+			first, firstErr := runOnce("1")
+			if !strings.Contains(first, "degraded runs") {
+				t.Fatalf("missing degraded-run table:\n%s", first)
+			}
+			if !strings.Contains(first, tc.want) {
+				t.Fatalf("table missing %q:\n%s", tc.want, first)
+			}
+			for i := 2; i <= 3; i++ {
+				out, errOut := runOnce("1")
+				if out != first {
+					t.Fatalf("run %d stdout differs from run 1:\n--- run 1 ---\n%s\n--- run %d ---\n%s", i, first, i, out)
+				}
+				if errOut != firstErr {
+					t.Fatalf("run %d stderr differs from run 1", i)
+				}
+			}
+			par, parErr := runOnce("4")
+			if par != first {
+				t.Fatalf("-parallel 4 stdout differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", first, par)
+			}
+			if parErr != firstErr {
+				t.Fatal("-parallel 4 stderr differs from serial")
+			}
+		})
+	}
+}
+
 // TestFaultFlagErrors covers the fault-flag validation paths.
 func TestFaultFlagErrors(t *testing.T) {
 	cases := map[string][]string{
-		"combined flags": {"-q", "3", "-fail-links", "0-1", "-fault-seed", "7"},
-		"bad link spec":  {"-q", "3", "-fail-links", "zero-one"},
-		"bad fail-at":    {"-q", "3", "-fail-links", "0-1", "-fail-at", "0"},
-		"missing plan":   {"-q", "3", "-fault-plan", "/nonexistent/plan.json"},
+		"combined flags":       {"-q", "3", "-fail-links", "0-1", "-fault-seed", "7"},
+		"combined chaos flags": {"-q", "3", "-fail-routers", "2", "-chaos-seed", "9"},
+		"bad link spec":        {"-q", "3", "-fail-links", "zero-one"},
+		"bad router spec":      {"-q", "3", "-fail-routers", "two"},
+		"bad fail-at":          {"-q", "3", "-fail-links", "0-1", "-fail-at", "0"},
+		"bad chaos fail-at":    {"-q", "3", "-chaos-seed", "9", "-fail-at", "0"},
+		"missing plan":         {"-q", "3", "-fault-plan", "/nonexistent/plan.json"},
 	}
 	for name, args := range cases {
 		t.Run(name, func(t *testing.T) {

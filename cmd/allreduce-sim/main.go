@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"polarfly/internal/bandwidth"
+	"polarfly/internal/chaos"
 	"polarfly/internal/core"
 	"polarfly/internal/critpath"
 	"polarfly/internal/faults"
@@ -80,6 +81,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	failAt := fs.Int("fail-at", 1000, "activation cycle for -fail-links and the window start for -fault-seed")
 	faultSeed := fs.Int64("fault-seed", 0, "non-zero: generate one random link-down fault per embedding (from its own tree links, activation uniform in [fail-at, 2·fail-at]); runs the degraded-run table")
 	faultPlan := fs.String("fault-plan", "", "JSON fault plan file (internal/faults schema) applied to every embedding; runs the degraded-run table")
+	failRouters := fs.String("fail-routers", "", "comma-separated router nodes to fail (router-down: every incident link, atomically) at -fail-at; runs the degraded-run table")
+	chaosSeed := fs.Int64("chaos-seed", 0, "non-zero: draw one weighted chaos scenario per embedding (the campaign generator: correlated groups, storms, router-down, ...), activations uniform in [fail-at, 2·fail-at]; runs the degraded-run table")
 	tsOut := fs.String("ts-out", "", "attach the bounded-memory telemetry sampler and write the markdown phase timeline to this file")
 	sampleEvery := fs.Int("sample-every", 64, "telemetry sampling window in cycles (with -ts-out)")
 	tsWindows := fs.Int("ts-windows", 64, "telemetry ring capacity per resolution level (with -ts-out)")
@@ -144,9 +147,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *sweep {
 		return runSweep(*q, *m, *latency, *vc, *parallel, *seed, stdout, stderr)
 	}
-	if *failLinks != "" || *faultSeed != 0 || *faultPlan != "" {
-		return runFaults(*q, *m, *latency, *vc, *seed,
-			*failLinks, *failAt, *faultSeed, *faultPlan, *traceOut, *metricsOut,
+	if *failLinks != "" || *faultSeed != 0 || *faultPlan != "" || *failRouters != "" || *chaosSeed != 0 {
+		return runFaults(*q, *m, *latency, *vc, *parallel, *seed,
+			*failLinks, *failRouters, *failAt, *faultSeed, *chaosSeed, *faultPlan, *traceOut, *metricsOut,
 			*tsOut, *sampleEvery, *tsWindows, *critpathOut, meter, stdout, stderr)
 	}
 
@@ -512,6 +515,48 @@ func parseFailLinks(s string, at int) (*faults.Plan, error) {
 	return plan, nil
 }
 
+// parseFailRouters parses the -fail-routers node list into a router-down
+// plan: every node fails atomically at cycle at, taking all its incident
+// links with it.
+func parseFailRouters(routers string, at int) (*faults.Plan, error) {
+	plan := &faults.Plan{}
+	for _, part := range strings.Split(routers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad router %q: %v", part, err)
+		}
+		plan.Faults = append(plan.Faults, faults.Fault{Kind: faults.RouterDown, Node: n, At: at})
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// dedupLinks canonicalises (u < v), sorts, and deduplicates an
+// undirected link list — router expansion can duplicate an explicitly
+// failed link.
+func dedupLinks(in [][2]int) [][2]int {
+	seen := make(map[[2]int]bool, len(in))
+	out := in[:0]
+	for _, l := range in {
+		if l[0] > l[1] {
+			l[0], l[1] = l[1], l[0]
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
 // treeLinks returns the undirected links the embedding's forest uses, in
 // deterministic (u, v) order.
 func treeLinks(e *core.Embedding) [][2]int {
@@ -533,34 +578,43 @@ func treeLinks(e *core.Embedding) [][2]int {
 // kind and prints the degraded-run table: the recovery the simulator
 // performed, the measured post-recovery bandwidth, and the core.Degrade
 // analytical prediction it is compared against. Exactly one of plan,
-// links, or fseed selects the faults:
+// links, routers, fseed, or chaosSeed selects the faults:
 //
 //   - plan: a JSON fault plan applied verbatim to every embedding,
 //   - links: comma-separated u-v links going down at cycle at,
+//   - routers: comma-separated nodes going down (every incident link,
+//     atomically) at cycle at,
 //   - fseed: one generated link-down fault per embedding, drawn from that
 //     embedding's own tree links (ER and Singer topologies number nodes
-//     differently, so a shared random link would be meaningless).
-func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed int64, planPath, traceOut, metricsOut string,
+//     differently, so a shared random link would be meaningless),
+//   - chaosSeed: one weighted chaos scenario per embedding, drawn by the
+//     campaign engine's generator from the embedding's own topology.
+//
+// Each embedding's simulation is an independent job on a parrun pool
+// (rows render to strings inside the jobs and print afterwards in
+// embedding order), so -parallel N output is byte-identical to serial.
+func runFaults(q, m, latency, vc, parallel int, seed int64, links, routers string, at int, fseed, chaosSeed int64, planPath, traceOut, metricsOut string,
 	tsOut string, sampleEvery, tsWindows int, critpathOut string, meter *progressMeter, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "allreduce-sim:", err)
 		return 1
 	}
 	set := 0
-	for _, on := range []bool{planPath != "", links != "", fseed != 0} {
+	for _, on := range []bool{planPath != "", links != "", routers != "", fseed != 0, chaosSeed != 0} {
 		if on {
 			set++
 		}
 	}
 	if set > 1 {
-		return fail(errors.New("use only one of -fault-plan, -fail-links, -fault-seed"))
+		return fail(errors.New("use only one of -fault-plan, -fail-links, -fail-routers, -fault-seed, -chaos-seed"))
 	}
 	if at < 1 {
 		return fail(fmt.Errorf("-fail-at %d: activation cycle must be ≥ 1", at))
 	}
 
-	// A shared plan (file or explicit links) applies to every embedding;
-	// with -fault-seed the plan is generated per embedding below.
+	// A shared plan (file, explicit links, or explicit routers) applies to
+	// every embedding; with -fault-seed or -chaos-seed the plan is
+	// generated per embedding below.
 	var shared *faults.Plan
 	switch {
 	case planPath != "":
@@ -576,6 +630,12 @@ func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed in
 	case links != "":
 		var err error
 		shared, err = parseFailLinks(links, at)
+		if err != nil {
+			return fail(err)
+		}
+	case routers != "":
+		var err error
+		shared, err = parseFailRouters(routers, at)
 		if err != nil {
 			return fail(err)
 		}
@@ -604,28 +664,53 @@ func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed in
 	cyclesByKind := make(map[core.EmbeddingKind]int)
 	var kindOrder []core.EmbeddingKind
 
-	fmt.Fprintf(stdout, "degraded runs, PolarFly q=%d (N=%d), m=%d elements, link latency=%d, VC depth=%d\n",
-		q, q*q+q+1, m, latency, vc)
-	fmt.Fprintf(stdout, "%-12s %6s %-14s %-10s %9s %8s %8s %8s %10s %10s %8s %8s\n",
-		"embedding", "trees", "failed links", "dead", "recover@", "dropped", "reissued", "cycles",
-		"pred B", "meas B", "err", "outputs")
+	// faultJob is one embedding's fully-prepared degraded run. Prep runs
+	// serially (the maps above need no locks); the simulations then run as
+	// independent parrun jobs, each touching only its own job state and
+	// its own collector.
+	type faultJob struct {
+		kind  core.EmbeddingKind
+		e     *core.Embedding
+		cfg   netsim.Config
+		pred  float64
+		label string
+	}
+	var jobs []faultJob
 	for _, kind := range kinds {
 		e, err := inst.Embed(kind)
 		if err != nil {
 			return fail(err)
 		}
 		plan := shared
-		if plan == nil {
+		switch {
+		case plan != nil:
+		case chaosSeed != 0:
+			plan, err = chaos.RandomPlan(inst, e, latency, at, 2*at, chaosSeed)
+			if err != nil {
+				return fail(err)
+			}
+		default:
 			plan, err = faults.Generate(treeLinks(e), 1, at, 2*at, fseed)
 			if err != nil {
 				return fail(err)
 			}
 		}
+		// The lossy link set for the prediction: explicit link faults plus
+		// every link incident to a failed router, expanded through the
+		// embedding's own topology (a pure-data plan cannot know the
+		// adjacency). Routers show as r<node> in the failed-links column.
 		failed := plan.FailedLinks()
 		linkCol := make([]string, len(failed))
 		for i, l := range failed {
 			linkCol[i] = fmt.Sprintf("%d-%d", l[0], l[1])
 		}
+		for _, n := range plan.FailedRouters() {
+			linkCol = append(linkCol, fmt.Sprintf("r%d", n))
+			for _, nb := range e.Topology.Neighbors(n) {
+				failed = append(failed, [2]int{n, nb})
+			}
+		}
+		failed = dedupLinks(failed)
 		label := strings.Join(linkCol, ",")
 		if label == "" {
 			label = "-"
@@ -661,22 +746,36 @@ func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed in
 		if meter != nil {
 			meter.attach(&cfg, estimateCycles(m, e))
 		}
-		res, err := inst.Allreduce(e, inputs, cfg)
-		if c, ok := collectors[kind]; ok && res != nil {
+		jobs = append(jobs, faultJob{kind: kind, e: e, cfg: cfg, pred: pred, label: label})
+	}
+
+	// faultRow is one job's rendered table line plus what the serial
+	// commit below needs: rows print in embedding order after the pool
+	// drains, keeping stdout byte-identical at any -parallel.
+	type faultRow struct {
+		line    string
+		cycles  int
+		hasRes  bool
+		allLost bool
+	}
+	rows, err := parrun.Map(parallel, len(jobs), func(i int) (faultRow, error) {
+		job := jobs[i]
+		var row faultRow
+		res, err := inst.Allreduce(job.e, inputs, job.cfg)
+		if c, ok := collectors[job.kind]; ok && res != nil {
 			c.SetCycles(res.Cycles)
 		}
 		if res != nil {
-			cyclesByKind[kind] = res.Cycles
+			row.cycles, row.hasRes = res.Cycles, true
 		}
 		if errors.Is(err, netsim.ErrAllTreesLost) {
-			// No completed run, so no critical path to analyse.
-			delete(builders, kind)
-			fmt.Fprintf(stdout, "%-12v %6d %-14s %-10s %9s %8s %8s %8s %10s %10s %8s %8s\n",
-				kind, len(e.Forest), label, "all", "-", "-", "-", "-", "0.000", "-", "-", "aborted")
-			continue
+			row.allLost = true
+			row.line = fmt.Sprintf("%-12v %6d %-14s %-10s %9s %8s %8s %8s %10s %10s %8s %8s\n",
+				job.kind, len(job.e.Forest), job.label, "all", "-", "-", "-", "-", "0.000", "-", "-", "aborted")
+			return row, nil
 		}
 		if err != nil {
-			return fail(fmt.Errorf("%v: %w", kind, err))
+			return row, fmt.Errorf("%v: %w", job.kind, err)
 		}
 
 		outputs := "ok"
@@ -702,13 +801,33 @@ func runFaults(q, m, latency, vc int, seed int64, links string, at int, fseed in
 		meas, relErr := "-", "-"
 		if len(res.Recoveries) > 0 {
 			meas = fmt.Sprintf("%.3f", res.PostRecoveryBW)
-			if pred > 0 {
-				relErr = fmt.Sprintf("%+.2f%%", 100*(res.PostRecoveryBW-pred)/pred)
+			if job.pred > 0 {
+				relErr = fmt.Sprintf("%+.2f%%", 100*(res.PostRecoveryBW-job.pred)/job.pred)
 			}
 		}
-		fmt.Fprintf(stdout, "%-12v %6d %-14s %-10s %9s %8d %8d %8d %10.3f %10s %8s %8s\n",
-			kind, len(e.Forest), label, fmt.Sprintf("%v", res.DeadTrees), recoverAt,
-			res.DroppedFlits, reissued, res.Cycles, pred, meas, relErr, outputs)
+		row.line = fmt.Sprintf("%-12v %6d %-14s %-10s %9s %8d %8d %8d %10.3f %10s %8s %8s\n",
+			job.kind, len(job.e.Forest), job.label, fmt.Sprintf("%v", res.DeadTrees), recoverAt,
+			res.DroppedFlits, reissued, res.Cycles, job.pred, meas, relErr, outputs)
+		return row, nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	fmt.Fprintf(stdout, "degraded runs, PolarFly q=%d (N=%d), m=%d elements, link latency=%d, VC depth=%d\n",
+		q, q*q+q+1, m, latency, vc)
+	fmt.Fprintf(stdout, "%-12s %6s %-14s %-10s %9s %8s %8s %8s %10s %10s %8s %8s\n",
+		"embedding", "trees", "failed links", "dead", "recover@", "dropped", "reissued", "cycles",
+		"pred B", "meas B", "err", "outputs")
+	for i, row := range rows {
+		fmt.Fprint(stdout, row.line)
+		if row.hasRes {
+			cyclesByKind[jobs[i].kind] = row.cycles
+		}
+		if row.allLost {
+			// No completed run, so no critical path to analyse.
+			delete(builders, jobs[i].kind)
+		}
 	}
 
 	if traceOut != "" {

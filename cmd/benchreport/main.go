@@ -18,6 +18,13 @@
 //	benchreport critpath -q 3,5,7,11                # reconstruct each run's causal critical
 //	                                                # path, write CRITPATH_<label>.json, gate
 //	                                                # on exact cycle conservation and blame
+//	benchreport campaign -q 3,5,7,11 -runs 64       # seeded chaos campaign: randomized fault
+//	                                                # plans per design point, write
+//	                                                # CAMPAIGN_<label>.json, gate on per-run
+//	                                                # invariants (exact outputs, flit
+//	                                                # conservation, critpath conservation,
+//	                                                # Degrade-tracked bandwidth, classified
+//	                                                # terminations)
 //	benchreport overhead BENCH_main.json            # pair X ↔ XSampled benchmarks, gate the
 //	                                                # sampling cost against the 5% budget
 //	benchreport hotcheck BENCH_main.json            # assert the hotalloc analyzer's static
@@ -44,6 +51,7 @@ import (
 	"strings"
 
 	"polarfly/internal/analysis"
+	"polarfly/internal/chaos"
 	"polarfly/internal/parrun"
 	"polarfly/internal/perf"
 )
@@ -62,6 +70,8 @@ commands:
   timeline   run the streaming-telemetry sweep and emit a phase timeline
   critpath   run the causal critical-path sweep and gate on exact
              per-cycle blame conservation
+  campaign   run the seeded chaos campaign and gate on per-run
+             fault-schedule invariants
   overhead   gate the telemetry sampling cost from a bench snapshot
   hotcheck   cross-check the static hot-path allocation proof against
              measured allocs/op from a bench snapshot
@@ -87,6 +97,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdTimeline(args[1:], stdout, stderr)
 	case "critpath":
 		return cmdCritPath(args[1:], stdout, stderr)
+	case "campaign":
+		return cmdCampaign(args[1:], stdout, stderr)
 	case "overhead":
 		return cmdOverhead(args[1:], stdout, stderr)
 	case "hotcheck":
@@ -593,6 +605,90 @@ func cmdCritPath(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "benchreport: wrote %s (%d design points)\n", path, len(points))
 	if fails := perf.CritPathFailures(points); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(stderr, "benchreport: FAIL:", f)
+		}
+		return 1
+	}
+	return 0
+}
+
+// cmdCampaign runs the seeded chaos campaign: thousands of randomized
+// fault plans across the design points, each checked against the
+// fault-schedule invariants (exact outputs, flit conservation, critpath
+// conservation, Degrade-tracked post-recovery bandwidth, and classified
+// terminations). It writes CAMPAIGN_<label>.json, renders the
+// survival/classification table on stdout, and exits 1 on any
+// violation.
+func cmdCampaign(args []string, stdout, stderr io.Writer) int {
+	def := chaos.DefaultConfig()
+	fs := flag.NewFlagSet("benchreport campaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	qList := fs.String("q", joinInts(def.Qs), "comma-separated PolarFly orders to sweep")
+	embeddings := fs.String("embeddings", strings.Join(def.Embeddings, ","), "comma-separated embedding kinds per q")
+	runs := fs.Int("runs", def.Runs, "randomized fault plans per (q, embedding) design point")
+	m := fs.Int("m", def.M, "Allreduce vector elements")
+	latency := fs.Int("latency", def.LinkLatency, "link latency in cycles")
+	vc := fs.Int("vc", def.VCDepth, "virtual channel depth in flits")
+	seed := fs.Int64("seed", def.Seed, "campaign seed; each run's plan derives from (seed, q, embedding, run)")
+	tolerance := fs.Float64("tolerance", def.Tolerance, "relative error allowed between measured post-recovery bandwidth and the Degrade prediction")
+	parallel := fs.Int("parallel", 0, "simulation worker-pool size; 1 forces serial, <1 means GOMAXPROCS (output is byte-identical either way)")
+	label := fs.String("label", "campaign", "snapshot label; output file is CAMPAIGN_<label>.json")
+	outDir := fs.String("out", ".", "directory for the CAMPAIGN_<label>.json snapshot")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	qs, err := parseInts(*qList)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchreport: -q:", err)
+		return 2
+	}
+	var kinds []string
+	for _, part := range strings.Split(*embeddings, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			kinds = append(kinds, part)
+		}
+	}
+	cfg := def
+	cfg.Qs = qs
+	cfg.Embeddings = kinds
+	cfg.Runs = *runs
+	cfg.M = *m
+	cfg.LinkLatency = *latency
+	cfg.VCDepth = *vc
+	cfg.Seed = *seed
+	cfg.Tolerance = *tolerance
+	cfg.Parallel = *parallel
+	rep, err := chaos.Campaign(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	rep.Label = *label
+	path := filepath.Join(*outDir, "CAMPAIGN_"+sanitizeLabel(*label)+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return fail(err)
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := chaos.WriteMarkdown(stdout, rep); err != nil {
+		return fail(err)
+	}
+	total := 0
+	for _, pt := range rep.Points {
+		total += pt.Runs
+	}
+	fmt.Fprintf(stderr, "benchreport: wrote %s (%d design points, %d runs)\n", path, len(rep.Points), total)
+	if fails := rep.Failures(); len(fails) > 0 {
 		for _, f := range fails {
 			fmt.Fprintln(stderr, "benchreport: FAIL:", f)
 		}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"polarfly/internal/chaos"
 	"polarfly/internal/perf"
 )
 
@@ -223,6 +224,48 @@ func TestCritPathSmoke(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"serialization", "aborted as predicted", "fault-free"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("markdown missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestCampaignSmoke runs a small seeded chaos campaign end to end: every
+// run must complete with the invariants intact or terminate classified,
+// the report must decode back, and the markdown must carry the
+// survival/classification table.
+func TestCampaignSmoke(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, stderr := runCLI(t, "campaign",
+		"-q", "3", "-embeddings", "low-depth,hamiltonian", "-runs", "8",
+		"-m", "512", "-out", dir, "-label", "camsmoke")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	f, err := os.Open(filepath.Join(dir, "CAMPAIGN_camsmoke.json"))
+	if err != nil {
+		t.Fatalf("campaign snapshot missing: %v", err)
+	}
+	defer func() { _ = f.Close() }()
+	rep, err := chaos.DecodeReport(f)
+	if err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+	if rep.Label != "camsmoke" || len(rep.Points) != 2 {
+		t.Fatalf("label=%q points=%d, want camsmoke with 2 points", rep.Label, len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if pt.Runs != 8 {
+			t.Errorf("q=%d %s: runs %d, want 8", pt.Q, pt.Embedding, pt.Runs)
+		}
+		if got := pt.Completed + pt.AllTreesLost + pt.RecoveryLimit; got != pt.Runs {
+			t.Errorf("q=%d %s: %d of %d runs classified", pt.Q, pt.Embedding, got, pt.Runs)
+		}
+	}
+	if fails := rep.Failures(); len(fails) != 0 {
+		t.Errorf("campaign recorded violations:\n%s", strings.Join(fails, "\n"))
+	}
+	for _, want := range []string{"Chaos campaign", "all-trees-lost", "classified sentinel"} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("markdown missing %q:\n%s", want, stdout)
 		}

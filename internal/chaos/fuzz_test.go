@@ -1,0 +1,56 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReportJSON checks that DecodeReport never panics on arbitrary
+// input and that any report it accepts survives a write/decode round
+// trip unchanged.
+func FuzzReportJSON(f *testing.F) {
+	seedRep := &Report{
+		Schema: Schema,
+		Label:  "seed",
+		Config: DefaultConfig(),
+		Points: []Point{{
+			Q: 5, Embedding: "low-depth", Trees: 5, Runs: 64,
+			Completed: 60, AllTreesLost: 3, RecoveryLimit: 1,
+			Recoveries: 71, MaxGeneration: 2, BWChecked: 12,
+		}},
+	}
+	var seed bytes.Buffer
+	if err := seedRep.WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"schema":"polarfly-campaign/v1","label":"x","config":{},"points":[]}`)
+	f.Add(`{"schema":"polarfly-campaign/v1","points":[{"q":3,"runs":4,"completed":5}]}`)
+	f.Add(`{"schema":"polarfly-campaign/v1","points":[{"q":3,"runs":4,"completed":2,"violations":["boom"]}]}`)
+	f.Add(`{"schema":"polarfly-bench/v1"}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, in string) {
+		r, err := DecodeReport(strings.NewReader(in))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted report failed to encode: %v", err)
+		}
+		first := buf.String()
+		r2, err := DecodeReport(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\njson: %s", err, first)
+		}
+		var buf2 bytes.Buffer
+		if err := r2.WriteJSON(&buf2); err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if first != buf2.String() {
+			t.Fatalf("round trip not stable:\n first %s\nsecond %s", first, buf2.String())
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON writes the campaign report in the versioned schema.
+func (r *Report) WriteJSON(w io.Writer) error {
+	if r.Schema != Schema {
+		return fmt.Errorf("chaos: report schema %q, want %q", r.Schema, Schema)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DecodeReport reads and validates a report written by WriteJSON.
+func DecodeReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("chaos: decoding report: %w", err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("chaos: report schema %q, want %q", r.Schema, Schema)
+	}
+	for i, pt := range r.Points {
+		if pt.Runs < 1 {
+			return nil, fmt.Errorf("chaos: point %d: runs %d, must be ≥ 1", i, pt.Runs)
+		}
+		classified := pt.Completed + pt.AllTreesLost + pt.RecoveryLimit
+		if pt.Completed < 0 || pt.AllTreesLost < 0 || pt.RecoveryLimit < 0 || classified > pt.Runs {
+			return nil, fmt.Errorf("chaos: point %d: outcome counts %d/%d/%d exceed %d runs",
+				i, pt.Completed, pt.AllTreesLost, pt.RecoveryLimit, pt.Runs)
+		}
+	}
+	return &r, nil
+}
+
+// WriteMarkdown renders the campaign survival/classification table.
+func WriteMarkdown(w io.Writer, r *Report) error {
+	if _, err := fmt.Fprintf(w, "### Chaos campaign — %s\n\n", r.Label); err != nil {
+		return err
+	}
+	cfg := r.Config
+	if _, err := fmt.Fprintf(w,
+		"%d randomized plans per point, m=%d, link latency=%d, VC depth=%d, activation window [%d,%d], seed %d, BW tolerance %.0f%%\n\n",
+		cfg.Runs, cfg.M, cfg.LinkLatency, cfg.VCDepth, cfg.MinAt, cfg.MaxAt, cfg.Seed, 100*cfg.Tolerance); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w,
+		"| q | embedding | trees | runs | completed | all-trees-lost | recovery-limit | recoveries | max gen | bw checked | violations |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w,
+		"|---|---|---|---|---|---|---|---|---|---|---|"); err != nil {
+		return err
+	}
+	for _, pt := range r.Points {
+		viol := "0"
+		if n := len(pt.Violations); n > 0 {
+			viol = fmt.Sprintf("**%d**", n)
+		}
+		if _, err := fmt.Fprintf(w, "| %d | %s | %d | %d | %d | %d | %d | %d | %d | %d | %s |\n",
+			pt.Q, pt.Embedding, pt.Trees, pt.Runs, pt.Completed, pt.AllTreesLost,
+			pt.RecoveryLimit, pt.Recoveries, pt.MaxGeneration, pt.BWChecked, viol); err != nil {
+			return err
+		}
+	}
+	fails := r.Failures()
+	if len(fails) == 0 {
+		_, err := fmt.Fprintln(w, "\nEvery run completed byte-correct with conserved flits or terminated on a classified sentinel.")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\n%d violation(s):\n", len(fails)); err != nil {
+		return err
+	}
+	for _, f := range fails {
+		if _, err := fmt.Fprintf(w, "- %s\n", f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -255,7 +255,10 @@ type AllreduceResult struct {
 	// runs): flits destroyed by link faults, the trees recovery aborted,
 	// every recovery round, and the measured aggregate bandwidth after
 	// the last recovery (the dynamic counterpart of Degrade's model).
-	DroppedFlits   int
+	DroppedFlits int
+	// DeliveredFlits counts flits accepted into receive buffers;
+	// FlitsSent == DeliveredFlits + DroppedFlits on every completed run.
+	DeliveredFlits int
 	DeadTrees      []int
 	Recoveries     []netsim.Recovery
 	PostRecoveryBW float64
@@ -294,6 +297,7 @@ func (in *Instance) Allreduce(e *Embedding, inputs [][]int64, cfg netsim.Config)
 		LinkStats:       res.LinkStats,
 		TreeReduceDone:  res.TreeReduceDone,
 		DroppedFlits:    res.DroppedFlits,
+		DeliveredFlits:  res.DeliveredFlits,
 		DeadTrees:       res.DeadTrees,
 		Recoveries:      res.Recoveries,
 		PostRecoveryBW:  res.PostRecoveryBW,

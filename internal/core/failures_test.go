@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
+	"math/rand"
 	"testing"
 
+	"polarfly/internal/faults"
 	"polarfly/internal/netsim"
 	"polarfly/internal/workload"
 )
@@ -125,6 +128,118 @@ func TestSingleLinkFailureProperty(t *testing.T) {
 			if _, err := Degrade(e, [][2]int{{edge.U, edge.V}}); err == nil {
 				t.Errorf("q=%d single tree survived losing link %v", q, edge)
 			}
+		}
+	}
+}
+
+// forestLinks returns every link any tree of the embedding uses, in the
+// deterministic tree/edge iteration order, deduplicated.
+func forestLinks(e *Embedding) [][2]int {
+	var pool [][2]int
+	seen := map[[2]int]bool{}
+	for _, tr := range e.Forest {
+		for _, edge := range tr.Edges() {
+			u, v := edge.U, edge.V
+			if u > v {
+				u, v = v, u
+			}
+			if !seen[[2]int{u, v}] {
+				seen[[2]int{u, v}] = true
+				pool = append(pool, [2]int{u, v})
+			}
+		}
+	}
+	return pool
+}
+
+// TestKLinkFailureProperty generalizes TestSingleLinkFailureProperty to
+// correlated k-link fault domains across q ∈ {3, 5, 7, 11}: any k-subset
+// of tree links leaves at least trees−2k low-depth survivors (Theorem
+// 7.6: a link serves ≤ 2 trees) and at least trees−k Hamiltonian
+// survivors (Theorem 7.19: edge-disjointness). Degrade may only report
+// total loss when the bound itself reaches zero.
+func TestKLinkFailureProperty(t *testing.T) {
+	for _, q := range []int{3, 5, 7, 11} {
+		in := instance(t, q)
+		cases := []struct {
+			kind    EmbeddingKind
+			perLink int
+		}{
+			{LowDepth, 2},
+			{Hamiltonian, 1},
+		}
+		for _, c := range cases {
+			e, err := in.Embed(c.kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := forestLinks(e)
+			rng := rand.New(rand.NewSource(int64(1000 + q)))
+			for k := 2; k <= 3; k++ {
+				bound := len(e.Forest) - c.perLink*k
+				for trial := 0; trial < 20; trial++ {
+					idxs := rng.Perm(len(pool))[:k]
+					fail := make([][2]int, k)
+					for i, idx := range idxs {
+						fail[i] = pool[idx]
+					}
+					deg, err := Degrade(e, fail)
+					if err != nil {
+						if bound >= 1 {
+							t.Errorf("q=%d %v: %d-link failure %v killed all %d trees, bound promises ≥ %d survivors",
+								q, c.kind, k, fail, len(e.Forest), bound)
+						}
+						continue
+					}
+					got := len(deg.Forest)
+					if got < bound {
+						t.Errorf("q=%d %v: %d-link failure %v left %d trees, want ≥ %d",
+							q, c.kind, k, fail, got, bound)
+					}
+					if got >= len(e.Forest) {
+						t.Errorf("q=%d %v: %d tree links failed but no tree died", q, c.kind, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouterFailureProperty checks the correlated router-down domain
+// across q ∈ {3, 5, 7, 11}: every spanning tree touches every node, so
+// losing any router's incident links structurally kills every embedding
+// (Degrade reports total loss), and the simulator classifies a mid-run
+// router-down as ErrAllTreesLost instead of hanging or misreporting.
+func TestRouterFailureProperty(t *testing.T) {
+	for _, q := range []int{3, 5, 7, 11} {
+		in := instance(t, q)
+		for _, kind := range []EmbeddingKind{SingleTree, LowDepth, Hamiltonian} {
+			e, err := in.Embed(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(q)))
+			for trial := 0; trial < 5; trial++ {
+				n := rng.Intn(in.N())
+				var fail [][2]int
+				for _, nb := range e.Topology.Neighbors(n) {
+					fail = append(fail, [2]int{n, nb})
+				}
+				if _, err := Degrade(e, fail); err == nil {
+					t.Errorf("q=%d %v: router %d down left survivors", q, kind, n)
+				}
+			}
+		}
+		// The simulator side: a router-down before completion must abort
+		// with the classified sentinel on the single-tree baseline.
+		e, err := in.Embed(SingleTree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := workload.Vectors(in.N(), 256, 100, 7)
+		plan := &faults.Plan{Faults: []faults.Fault{{Kind: faults.RouterDown, Node: q, At: 20}}}
+		if _, err := in.Allreduce(e, inputs, netsim.Config{LinkLatency: 1, VCDepth: 4, Faults: plan}); !errors.Is(err, netsim.ErrAllTreesLost) {
+			t.Errorf("q=%d single-tree router-down: err=%v, want ErrAllTreesLost", q, err)
 		}
 	}
 }

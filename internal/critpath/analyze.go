@@ -62,6 +62,12 @@ type Analysis struct {
 	// latency (the fault-detect + recovery blame classes by construction).
 	RecoveriesOnPath      int `json:"recoveries_on_path"`
 	RecoveryLatencyCycles int `json:"recovery_latency_cycles"`
+	// RecoveryRounds lists the indices (into Result.Recoveries order) of
+	// the rounds the path traversed, ascending. Under nested recoveries
+	// the path can skip rounds whose re-issues were themselves aborted, so
+	// the exactness cross-check must sum the collector's measured latency
+	// over exactly these rounds rather than the full set.
+	RecoveryRounds []int `json:"recovery_rounds,omitempty"`
 	// TopSerialization ranks directed links by serialization blame,
 	// descending (ties by link id ascending). On a fault-free run the
 	// first entry is the measured bottleneck — the link Algorithm 1's
@@ -119,12 +125,13 @@ type walker struct {
 	redInto   map[int]map[int][]int32
 	bcastInto map[int]map[int]int32
 
-	segs    []Segment // in reverse (walk) order
-	blame   [numClasses]int
-	linkSer map[[2]int]int
-	nodes   int
-	recOn   int
-	recLat  int
+	segs      []Segment // in reverse (walk) order
+	blame     [numClasses]int
+	linkSer   map[[2]int]int
+	nodes     int
+	recOn     int
+	recLat    int
+	recRounds []int // traversed recovery-round indices, walk order
 }
 
 // Analyze walks backwards from the completion event and returns the
@@ -215,6 +222,10 @@ func (b *Builder) Analyze(cycles int) (*Analysis, error) {
 	a.Unattributed = w.blame[ClassUnattributed]
 	a.RecoveriesOnPath = w.recOn
 	a.RecoveryLatencyCycles = w.recLat
+	if len(w.recRounds) > 0 {
+		a.RecoveryRounds = append([]int(nil), w.recRounds...)
+		sort.Ints(a.RecoveryRounds)
+	}
 	keys := make([][2]int, 0, len(w.linkSer))
 	for k := range w.linkSer {
 		keys = append(keys, k)
@@ -289,9 +300,23 @@ func (w *walker) walk(cur node) error {
 
 		case nRecover:
 			r := b.recovers[cur.ri]
+			// Pair the round with the fault that triggered it: the latest
+			// lossy mark at or before the recovery, preferring one on the
+			// round's own suspect link. Under nested recoveries or mixed
+			// plans the unfiltered latest mark can be a degraded/stall
+			// window opening or another link's storm pulse, which would
+			// mis-split the detect/recovery interval and bridge into the
+			// wrong stream's history.
 			fi := -1
 			for i := len(b.faults) - 1; i >= 0; i-- {
-				if b.faults[i].cycle <= r.cycle {
+				f := b.faults[i]
+				if f.cycle > r.cycle || !lossyFault(f.kind) {
+					continue
+				}
+				if fi < 0 {
+					fi = i
+				}
+				if (f.u == r.u && f.v == r.v) || (f.u == r.v && f.v == r.u) {
 					fi = i
 					break
 				}
@@ -309,6 +334,7 @@ func (w *walker) walk(cur node) error {
 			}
 			w.recOn++
 			w.recLat += r.cycle - f.cycle
+			w.recRounds = append(w.recRounds, cur.ri)
 			w.addSeg(f.cycle+detect, r.cycle, ClassRecovery, r.u, r.v, -1, -1, -1)
 			w.addSeg(f.cycle, f.cycle+detect, ClassFaultDetect, f.u, f.v, -1, -1, -1)
 			cur = node{kind: nFault, ri: fi, cycle: f.cycle}

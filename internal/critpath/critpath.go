@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 
+	"polarfly/internal/faults"
 	"polarfly/internal/netsim"
 )
 
@@ -142,7 +143,14 @@ type jobInfo struct {
 	computes []int32
 }
 
-type faultMark struct{ cycle, u, v int }
+// faultMark records one TraceFault event; kind carries the fault's
+// faults.Kind (the simulator emits it in TraceEvent.Phase) so recovery
+// pairing can skip marks that cannot have triggered a timeout.
+type faultMark struct{ cycle, u, v, kind int }
+
+// lossyFault reports whether a fault mark's kind drops flits and can
+// therefore trigger a recovery round.
+func lossyFault(kind int) bool { return faults.Kind(kind).Lossy() }
 
 type recoverMark struct {
 	cycle, u, v int
@@ -266,7 +274,7 @@ func (b *Builder) Observe(ev netsim.TraceEvent) {
 		setAt(&j.computes, ev.Flit, ev.Cycle)
 		b.noteDelivery(ev.Cycle, false, -1, ev.Job, ev.Flit)
 	case netsim.TraceFault:
-		b.faults = append(b.faults, faultMark{cycle: ev.Cycle, u: ev.From, v: ev.To})
+		b.faults = append(b.faults, faultMark{cycle: ev.Cycle, u: ev.From, v: ev.To, kind: ev.Phase})
 	case netsim.TraceRecover:
 		b.recovers = append(b.recovers, recoverMark{
 			cycle: ev.Cycle, u: ev.From, v: ev.To,

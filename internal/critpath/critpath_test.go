@@ -157,6 +157,134 @@ func TestFaultedRecoveryBlameMatchesCollector(t *testing.T) {
 	}
 }
 
+// treeLinkOther returns a canonical (u < v) tree link of forest tree ti
+// different from avoid.
+func treeLinkOther(t *testing.T, e *core.Embedding, ti int, avoid [2]int) [2]int {
+	t.Helper()
+	for v, p := range e.Forest[ti].Parent {
+		if p < 0 {
+			continue
+		}
+		l := [2]int{v, p}
+		if l[0] > l[1] {
+			l[0], l[1] = l[1], l[0]
+		}
+		if l != avoid {
+			return l
+		}
+	}
+	t.Fatalf("tree %d has no link other than %v", ti, avoid)
+	return [2]int{}
+}
+
+// TestTwoRecoveryConservation is the nested-recovery contract: a second
+// link failure landing while the first recovery's re-issues are still in
+// flight forces a second round, and the blame split must still telescope
+// to exactly Result.Cycles with zero residue, with the fault-detect +
+// recovery blame equal to the collector's measured latency summed over
+// exactly the traversed rounds.
+func TestTwoRecoveryConservation(t *testing.T) {
+	inst, err := core.NewInstance(5)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	e, err := inst.Embed(core.LowDepth)
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	inputs := workload.Vectors(inst.N(), 3000, 1000, core.DefaultSeed)
+	linkA := treeLinkOther(t, e, 0, [2]int{-1, -1})
+
+	// Probe: learn when the first recovery lands and which trees it kills.
+	probe, err := inst.Allreduce(e, inputs, netsim.Config{
+		LinkLatency: 3, VCDepth: 6,
+		Faults: &faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.LinkDown, U: linkA[0], V: linkA[1], At: 200},
+		}},
+	})
+	if err != nil {
+		t.Fatalf("probe Allreduce: %v", err)
+	}
+	if len(probe.Recoveries) == 0 {
+		t.Fatal("probe fault produced no recovery")
+	}
+	rc := probe.Recoveries[0].Cycle
+	dead := make(map[int]bool)
+	for _, ti := range probe.DeadTrees {
+		dead[ti] = true
+	}
+	survivor := -1
+	for ti := range e.Forest {
+		if !dead[ti] {
+			survivor = ti
+			break
+		}
+	}
+	if survivor < 0 {
+		t.Fatal("probe fault killed every tree")
+	}
+	linkB := treeLinkOther(t, e, survivor, linkA)
+
+	// Real run: the second failure hits a survivor's link 50 cycles after
+	// the first recovery, while its re-issued traffic is in flight.
+	cfg := netsim.Config{
+		LinkLatency: 3, VCDepth: 6,
+		Faults: &faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.LinkDown, U: linkA[0], V: linkA[1], At: 200},
+			{Kind: faults.LinkDown, U: linkB[0], V: linkB[1], At: rc + 50},
+		}},
+	}
+	b := NewBuilder()
+	col := obsv.NewCollector()
+	col.Attach(&cfg)
+	b.Attach(&cfg)
+	res, err := inst.Allreduce(e, inputs, cfg)
+	if err != nil {
+		t.Fatalf("Allreduce: %v", err)
+	}
+	if len(res.Recoveries) < 2 {
+		t.Fatalf("staggered plan produced %d recoveries, want ≥ 2", len(res.Recoveries))
+	}
+	col.SetCycles(res.Cycles)
+	rep := col.Report()
+	a, err := b.Analyze(res.Cycles)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	total := 0
+	for _, be := range a.Blame {
+		total += be.Cycles
+	}
+	if total != res.Cycles {
+		t.Errorf("blame sums to %d, want exactly %d", total, res.Cycles)
+	}
+	if a.Unattributed != 0 {
+		t.Errorf("unattributed residue %d, want 0", a.Unattributed)
+	}
+	segSum := 0
+	for _, s := range a.Segments {
+		segSum += s.Cycles()
+	}
+	if segSum != res.Cycles {
+		t.Errorf("segments sum to %d, want %d", segSum, res.Cycles)
+	}
+	if len(a.RecoveryRounds) != a.RecoveriesOnPath {
+		t.Errorf("RecoveryRounds %v but RecoveriesOnPath %d", a.RecoveryRounds, a.RecoveriesOnPath)
+	}
+	traversed := 0
+	for _, ri := range a.RecoveryRounds {
+		if ri < 0 || ri >= len(rep.Recoveries) {
+			t.Fatalf("traversed round index %d out of range (%d measured)", ri, len(rep.Recoveries))
+		}
+		traversed += rep.Recoveries[ri].LatencyCycles
+	}
+	blamed := a.BlameCycles("fault-detect") + a.BlameCycles("recovery")
+	if blamed != traversed {
+		t.Errorf("fault-detect+recovery blame %d != measured latency %d of traversed rounds %v",
+			blamed, traversed, a.RecoveryRounds)
+	}
+}
+
 func TestAnalyzeZeroCycles(t *testing.T) {
 	b := NewBuilder()
 	a, err := b.Analyze(0)

@@ -1,7 +1,9 @@
 // Package faults defines deterministic fault plans for the cycle-accurate
-// simulator: which links fail (permanently or transiently), which links
-// run at degraded bandwidth, and which router reduction engines stall,
-// each anchored to an exact simulated cycle. A plan is pure data — JSON
+// simulator: which links fail (permanently, transiently, or in repeating
+// storm bursts), which links run at degraded bandwidth, which routers
+// fail outright (taking every incident link atomically), and which
+// router reduction engines stall, each anchored to an exact simulated
+// cycle. A plan is pure data — JSON
 // (de)serializable and independent of any simulator state — so the same
 // plan replayed against the same spec and seed reproduces the run
 // bit-for-bit. Randomized plans come from an explicitly seeded stdlib
@@ -38,10 +40,24 @@ const (
 	// [At, Until): the node neither combines child flits nor computes
 	// root results. Nothing is lost; the pipeline back-pressures.
 	EngineStall
+	// RouterDown permanently fails router Node at cycle At: every link
+	// incident to the node fails atomically (a correlated fault domain),
+	// in-flight flits on all of them drop, and the node's engine stops.
+	// On a PolarFly every spanning tree touches every node, so a
+	// router-down mid-run kills all trees unless the streams crossing the
+	// node's links already completed.
+	RouterDown
+	// LinkStorm is a repeating transient: the link fails during
+	// [At + i·Period, Until + i·Period) for i in [0, Repeat), healing
+	// between windows. Each window that drops flits breaks the crossing
+	// streams exactly as LinkTransient does, so a storm landing while a
+	// recovery is still re-issuing forces a further (nested) recovery.
+	LinkStorm
 )
 
-// kindNames is the JSON vocabulary; order must match the Kind constants.
-var kindNames = [...]string{"link-down", "link-transient", "link-degraded", "engine-stall"}
+// kindNames is the JSON vocabulary; order must match the Kind constants
+// and is append-only: committed plans decode forever.
+var kindNames = [...]string{"link-down", "link-transient", "link-degraded", "engine-stall", "router-down", "link-storm"}
 
 func (k Kind) String() string {
 	if k >= 0 && int(k) < len(kindNames) {
@@ -91,23 +107,46 @@ type Fault struct {
 	Until int `json:"until,omitempty"`
 	// Bandwidth is the LinkDegraded cap in flits/cycle (0 < Bandwidth).
 	Bandwidth float64 `json:"bandwidth,omitempty"`
+	// Period is the LinkStorm window-to-window stride in cycles; it must
+	// exceed the window length Until-At so the link heals between bursts.
+	Period int `json:"period,omitempty"`
+	// Repeat is the LinkStorm window count (≥ 1).
+	Repeat int `json:"repeat,omitempty"`
 }
 
 func (f Fault) String() string {
 	switch f.Kind {
 	case EngineStall:
 		return fmt.Sprintf("%v node %d @[%d,%d)", f.Kind, f.Node, f.At, f.Until)
+	case RouterDown:
+		return fmt.Sprintf("%v node %d @%d", f.Kind, f.Node, f.At)
 	case LinkDegraded:
 		return fmt.Sprintf("%v %d-%d to %.3g flits/cycle @[%d,%d)", f.Kind, f.U, f.V, f.Bandwidth, f.At, f.Until)
 	case LinkTransient:
 		return fmt.Sprintf("%v %d-%d @[%d,%d)", f.Kind, f.U, f.V, f.At, f.Until)
+	case LinkStorm:
+		return fmt.Sprintf("%v %d-%d @[%d,%d)×%d/%d", f.Kind, f.U, f.V, f.At, f.Until, f.Repeat, f.Period)
 	default:
 		return fmt.Sprintf("%v %d-%d @%d", f.Kind, f.U, f.V, f.At)
 	}
 }
 
 // IsLink reports whether the fault targets a link (rather than a router).
-func (f Fault) IsLink() bool { return f.Kind != EngineStall }
+func (f Fault) IsLink() bool { return f.Kind != EngineStall && f.Kind != RouterDown }
+
+// Lossy reports whether the kind drops flits outright and can therefore
+// trip timeout detection and trigger a recovery round. Degraded links
+// and engine stalls slow traffic but never lose it.
+func (k Kind) Lossy() bool {
+	switch k {
+	case LinkDown, LinkTransient, RouterDown, LinkStorm:
+		return true
+	case LinkDegraded, EngineStall:
+		return false
+	default:
+		return false
+	}
+}
 
 // Plan is an ordered list of faults. Order is activation order for
 // same-cycle faults, so identical plans replay identically.
@@ -152,10 +191,27 @@ func (p *Plan) Validate() error {
 			if f.Until != 0 {
 				return fmt.Errorf("faults: fault %d: link-down is permanent; until must be 0, got %d", i, f.Until)
 			}
+		case RouterDown:
+			if f.Until != 0 {
+				return fmt.Errorf("faults: fault %d: router-down is permanent; until must be 0, got %d", i, f.Until)
+			}
 		case LinkTransient, LinkDegraded, EngineStall:
 			if f.Until != 0 && f.Until <= f.At {
 				return fmt.Errorf("faults: fault %d: window [%d,%d) is empty", i, f.At, f.Until)
 			}
+		case LinkStorm:
+			if f.Until <= f.At {
+				return fmt.Errorf("faults: fault %d: link-storm window [%d,%d) is empty", i, f.At, f.Until)
+			}
+			if f.Repeat < 1 {
+				return fmt.Errorf("faults: fault %d: link-storm repeat %d, must be ≥ 1", i, f.Repeat)
+			}
+			if f.Period <= f.Until-f.At {
+				return fmt.Errorf("faults: fault %d: link-storm period %d must exceed the window length %d so the link heals between bursts", i, f.Period, f.Until-f.At)
+			}
+		}
+		if f.Kind != LinkStorm && (f.Period != 0 || f.Repeat != 0) {
+			return fmt.Errorf("faults: fault %d: period/repeat only apply to link-storm", i)
 		}
 		if f.Kind == LinkDegraded {
 			if !(f.Bandwidth > 0) {
@@ -170,12 +226,15 @@ func (p *Plan) Validate() error {
 }
 
 // FailedLinks returns the undirected links whose failure can kill trees
-// (LinkDown and LinkTransient; degraded links lose no flits), sorted and
-// deduplicated — the input for core.Degrade's analytical prediction.
+// (LinkDown, LinkTransient and LinkStorm; degraded links lose no flits),
+// sorted and deduplicated — the input for core.Degrade's analytical
+// prediction. RouterDown faults are not expanded here: the incident
+// links depend on the topology, which a pure-data plan does not know.
+// Use FailedRouters plus the topology's adjacency for those.
 func (p *Plan) FailedLinks() [][2]int {
 	seen := make(map[[2]int]bool)
 	for _, f := range p.Faults {
-		if f.Kind != LinkDown && f.Kind != LinkTransient {
+		if f.Kind != LinkDown && f.Kind != LinkTransient && f.Kind != LinkStorm {
 			continue
 		}
 		u, v := f.U, f.V
@@ -194,6 +253,24 @@ func (p *Plan) FailedLinks() [][2]int {
 		}
 		return out[i][1] < out[j][1]
 	})
+	return out
+}
+
+// FailedRouters returns the RouterDown node set, sorted and deduplicated.
+// The caller expands each node to its incident links with the topology's
+// adjacency to feed core.Degrade.
+func (p *Plan) FailedRouters() []int {
+	seen := make(map[int]bool)
+	for _, f := range p.Faults {
+		if f.Kind == RouterDown {
+			seen[f.Node] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Ints(out)
 	return out
 }
 
@@ -270,6 +347,59 @@ func Generate(candidates [][2]int, count, minAt, maxAt int, seed int64) (*Plan, 
 			Kind: LinkDown, U: l[0], V: l[1],
 			At: minAt + rng.Intn(maxAt-minAt+1),
 		})
+	}
+	return p, p.Validate()
+}
+
+// GenerateCorrelated builds a random plan of `groups` correlated fault
+// groups: each group draws `groupSize` distinct links (without
+// replacement across the whole plan) and fails them all atomically at
+// one shared cycle in [minAt, maxAt] — the grouped-multi-link fault
+// domain (a shared conduit or power feed taking several links at once).
+// Candidates are canonicalised and sorted before sampling, so the same
+// seed yields the same plan regardless of input order.
+func GenerateCorrelated(candidates [][2]int, groups, groupSize, minAt, maxAt int, seed int64) (*Plan, error) {
+	if groups < 1 || groupSize < 1 {
+		return nil, fmt.Errorf("faults: generate %d groups of %d, both must be ≥ 1", groups, groupSize)
+	}
+	if minAt < 1 || maxAt < minAt {
+		return nil, fmt.Errorf("faults: generate cycle window [%d,%d] invalid", minAt, maxAt)
+	}
+	canon := make(map[[2]int]bool, len(candidates))
+	for _, l := range candidates {
+		u, v := l[0], l[1]
+		if u == v || u < 0 || v < 0 {
+			return nil, fmt.Errorf("faults: invalid candidate link %d-%d", u, v)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		canon[[2]int{u, v}] = true
+	}
+	links := make([][2]int, 0, len(canon))
+	for l := range canon {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
+	if groups*groupSize > len(links) {
+		return nil, fmt.Errorf("faults: %d×%d correlated faults requested from %d candidate links", groups, groupSize, len(links))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(links))
+	p := &Plan{}
+	for g := 0; g < groups; g++ {
+		at := minAt + rng.Intn(maxAt-minAt+1)
+		idxs := append([]int(nil), perm[g*groupSize:(g+1)*groupSize]...)
+		sort.Ints(idxs) // group order follows link order, not draw order
+		for _, idx := range idxs {
+			l := links[idx]
+			p.Faults = append(p.Faults, Fault{Kind: LinkDown, U: l[0], V: l[1], At: at})
+		}
 	}
 	return p, p.Validate()
 }

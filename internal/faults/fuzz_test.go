@@ -16,6 +16,11 @@ func FuzzPlanJSON(f *testing.F) {
 	f.Add(seed.String())
 	f.Add(`{"version":1,"faults":[]}`)
 	f.Add(`{"version":1,"faults":[{"kind":"link-down","u":0,"v":1,"at":1}]}`)
+	f.Add(`{"version":1,"faults":[{"kind":"router-down","node":4,"at":100}]}`)
+	f.Add(`{"version":1,"faults":[{"kind":"link-storm","u":2,"v":5,"at":10,"until":20,"period":25,"repeat":3}]}`)
+	f.Add(`{"version":1,"faults":[{"kind":"link-down","u":0,"v":1,"at":50},{"kind":"link-down","u":1,"v":2,"at":50},{"kind":"link-down","u":2,"v":3,"at":50}]}`)
+	f.Add(`{"version":1,"faults":[{"kind":"link-storm","u":0,"v":1,"at":10,"until":20,"period":5,"repeat":2}]}`)
+	f.Add(`{"version":1,"faults":[{"kind":"router-down","node":4,"at":100,"until":200}]}`)
 	f.Add(`{"version":2,"faults":[]}`)
 	f.Add(`{`)
 	f.Add(``)

@@ -1,0 +1,283 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"polarfly/internal/faults"
+)
+
+func TestFaultWindowActiveStorm(t *testing.T) {
+	f := faults.Fault{Kind: faults.LinkStorm, U: 0, V: 1, At: 100, Until: 110, Period: 50, Repeat: 3}
+	cases := []struct {
+		now  int
+		want bool
+	}{
+		{99, false}, {100, true}, {109, true}, {110, false}, {149, false},
+		{150, true}, {159, true}, {160, false},
+		{200, true}, {209, true}, {210, false},
+		{250, false}, {1000, false}, // Repeat exhausted
+	}
+	for _, tc := range cases {
+		if got := faultWindowActive(f, tc.now); got != tc.want {
+			t.Errorf("faultWindowActive(storm, %d) = %v, want %v", tc.now, got, tc.want)
+		}
+	}
+	down := faults.Fault{Kind: faults.LinkDown, U: 0, V: 1, At: 5}
+	if faultWindowActive(down, 4) || !faultWindowActive(down, 5) || !faultWindowActive(down, 10000) {
+		t.Error("link-down window should be [At, forever)")
+	}
+}
+
+// TestRouterDownKillsAllTrees: a router dying mid-reduction takes all
+// q+1 incident links atomically, and since every embedded tree is a
+// spanning tree (it has an edge incident to the dead node), every
+// embedding — not just the single-tree baseline — loses all trees.
+func TestRouterDownKillsAllTrees(t *testing.T) {
+	for _, kind := range []string{"lowdepth", "hamiltonian", "single"} {
+		t.Run(kind, func(t *testing.T) {
+			spec, _ := buildPolarSpec(t, 5, 3000, kind)
+			plan := &faults.Plan{Faults: []faults.Fault{
+				{Kind: faults.RouterDown, Node: spec.Forest[0].Root, At: 200},
+			}}
+			_, err := Run(spec, Config{LinkLatency: 3, VCDepth: 6, Faults: plan})
+			if !errors.Is(err, ErrAllTreesLost) {
+				t.Fatalf("err = %v, want ErrAllTreesLost", err)
+			}
+		})
+	}
+}
+
+// TestLinkStormKillsAndRecovers: the first storm burst drops flits and
+// breaks the crossing streams exactly like a transient; the healed
+// windows afterwards do not matter because the link is quarantined. The
+// run recovers onto the survivors and stays numerically exact.
+func TestLinkStormKillsAndRecovers(t *testing.T) {
+	m := 3000
+	spec, _ := buildPolarSpec(t, 5, m, "lowdepth")
+	link := firstTreeLink(spec, 0)
+	plan := &faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.LinkStorm, U: link[0], V: link[1], At: 200, Until: 230, Period: 400, Repeat: 3},
+	}}
+	res, err := Run(spec, Config{LinkLatency: 3, VCDepth: 6, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutputs(t, spec, res)
+	if len(res.Recoveries) != 1 {
+		t.Fatalf("recoveries = %d, want 1 (a quarantined link cannot re-break)", len(res.Recoveries))
+	}
+	if res.Recoveries[0].Generation != 1 {
+		t.Errorf("generation = %d, want 1", res.Recoveries[0].Generation)
+	}
+	if res.DroppedFlits == 0 {
+		t.Error("storm burst dropped no flits")
+	}
+	if res.FlitsSent != res.DeliveredFlits+res.DroppedFlits {
+		t.Errorf("flit conservation: sent %d != delivered %d + dropped %d",
+			res.FlitsSent, res.DeliveredFlits, res.DroppedFlits)
+	}
+}
+
+// stormSchedule builds the mid-recovery fault-storm plan for q=5
+// low-depth: probe a single link-down first to learn the recovery cycle
+// and the surviving trees, then land a storm burst on a survivor's link
+// while the first round's re-issues are still in flight.
+func stormSchedule(t *testing.T) (Spec, *faults.Plan, [2]int, [2]int) {
+	t.Helper()
+	m := 3000
+	spec, _ := buildPolarSpec(t, 5, m, "lowdepth")
+	linkA := firstTreeLink(spec, 0)
+	probePlan := &faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.LinkDown, U: linkA[0], V: linkA[1], At: 200},
+	}}
+	probe, err := Run(spec, Config{LinkLatency: 3, VCDepth: 6, Faults: probePlan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.Recoveries) != 1 {
+		t.Fatalf("probe recoveries = %d, want 1", len(probe.Recoveries))
+	}
+	rc := probe.Recoveries[0].Cycle
+	dead := make(map[int]bool)
+	for _, ti := range probe.DeadTrees {
+		dead[ti] = true
+	}
+	var linkB [2]int
+	found := false
+	for ti := range spec.Forest {
+		if !dead[ti] {
+			linkB = firstTreeLink(spec, ti)
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("probe run left no survivors")
+	}
+	if linkB == linkA {
+		t.Fatalf("survivor link %v equals the quarantined link", linkB)
+	}
+	plan := &faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.LinkDown, U: linkA[0], V: linkA[1], At: 200},
+		{Kind: faults.LinkStorm, U: linkB[0], V: linkB[1],
+			At: rc + 50, Until: rc + 80, Period: 200, Repeat: 2},
+	}}
+	return spec, plan, linkA, linkB
+}
+
+// TestMidRecoveryFaultStormNestsRecovery is the re-entrancy acceptance
+// scenario: a storm burst lands on a surviving tree while the first
+// recovery's re-issues are still streaming. The second round must abort
+// generation-1 jobs (nesting depth 2), blame only the two faulted links
+// (no false positives on trees a prior round already killed), and the
+// run must still deliver the exact reduction.
+func TestMidRecoveryFaultStormNestsRecovery(t *testing.T) {
+	spec, plan, linkA, linkB := stormSchedule(t)
+	res, err := Run(spec, Config{LinkLatency: 3, VCDepth: 6, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutputs(t, spec, res)
+	if len(res.Recoveries) < 2 {
+		t.Fatalf("recoveries = %d, want ≥ 2 (storm must land mid-recovery)", len(res.Recoveries))
+	}
+	maxGen := 0
+	for _, r := range res.Recoveries {
+		if r.Generation > maxGen {
+			maxGen = r.Generation
+		}
+		for _, l := range r.FailedLinks {
+			if l != linkA && l != linkB {
+				t.Errorf("recovery at %d blamed link %v, not one of the faulted %v/%v",
+					r.Cycle, l, linkA, linkB)
+			}
+		}
+	}
+	if maxGen < 2 {
+		t.Fatalf("max recovery generation = %d, want ≥ 2 (nested re-issue)", maxGen)
+	}
+	if res.FlitsSent != res.DeliveredFlits+res.DroppedFlits {
+		t.Errorf("flit conservation: sent %d != delivered %d + dropped %d",
+			res.FlitsSent, res.DeliveredFlits, res.DroppedFlits)
+	}
+}
+
+// TestRecoveryLimitClassifies: the same nested schedule with
+// MaxRecoveries 1 must terminate with the classified sentinel instead of
+// running a second round.
+func TestRecoveryLimitClassifies(t *testing.T) {
+	spec, plan, _, _ := stormSchedule(t)
+	_, err := Run(spec, Config{LinkLatency: 3, VCDepth: 6, Faults: plan, MaxRecoveries: 1})
+	if !errors.Is(err, ErrRecoveryLimit) {
+		t.Fatalf("err = %v, want ErrRecoveryLimit", err)
+	}
+}
+
+// TestOverlappingDegradedWindowsCompose: when two degradation windows
+// overlap on one link, closing the looser window must not lift the
+// tighter cap — the aggregate state is recomputed from the whole plan,
+// not overwritten by the last transition.
+func TestOverlappingDegradedWindowsCompose(t *testing.T) {
+	m := 512
+	spec := lineSpec(t, 5, m)
+	tight := &faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.LinkDegraded, U: 1, V: 2, At: 1, Bandwidth: 0.25},
+	}}
+	resTight, err := Run(spec, Config{LinkLatency: 2, VCDepth: 8, Faults: tight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap := &faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.LinkDegraded, U: 1, V: 2, At: 1, Bandwidth: 0.25},
+		{Kind: faults.LinkDegraded, U: 1, V: 2, At: 10, Until: 50, Bandwidth: 0.5},
+	}}
+	res, err := Run(spec, Config{LinkLatency: 2, VCDepth: 8, Faults: overlap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutputs(t, spec, res)
+	if res.Cycles != resTight.Cycles {
+		t.Errorf("overlapped run took %d cycles, the 0.25×-throughout run %d; closing the looser window lifted the tighter cap",
+			res.Cycles, resTight.Cycles)
+	}
+}
+
+// TestOverlappingStallWindowsCompose: an engine-stall window closing
+// inside a longer one must not wake the engine early.
+func TestOverlappingStallWindowsCompose(t *testing.T) {
+	m := 256
+	spec := lineSpec(t, 5, m) // root is node 2
+	base, err := Run(spec, Config{LinkLatency: 2, VCDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := base.Cycles + 200
+	plan := &faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.EngineStall, Node: 2, At: 1, Until: long},
+		{Kind: faults.EngineStall, Node: 2, At: 5, Until: 30},
+	}}
+	res, err := Run(spec, Config{LinkLatency: 2, VCDepth: 8, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutputs(t, spec, res)
+	if res.Cycles < long {
+		t.Errorf("cycles = %d, want ≥ %d: the short window's close woke the stalled engine", res.Cycles, long)
+	}
+}
+
+// TestOverlappingLossyFaultsCompose: a permanent link-down inside a storm
+// window on the same link must classify and recover cleanly — one
+// recovery (the link is quarantined), exact outputs, conserved flits.
+func TestOverlappingLossyFaultsCompose(t *testing.T) {
+	m := 3000
+	spec, _ := buildPolarSpec(t, 5, m, "lowdepth")
+	link := firstTreeLink(spec, 0)
+	plan := &faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.LinkStorm, U: link[0], V: link[1], At: 200, Until: 260, Period: 300, Repeat: 2},
+		{Kind: faults.LinkDown, U: link[0], V: link[1], At: 230},
+	}}
+	res, err := Run(spec, Config{LinkLatency: 3, VCDepth: 6, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutputs(t, spec, res)
+	if len(res.Recoveries) != 1 {
+		t.Errorf("recoveries = %d, want 1", len(res.Recoveries))
+	}
+	if res.FlitsSent != res.DeliveredFlits+res.DroppedFlits {
+		t.Errorf("flit conservation: sent %d != delivered %d + dropped %d",
+			res.FlitsSent, res.DeliveredFlits, res.DroppedFlits)
+	}
+}
+
+// TestDeliveredFlitsAccounting: fault-free runs deliver every sent flit;
+// the conservation identity is also asserted inside finalize, so this
+// test mostly pins the field's meaning.
+func TestDeliveredFlitsAccounting(t *testing.T) {
+	spec := lineSpec(t, 5, 128)
+	res, err := Run(spec, Config{LinkLatency: 2, VCDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedFlits != 0 || res.DeliveredFlits != res.FlitsSent {
+		t.Errorf("fault-free: sent %d, delivered %d, dropped %d; want delivered == sent, dropped 0",
+			res.FlitsSent, res.DeliveredFlits, res.DroppedFlits)
+	}
+}
+
+// TestRouterDownValidation: the node must fit the topology, and the
+// config must reject a negative recovery cap.
+func TestRouterDownValidation(t *testing.T) {
+	spec := lineSpec(t, 5, 8)
+	plan := &faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.RouterDown, Node: 7, At: 10},
+	}}
+	if _, err := Run(spec, Config{LinkLatency: 2, VCDepth: 4, Faults: plan}); err == nil {
+		t.Error("out-of-range router-down node accepted")
+	}
+	if _, err := Run(spec, Config{LinkLatency: 2, VCDepth: 4, MaxRecoveries: -1}); err == nil {
+		t.Error("negative MaxRecoveries accepted")
+	}
+}

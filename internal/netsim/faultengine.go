@@ -13,8 +13,16 @@ import (
 // ErrAllTreesLost reports that recovery found no surviving tree: every
 // tree of the forest crosses a detected-failed link, so the collective
 // cannot finish. The single-tree baseline hits this on any link failure —
-// the paper's motivation for multi-tree embeddings.
+// the paper's motivation for multi-tree embeddings. A router-down hits it
+// on every embedding whose streams still cross the dead node's links:
+// spanning trees touch every node.
 var ErrAllTreesLost = errors.New("netsim: all trees lost to link faults")
+
+// ErrRecoveryLimit reports that a fault schedule forced more recovery
+// rounds than Config.MaxRecoveries allows — the bounded-nesting backstop
+// for adversarial storms. The run state is abandoned, not corrupted: the
+// error classifies the schedule, it does not mask a hang.
+var ErrRecoveryLimit = errors.New("netsim: recovery round limit exceeded")
 
 // ProgressError is the deadlock diagnostic returned when no flit moves
 // for Config.ProgressTimeout consecutive cycles. Beyond the headline
@@ -83,43 +91,152 @@ func (s *sim) progressError(now, idle int) *ProgressError {
 	return e
 }
 
+// faultWindowActive reports whether the fault is inside an activation
+// window at cycle now. Storms repeat their [At, Until) window every
+// Period cycles, Repeat times; every other kind has the single window
+// [At, Until) with Until 0 meaning forever.
+func faultWindowActive(f faults.Fault, now int) bool {
+	if f.Kind == faults.LinkStorm {
+		if now < f.At {
+			return false
+		}
+		return (now-f.At)/f.Period < f.Repeat && (now-f.At)%f.Period < f.Until-f.At
+	}
+	return now >= f.At && (f.Until == 0 || now < f.Until)
+}
+
+// lossyLinkActive reports whether any lossy fault covers the undirected
+// link (u, v) at cycle now: a link-down/transient/storm targeting it, or
+// a router-down on either endpoint. Plan transitions are rare, so the
+// full-plan scan stays off the hot path.
+func (s *sim) lossyLinkActive(u, v, now int) bool {
+	for _, g := range s.cfg.Faults.Faults {
+		switch g.Kind {
+		case faults.LinkDown, faults.LinkTransient, faults.LinkStorm:
+			if g.U == u && g.V == v && faultWindowActive(g, now) {
+				return true
+			}
+		case faults.RouterDown:
+			if (g.Node == u || g.Node == v) && faultWindowActive(g, now) {
+				return true
+			}
+		case faults.LinkDegraded, faults.EngineStall:
+			// Lossless kinds never fail a link.
+		}
+	}
+	return false
+}
+
+// degradedRate returns the tightest active LinkDegraded cap on (u, v),
+// with ok false when no degradation window is open.
+func (s *sim) degradedRate(u, v, now int) (rate float64, ok bool) {
+	for _, g := range s.cfg.Faults.Faults {
+		if g.Kind != faults.LinkDegraded || g.U != u || g.V != v || !faultWindowActive(g, now) {
+			continue
+		}
+		if !ok || g.Bandwidth < rate {
+			rate = g.Bandwidth
+		}
+		ok = true
+	}
+	return rate, ok
+}
+
+// engineStalled reports whether node's reduction engine is frozen at
+// cycle now: an open engine-stall window, or the node itself is down.
+func (s *sim) engineStalled(node, now int) bool {
+	for _, g := range s.cfg.Faults.Faults {
+		if (g.Kind == faults.EngineStall || g.Kind == faults.RouterDown) &&
+			g.Node == node && faultWindowActive(g, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// setLinkFailed recomputes the undirected link's failed state from every
+// fault covering it — not just the transitioning one, so overlapping
+// windows (a storm burst inside a link-down, a router-down sharing an
+// endpoint) cannot heal a link another fault still holds down. Returns
+// the in-flight flits purged when the link newly fails.
+func (s *sim) setLinkFailed(u, v, now int) int {
+	failed := s.lossyLinkActive(u, v, now)
+	dropped := 0
+	for _, key := range [2][2]int{{u, v}, {v, u}} {
+		if l := s.linkAt(key[0], key[1]); l != nil {
+			rising := failed && !l.failed
+			l.failed = failed
+			if rising {
+				dropped += s.purgePipeline(l, now)
+			}
+		}
+	}
+	return dropped
+}
+
 // applyFaults processes plan-window transitions at the top of each cycle:
-// links fail (dropping their in-flight flits) or heal, degradation
-// windows open or close, engine stalls start or stop.
+// links fail (dropping their in-flight flits) or heal, routers die
+// (failing every incident link atomically), degradation windows open or
+// close, engine stalls start or stop. On any transition the affected
+// link or node state is recomputed from the whole plan, so overlapping
+// faults on one target compose correctly.
 func (s *sim) applyFaults(now int) {
 	for i := range s.cfg.Faults.Faults {
 		f := s.cfg.Faults.Faults[i]
-		active := now >= f.At && (f.Until == 0 || now < f.Until)
+		active := faultWindowActive(f, now)
 		if active == s.faultActive[i] {
 			continue
 		}
 		s.faultActive[i] = active
 		switch f.Kind {
-		case faults.LinkDown, faults.LinkTransient:
-			dropped := 0
-			for _, key := range [2][2]int{{f.U, f.V}, {f.V, f.U}} {
-				if l := s.linkAt(key[0], key[1]); l != nil {
-					l.failed = active
-					if active {
-						dropped += s.purgePipeline(l, now)
-					}
-				}
-			}
+		case faults.LinkDown, faults.LinkTransient, faults.LinkStorm:
+			dropped := s.setLinkFailed(f.U, f.V, now)
 			if active {
 				s.lastFaultCycle = now
 				s.emit(TraceEvent{Cycle: now, Kind: TraceFault, Tree: -1, Phase: int(f.Kind),
 					From: f.U, To: f.V, Flit: -1, Value: int64(dropped), Job: -1})
 			}
+		case faults.RouterDown:
+			// The correlated domain: every incident link fails in one
+			// cycle. One TraceFault per used incident link (ascending
+			// neighbor order, canonical u < v) so critpath and obsv can
+			// bridge recoveries to a concrete link, plus the engine stop.
+			s.stalled[f.Node] = s.engineStalled(f.Node, now)
+			if active {
+				s.lastFaultCycle = now
+			}
+			for _, w := range s.spec.Topology.Neighbors(f.Node) {
+				a, b := f.Node, w
+				if a > b {
+					a, b = b, a
+				}
+				if s.linkAt(a, b) == nil && s.linkAt(b, a) == nil {
+					continue // no flow ever crosses this incident link
+				}
+				dropped := s.setLinkFailed(a, b, now)
+				if active {
+					s.emit(TraceEvent{Cycle: now, Kind: TraceFault, Tree: -1, Phase: int(f.Kind),
+						From: a, To: b, Flit: -1, Value: int64(dropped), Job: -1})
+				}
+			}
 		case faults.LinkDegraded:
+			rate, open := s.degradedRate(f.U, f.V, now)
 			for _, key := range [2][2]int{{f.U, f.V}, {f.V, f.U}} {
 				if l := s.linkAt(key[0], key[1]); l != nil {
-					l.degraded = active
-					if active {
-						l.degRate = f.Bandwidth
-						l.degBudget = 0
-					} else {
+					wasDegraded := l.degraded
+					l.degraded = open
+					if !open {
 						l.degRate = 0
 						l.degBudget = 0
+						continue
+					}
+					l.degRate = rate
+					if !wasDegraded {
+						l.degBudget = 0
+					} else if burst := maxf(1, rate); l.degBudget > burst {
+						// A still-open tighter window keeps its banked
+						// budget, clamped to the recomputed burst cap.
+						l.degBudget = burst
 					}
 				}
 			}
@@ -129,7 +246,7 @@ func (s *sim) applyFaults(now int) {
 					From: f.U, To: f.V, Flit: -1, Value: 0, Job: -1})
 			}
 		case faults.EngineStall:
-			s.stalled[f.Node] = active
+			s.stalled[f.Node] = s.engineStalled(f.Node, now)
 			if active {
 				s.lastFaultCycle = now
 				s.emit(TraceEvent{Cycle: now, Kind: TraceFault, Tree: -1, Phase: int(f.Kind),
@@ -196,6 +313,10 @@ func (s *sim) detectAndRecover(now int) (bool, error) {
 	if len(suspects) == 0 {
 		return false, nil
 	}
+	if len(s.result.Recoveries) >= s.cfg.MaxRecoveries {
+		return false, fmt.Errorf("%w: round %d at cycle %d (cap %d)",
+			ErrRecoveryLimit, len(s.result.Recoveries)+1, now, s.cfg.MaxRecoveries)
+	}
 	sort.Slice(suspects, func(i, j int) bool {
 		if suspects[i][0] != suspects[j][0] {
 			return suspects[i][0] < suspects[j][0]
@@ -223,14 +344,20 @@ func (s *sim) detectAndRecover(now int) (bool, error) {
 	}
 
 	// Abort the dead trees' jobs: record the prefix every node already
-	// holds, queue the rest for re-issue, release the pending count.
+	// holds, queue the rest for re-issue, release the pending count. The
+	// round's generation is one past the deepest job it aborts, so a
+	// fault landing on a prior round's re-issues nests the depth.
 	var ranges [][2]int // {global offset, length}
 	reissued := 0
+	generation := 1
 	for _, j := range s.jobs {
 		if j.dead || !s.deadTree[j.tree] {
 			continue
 		}
 		j.dead = true
+		if j.gen+1 > generation {
+			generation = j.gen + 1
+		}
 		minD := j.m
 		for _, nt := range j.nodes {
 			if nt.delivered < minD {
@@ -332,7 +459,7 @@ func (s *sim) detectAndRecover(now int) (bool, error) {
 				if take > need {
 					take = need
 				}
-				s.addStream(ti, r[0]+consumed, take)
+				s.addStream(ti, r[0]+consumed, take).gen = generation
 				added = true
 				consumed += take
 				need -= take
@@ -369,6 +496,7 @@ func (s *sim) detectAndRecover(now int) (bool, error) {
 		DeadTrees:   newlyDead,
 		Reissued:    reissued,
 		Remaining:   remaining,
+		Generation:  generation,
 	})
 	s.reissuedTotal += reissued
 	s.lastRecoverCycle = now

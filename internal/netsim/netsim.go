@@ -75,6 +75,13 @@ type Config struct {
 	// so any value ≥ 0 is free of false positives. Defaults to
 	// 4·LinkLatency when zero.
 	FaultDetectTimeout int
+	// MaxRecoveries bounds recovery nesting: faults landing while a prior
+	// recovery's re-issues are still in flight trigger further recovery
+	// rounds, and each round quarantines at least one fresh link, so the
+	// natural bound is the link count — this cap turns a pathological
+	// schedule into the classified ErrRecoveryLimit sentinel instead of
+	// unbounded churn. Defaults to DefaultMaxRecoveries when zero.
+	MaxRecoveries int
 	// SampleEvery is the telemetry sampling window in cycles: every
 	// SampleEvery cycles (and once after the run ends) the Sample hook
 	// receives a SampleFrame of cumulative counters. Zero disables
@@ -90,6 +97,11 @@ type Config struct {
 // DefaultProgressTimeout is the deadlock-diagnostic threshold applied by
 // every entry point when Config.ProgressTimeout is zero.
 const DefaultProgressTimeout = 10000
+
+// DefaultMaxRecoveries is the recovery-round cap applied when
+// Config.MaxRecoveries is zero — far above the link count of any
+// simulated PolarFly, so only a genuinely pathological schedule hits it.
+const DefaultMaxRecoveries = 1024
 
 // DefaultConfig mirrors a plausible router point: 10-cycle links and
 // buffers matching the latency-bandwidth product.
@@ -124,6 +136,12 @@ func (c *Config) validate() error {
 	}
 	if c.FaultDetectTimeout == 0 {
 		c.FaultDetectTimeout = 4 * c.LinkLatency
+	}
+	if c.MaxRecoveries < 0 {
+		return fmt.Errorf("netsim: MaxRecoveries must be ≥ 0, got %d", c.MaxRecoveries)
+	}
+	if c.MaxRecoveries == 0 {
+		c.MaxRecoveries = DefaultMaxRecoveries
 	}
 	if c.SampleEvery < 0 {
 		return fmt.Errorf("netsim: SampleEvery must be ≥ 0, got %d", c.SampleEvery)
@@ -218,6 +236,12 @@ type Result struct {
 	// purged from pipelines when their tree is aborted. Zero on
 	// fault-free runs.
 	DroppedFlits int
+	// DeliveredFlits counts flits accepted into a receive buffer. Every
+	// sent flit ends exactly once as an accepted arrival or a drop, so
+	// FlitsSent == DeliveredFlits + DroppedFlits on every completed run —
+	// finalize asserts the identity and the chaos campaign re-checks it
+	// per run.
+	DeliveredFlits int
 	// DeadTrees lists the forest trees aborted by recovery, sorted.
 	DeadTrees []int
 	// Recoveries records every recovery round, in cycle order.
@@ -248,6 +272,11 @@ type Recovery struct {
 	// Remaining is the number of vector elements not yet complete at
 	// every node just after the re-issue — the work the survivors carry.
 	Remaining int
+	// Generation is the recovery nesting depth: 1 for a round that only
+	// aborted initial jobs, 1 + the deepest aborted job's generation when
+	// a fault landed on work a prior round had already re-issued (the
+	// mid-recovery storm case).
+	Generation int
 }
 
 // LinkStat is the per-directed-link telemetry summary of one run.
@@ -462,6 +491,7 @@ type job struct {
 	nodes []nodeTree // per-vertex state, one contiguous block
 	dead  bool       // aborted by recovery; its flows are purged
 	done  bool       // all nodes delivered their targets
+	gen   int        // recovery generation: 0 initial, else creating round's depth
 
 	// remaining is the sum of target−delivered over all nodes, kept in
 	// step with s.pending so completion checks are O(1) per delivery

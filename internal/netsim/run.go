@@ -541,6 +541,7 @@ func (s *sim) cycleLoop() (int, error) {
 				}
 				f.push(fl.val)
 				l.curBuf++
+				s.result.DeliveredFlits++
 				k := f.arrived
 				f.arrived++
 				if s.faultsOn && f.sentAtLen() > 0 {
@@ -753,6 +754,15 @@ func (s *sim) finalize(now int) (*Result, error) {
 					f.tree, f.from, f.to, f.bufLen())
 			}
 		}
+	}
+
+	// Flit conservation: every link transmission ends exactly once, as an
+	// accepted arrival or as one of the four drop sites (injection into a
+	// failed link, pipeline purge at fault activation, out-of-sequence
+	// discard, abort purge at recovery).
+	if s.result.FlitsSent != s.result.DeliveredFlits+s.result.DroppedFlits {
+		return nil, fmt.Errorf("netsim: internal: flit conservation violated: sent=%d delivered=%d dropped=%d",
+			s.result.FlitsSent, s.result.DeliveredFlits, s.result.DroppedFlits)
 	}
 
 	s.result.Outputs = s.outputs

@@ -3,6 +3,7 @@ package obsv
 import (
 	"sort"
 
+	"polarfly/internal/faults"
 	"polarfly/internal/netsim"
 )
 
@@ -67,8 +68,9 @@ type RecoverMark struct {
 	Reissued  int `json:"reissued"`
 	Remaining int `json:"remaining"`
 	// LatencyCycles is the detection latency: cycles since the most
-	// recent fault activation at or before this recovery (-1 if the
-	// stream carried no fault event, which would be a simulator bug).
+	// recent lossy fault activation at or before this recovery,
+	// preferring a fault on the round's suspect link (-1 if the stream
+	// carried no lossy fault event, which would be a simulator bug).
 	LatencyCycles int `json:"latency_cycles"`
 }
 
@@ -222,9 +224,20 @@ func (c *Collector) Observe(ev netsim.TraceEvent) {
 			Reissued: ev.Flit, Remaining: int(ev.Value),
 			LatencyCycles: -1,
 		}
+		// Pair with the latest lossy fault at or before the recovery,
+		// preferring one on the round's own suspect link: degraded/stall
+		// window openings and other links' storm pulses never trigger
+		// timeouts, so pairing with them would misreport the latency.
 		for i := len(c.faultMarks) - 1; i >= 0; i-- {
-			if c.faultMarks[i].Cycle <= ev.Cycle {
-				mark.LatencyCycles = ev.Cycle - c.faultMarks[i].Cycle
+			fm := c.faultMarks[i]
+			if fm.Cycle > ev.Cycle || !faults.Kind(fm.Kind).Lossy() {
+				continue
+			}
+			if mark.LatencyCycles < 0 {
+				mark.LatencyCycles = ev.Cycle - fm.Cycle
+			}
+			if (fm.U == ev.From && fm.V == ev.To) || (fm.U == ev.To && fm.V == ev.From) {
+				mark.LatencyCycles = ev.Cycle - fm.Cycle
 				break
 			}
 		}

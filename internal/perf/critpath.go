@@ -107,6 +107,12 @@ type CritPathPoint struct {
 	RecoveriesOnPath       int `json:"recoveries_on_path,omitempty"`
 	RecoveryBlameCycles    int `json:"recovery_blame_cycles,omitempty"`
 	MeasuredRecoveryCycles int `json:"measured_recovery_cycles,omitempty"`
+	// RecoveryRounds lists the traversed rounds (indices into the
+	// collector's recovery order) and TraversedRecoveryCycles their summed
+	// measured latency — the exact quantity the blame must equal even when
+	// nested recoveries leave some rounds legitimately off the path.
+	RecoveryRounds          []int `json:"recovery_rounds,omitempty"`
+	TraversedRecoveryCycles int   `json:"traversed_recovery_cycles,omitempty"`
 	// AnalysisError records an Analyze failure verbatim (always a gate
 	// failure; the fields above are zero).
 	AnalysisError string `json:"analysis_error,omitempty"`
@@ -245,6 +251,12 @@ func critPathPoint(cfg CritPathConfig, job critJob) (CritPathPoint, error) {
 	for _, r := range rep.Recoveries {
 		pt.MeasuredRecoveryCycles += r.LatencyCycles
 	}
+	pt.RecoveryRounds = a.RecoveryRounds
+	for _, ri := range a.RecoveryRounds {
+		if ri < len(rep.Recoveries) {
+			pt.TraversedRecoveryCycles += rep.Recoveries[ri].LatencyCycles
+		}
+	}
 	return pt, nil
 }
 
@@ -298,7 +310,13 @@ func CritPathFailures(points []CritPathPoint) []string {
 				fails = append(fails, fmt.Sprintf(
 					"%s: fault-detect+recovery blame %d cycles != measured recovery latency %d",
 					id, pt.RecoveryBlameCycles, pt.MeasuredRecoveryCycles))
+			case pt.RecoveriesOnPath < pt.RecoveriesMeasured && len(pt.RecoveryRounds) > 0 &&
+				pt.RecoveryBlameCycles != pt.TraversedRecoveryCycles:
+				fails = append(fails, fmt.Sprintf(
+					"%s: fault-detect+recovery blame %d cycles != measured latency %d of the %d traversed rounds %v",
+					id, pt.RecoveryBlameCycles, pt.TraversedRecoveryCycles, pt.RecoveriesOnPath, pt.RecoveryRounds))
 			case pt.RecoveriesOnPath < pt.RecoveriesMeasured && pt.RecoveryBlameCycles > pt.MeasuredRecoveryCycles:
+				// Backstop for snapshots predating the traversed-round list.
 				fails = append(fails, fmt.Sprintf(
 					"%s: blame %d cycles for %d of %d recovery rounds exceeds the measured total %d",
 					id, pt.RecoveryBlameCycles, pt.RecoveriesOnPath, pt.RecoveriesMeasured, pt.MeasuredRecoveryCycles))
@@ -356,6 +374,7 @@ func WriteCritPathMarkdown(w io.Writer, s *Snapshot) error {
 		if pt.AnalysisError != "" || !pt.ConservationOK || pt.Unattributed != 0 ||
 			(!pt.Faulted && pt.DominantClass != critpath.ClassSerialization.String()) ||
 			(pt.Faulted && pt.RecoveriesOnPath == pt.RecoveriesMeasured && pt.RecoveryBlameCycles != pt.MeasuredRecoveryCycles) ||
+			(pt.Faulted && pt.RecoveriesOnPath < pt.RecoveriesMeasured && len(pt.RecoveryRounds) > 0 && pt.RecoveryBlameCycles != pt.TraversedRecoveryCycles) ||
 			(pt.Faulted && pt.RecoveriesOnPath < pt.RecoveriesMeasured && pt.RecoveryBlameCycles > pt.MeasuredRecoveryCycles) {
 			ok = "**NO**"
 		}

@@ -25,8 +25,8 @@ go run ./cmd/repolint ./...
 echo "== repolint selfcheck (bad fixtures fail, clean fixtures pass)"
 ./scripts/selfcheck.sh
 
-echo "== go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun ./internal/tsdb ./internal/critpath"
-go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun ./internal/tsdb ./internal/critpath
+echo "== go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun ./internal/tsdb ./internal/critpath ./internal/chaos"
+go test -race -count=1 ./internal/netsim ./internal/faults ./internal/obsv ./internal/core ./internal/collectives ./internal/parrun ./internal/tsdb ./internal/critpath ./internal/chaos
 
 echo "== go test -shuffle=on ./..."
 go test -shuffle=on ./...
@@ -57,6 +57,11 @@ echo "== critical-path smoke (exact blame conservation gate, q=3)"
 cpdir=$(mktemp -d)
 go run ./cmd/benchreport critpath -q 3 -m 2048 -fail-at 300 -label critpath-smoke -out "$cpdir" >/dev/null
 rm -rf "$cpdir"
+
+echo "== chaos campaign smoke (invariant-checked fault-space exploration, q=5)"
+camdir=$(mktemp -d)
+go run ./cmd/benchreport campaign -q 5 -runs 8 -m 1024 -label campaign-smoke -out "$camdir" >/dev/null
+rm -rf "$camdir"
 
 echo "== telemetry timeline smoke (tsdb sampler/analyzer gate + trace cross-check, q=5)"
 tldir=$(mktemp -d)
