@@ -1,4 +1,4 @@
-.PHONY: build test lint selfcheck hotcheck verify bench bench-netsim bench-smoke scorecard scorecard-degraded timeline critpath bench-overhead campaign campaign-smoke
+.PHONY: build test lint selfcheck hotcheck verify bench bench-netsim bench-netsim-event bench-smoke scorecard scorecard-q31 scorecard-degraded timeline critpath bench-overhead campaign campaign-smoke
 
 build:
 	go build ./...
@@ -18,13 +18,14 @@ selfcheck:
 	./scripts/selfcheck.sh
 
 # hotcheck cross-checks the static hotalloc proof against measured
-# allocations: reruns the q=11 cycle-loop benchmarks and asserts every
-# BenchmarkCycleLoop variant stays at or below 1 allocs/op. Fails when
-# the static "allocation-free" verdict and the measured numbers
-# disagree — in either direction (a regression, or a vacuous proof).
+# allocations: reruns the q=11 cycle-loop AND event-loop benchmarks and
+# asserts every BenchmarkCycleLoop/BenchmarkEventLoop variant stays at or
+# below 1 allocs/op. Fails when the static "allocation-free" verdict and
+# the measured numbers disagree — in either direction (a regression, or
+# a vacuous proof), and when either loop lacks a measured witness.
 hotcheck:
-	go run ./cmd/benchreport run -label hotcheck -bench CycleLoop -pkg ./internal/netsim -count 3
-	go run ./cmd/benchreport hotcheck -root . BENCH_hotcheck.json
+	go run ./cmd/benchreport run -label hotcheck -bench 'CycleLoop|EventLoop' -pkg ./internal/netsim -count 3
+	go run ./cmd/benchreport hotcheck -bench BenchmarkCycleLoop,BenchmarkEventLoop -root . BENCH_hotcheck.json
 
 # verify is the pre-commit gate: gofmt + vet + build + repolint (with
 # fixture selfcheck) + race-enabled tests for the concurrency-bearing
@@ -45,6 +46,15 @@ bench:
 bench-netsim:
 	go run ./cmd/benchreport run -label netsim-local -bench HotLoop -pkg ./internal/netsim -count 5
 
+# bench-netsim-event reruns the event-engine benchmarks (the q=11 event
+# loop and the q=31 cycle-vs-event scale point) and writes
+# BENCH_netsim-event-local.json for comparison against the committed
+# baseline. The wide threshold absorbs runner drift while still failing
+# if the event engine's order-of-magnitude advantage at q=31 evaporates:
+#   go run ./cmd/benchreport compare -threshold 2.0 BENCH_netsim-event.json BENCH_netsim-event-local.json
+bench-netsim-event:
+	go run ./cmd/benchreport run -label netsim-event-local -bench 'EventLoop|EngineScale' -pkg ./internal/netsim -count 3
+
 # bench-smoke is the CI-sized variant: one iteration per benchmark, just
 # enough to prove the pipeline (go test -bench → parser → snapshot)
 # stays healthy. Writes BENCH_smoke.json.
@@ -56,6 +66,19 @@ bench-smoke:
 # 7.6 / 7.19 floors. Writes BENCH_scorecard.json; exits 1 on violation.
 scorecard:
 	go run ./cmd/benchreport scorecard
+
+# scorecard-q31 runs the full §7.3-scale design point: the q=31 (N=993)
+# sweep on the event engine, gated against the Theorem 7.6 / 7.19 floors
+# exactly like the main scorecard. The Hamiltonian fill transient grows
+# with tree depth (N−1)/2 = 496, so the vector scales up with q to keep
+# the steady state dominant (m=196608 lands the point at −7.5% of the
+# Theorem 7.19 floor; the default m=16384 would sit at −49%). Writes
+# BENCH_q31.json; exits 1 on violation. CI regenerates it and
+# byte-compares against the committed snapshot (engine choice never
+# changes a point). Budget ~20 min single-core: ~8·10⁸ trace events per
+# embedding stream through the obsv collector.
+scorecard-q31:
+	go run ./cmd/benchreport scorecard -q 31 -m 196608 -engine event -label q31
 
 # scorecard-degraded fails the worst-case link mid-reduction for every
 # embedding and gates the simulator's measured post-recovery bandwidth

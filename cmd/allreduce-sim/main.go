@@ -88,8 +88,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tsWindows := fs.Int("ts-windows", 64, "telemetry ring capacity per resolution level (with -ts-out)")
 	critpathOut := fs.String("critpath-out", "", "reconstruct each embedding's causal critical path from the trace stream and write the markdown blame report to this file")
 	progress := fs.Bool("progress", false, "print a heartbeat with simulated cycles/s and an ETA to stderr while simulations run (stdout is unchanged)")
+	engineName := fs.String("engine", "cycle", "netsim advance engine: cycle (reference per-cycle loop) or event (cycle-skipping; byte-identical output, required at q=127 scale)")
+	embeddings := fs.String("embeddings", "", "comma-separated embedding kinds to run in the comparison (low-depth, hamiltonian, single-tree); empty runs the full sweep")
+	maxSimBytes := fs.Int64("max-sim-bytes", 0, "fail if any run's simulator arena footprint exceeds this many bytes (0 disables; the footprint is deterministic, see netsim.ArenaFootprint)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	engine, err := netsim.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(stderr, "allreduce-sim: -engine:", err)
+		return 2
+	}
+	var kinds []core.EmbeddingKind
+	if *embeddings != "" {
+		for _, name := range strings.Split(*embeddings, ",") {
+			k, err := chaos.ParseEmbedding(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(stderr, "allreduce-sim: -embeddings:", err)
+				return 2
+			}
+			kinds = append(kinds, k)
+		}
 	}
 	meter := &progressMeter{}
 	if *progress {
@@ -145,15 +164,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *sweep {
-		return runSweep(*q, *m, *latency, *vc, *parallel, *seed, stdout, stderr)
+		return runSweep(*q, *m, *latency, *vc, *parallel, *seed, engine, stdout, stderr)
 	}
 	if *failLinks != "" || *faultSeed != 0 || *faultPlan != "" || *failRouters != "" || *chaosSeed != 0 {
 		return runFaults(*q, *m, *latency, *vc, *parallel, *seed,
 			*failLinks, *failRouters, *failAt, *faultSeed, *chaosSeed, *faultPlan, *traceOut, *metricsOut,
-			*tsOut, *sampleEvery, *tsWindows, *critpathOut, meter, stdout, stderr)
+			*tsOut, *sampleEvery, *tsWindows, *critpathOut, engine, meter, stdout, stderr)
 	}
 
-	cfg := netsim.Config{LinkLatency: *latency, VCDepth: *vc}
+	cfg := netsim.Config{LinkLatency: *latency, VCDepth: *vc, Engine: engine}
 
 	// With -trace-out/-metrics-out/-ts-out/-critpath-out/-progress, prep
 	// wires one collector, telemetry rig, critical-path builder, and/or
@@ -189,7 +208,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	rows, err := core.SimulationComparisonPar(*q, *m, cfg, *seed, *parallel, prep)
+	rows, err := core.SimulationSweep(*q, *m, cfg, *seed, *parallel, kinds, prep)
 	if err != nil {
 		return fail(err)
 	}
@@ -198,6 +217,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "%-12s %8s %10s %10s %8s %6s %6s %11s %9s %9s %13s\n",
 		"embedding", "trees", "model B", "meas. B", "cycles", "depth", "cong", "util(m/p)", "util err", "speedup", "red/bc cyc")
 	cyclesByKind := make(map[core.EmbeddingKind]int)
+	arenaByKind := make(map[core.EmbeddingKind]netsim.ArenaFootprint)
 	for _, r := range rows {
 		trees := 1
 		switch r.Kind {
@@ -209,6 +229,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			trees = (*q + 1) / 2
 		}
 		cyclesByKind[r.Kind] = r.Cycles
+		arenaByKind[r.Kind] = r.Arena
 		fmt.Fprintf(stdout, "%-12v %8d %10.3f %10.3f %8d %6d %6d %5.2f/%4.2f %+8.2f%% %8.2fx %6d/%6d\n",
 			r.Kind, trees, r.ModelBW, r.MeasuredBW, r.Cycles, r.MaxDepth, r.MaxCongestion,
 			r.MaxLinkUtil, r.ModelMaxLinkUtil, 100*r.UtilRelErr, r.SpeedupVsOne,
@@ -216,6 +237,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	for kind, c := range collectors {
 		c.SetCycles(cyclesByKind[kind])
+		c.SetArena(arenaByKind[kind])
+	}
+
+	// Memory-ceiling gate: the arena footprint is derived from the spec,
+	// so the same command line yields the same number on every machine —
+	// the q=127 smoke asserts its ceiling here.
+	if *maxSimBytes > 0 {
+		for _, r := range rows {
+			fmt.Fprintf(stdout, "arena: %-12v %d bytes (ceiling %d)\n", r.Kind, r.Arena.TotalBytes, *maxSimBytes)
+			if r.Arena.TotalBytes > *maxSimBytes {
+				return fail(fmt.Errorf("%v arena footprint %d bytes exceeds -max-sim-bytes %d",
+					r.Kind, r.Arena.TotalBytes, *maxSimBytes))
+			}
+		}
 	}
 
 	if *traceOut != "" {
@@ -594,7 +629,7 @@ func treeLinks(e *core.Embedding) [][2]int {
 // (rows render to strings inside the jobs and print afterwards in
 // embedding order), so -parallel N output is byte-identical to serial.
 func runFaults(q, m, latency, vc, parallel int, seed int64, links, routers string, at int, fseed, chaosSeed int64, planPath, traceOut, metricsOut string,
-	tsOut string, sampleEvery, tsWindows int, critpathOut string, meter *progressMeter, stdout, stderr io.Writer) int {
+	tsOut string, sampleEvery, tsWindows int, critpathOut string, engine netsim.Engine, meter *progressMeter, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "allreduce-sim:", err)
 		return 1
@@ -724,7 +759,7 @@ func runFaults(q, m, latency, vc, parallel int, seed int64, links, routers strin
 			pred = deg.Model.Aggregate
 		}
 
-		cfg := netsim.Config{LinkLatency: latency, VCDepth: vc, Faults: plan}
+		cfg := netsim.Config{LinkLatency: latency, VCDepth: vc, Faults: plan, Engine: engine}
 		if traceOut != "" || metricsOut != "" || tsOut != "" || critpathOut != "" {
 			kindOrder = append(kindOrder, kind)
 		}
@@ -883,8 +918,8 @@ var sweepKinds = []core.EmbeddingKind{core.SingleTree, core.LowDepth, core.Hamil
 // so they run on a parrun pool; rows are rendered to strings inside the
 // jobs and printed afterwards in m order, keeping stdout byte-identical
 // to the serial sweep.
-func runSweep(q, maxM, latency, vc, parallel int, seed int64, stdout, stderr io.Writer) int {
-	cfg := netsim.Config{LinkLatency: latency, VCDepth: vc}
+func runSweep(q, maxM, latency, vc, parallel int, seed int64, engine netsim.Engine, stdout, stderr io.Writer) int {
+	cfg := netsim.Config{LinkLatency: latency, VCDepth: vc, Engine: engine}
 	var ms []int
 	for m := 8; m <= maxM; m *= 4 {
 		ms = append(ms, m)

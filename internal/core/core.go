@@ -262,6 +262,9 @@ type AllreduceResult struct {
 	DeadTrees      []int
 	Recoveries     []netsim.Recovery
 	PostRecoveryBW float64
+	// Arena is the simulator's construction-time memory footprint,
+	// copied from netsim.Result.Arena.
+	Arena netsim.ArenaFootprint
 }
 
 // Allreduce simulates an in-network Allreduce of the given inputs over the
@@ -298,6 +301,7 @@ func (in *Instance) Allreduce(e *Embedding, inputs [][]int64, cfg netsim.Config)
 		TreeReduceDone:  res.TreeReduceDone,
 		DroppedFlits:    res.DroppedFlits,
 		DeliveredFlits:  res.DeliveredFlits,
+		Arena:           res.Arena,
 		DeadTrees:       res.DeadTrees,
 		Recoveries:      res.Recoveries,
 		PostRecoveryBW:  res.PostRecoveryBW,

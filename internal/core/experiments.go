@@ -215,6 +215,10 @@ type SimRow struct {
 	// attributes measured-vs-model error to a phase.
 	ReduceCycles int
 	BcastCycles  int
+	// Arena is the simulator's construction-time memory footprint for
+	// this embedding's run (netsim.Result.Arena), so scale sweeps can
+	// gate on a deterministic per-run memory ceiling.
+	Arena netsim.ArenaFootprint
 }
 
 // ComparisonKinds is the embedding sweep SimulationComparison runs for
@@ -260,11 +264,24 @@ func SimulationComparisonHooked(q, m int, cfg netsim.Config, seed int64,
 // anything prep wired up — byte-identical to a serial sweep.
 func SimulationComparisonPar(q, m int, cfg netsim.Config, seed int64, parallel int,
 	prep func(EmbeddingKind, *Embedding, *netsim.Config)) ([]SimRow, error) {
+	return SimulationSweep(q, m, cfg, seed, parallel, nil, prep)
+}
+
+// SimulationSweep is SimulationComparisonPar with an explicit embedding
+// list: kinds == nil means the full ComparisonKinds sweep, anything else
+// restricts the runs (e.g. hamiltonian-only at q=127, where building
+// every embedding would dominate a smoke test). When SingleTree is not
+// in the list the SpeedupVsOne column stays zero — there is no baseline
+// to normalise against.
+func SimulationSweep(q, m int, cfg netsim.Config, seed int64, parallel int,
+	kinds []EmbeddingKind, prep func(EmbeddingKind, *Embedding, *netsim.Config)) ([]SimRow, error) {
 	inst, err := NewInstance(q)
 	if err != nil {
 		return nil, err
 	}
-	kinds := ComparisonKinds(q)
+	if kinds == nil {
+		kinds = ComparisonKinds(q)
+	}
 	inputs := workload.Vectors(inst.N(), m, 1000, seed)
 	want := netsim.ExpectedOutput(inputs)
 	embeds := make([]*Embedding, len(kinds))
@@ -317,6 +334,7 @@ func SimulationComparisonPar(q, m int, cfg netsim.Config, seed int64, parallel i
 			ModelMaxLinkUtil: e.ModelMaxLinkLoad(),
 			ReduceCycles:     reduceDone,
 			BcastCycles:      res.Cycles - reduceDone,
+			Arena:            res.Arena,
 		}
 		if row.ModelMaxLinkUtil > 0 {
 			row.UtilRelErr = (row.MaxLinkUtil - row.ModelMaxLinkUtil) / row.ModelMaxLinkUtil

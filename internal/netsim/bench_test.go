@@ -12,7 +12,8 @@ import (
 )
 
 // benchSpec prepares a PolarFly allreduce spec outside the timed loop.
-func benchSpec(b *testing.B, q, m int, kind string) Spec {
+// It accepts testing.TB so the engine-differential tests can reuse it.
+func benchSpec(b testing.TB, q, m int, kind string) Spec {
 	b.Helper()
 	pg, err := er.New(q)
 	if err != nil {
@@ -126,6 +127,79 @@ func BenchmarkCycleLoop(b *testing.B) {
 				if _, err := s.finalize(now); err != nil {
 					b.Fatal(err)
 				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkEventLoop times the event-driven loop alone at the same q=11
+// points as BenchmarkCycleLoop — construction and finalization outside
+// the timer — so allocs/op measures exactly what the hotalloc analyzer
+// proves about eventLoop's call graph. The benchreport hotcheck gate
+// asserts this stays ≤ 1 alloc/op alongside the cycle-loop witness.
+func BenchmarkEventLoop(b *testing.B) {
+	for _, kind := range []string{"single", "lowdepth", "hamiltonian"} {
+		spec := benchSpec(b, 11, 8192, kind)
+		b.Run("q=11/"+kind, func(b *testing.B) {
+			cfg := hotLoopCfg()
+			cfg.Engine = EngineEvent
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := newSim(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				now, err := s.eventLoop()
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.finalize(now); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkEngineScale is the committed cycle-vs-event headline point:
+// q=31 (N=993) Hamiltonian with deep pipelines and one short flow per
+// directed link, so most links idle most cycles. The cycle loop still
+// visits every link every cycle; the event loop only wakes the active
+// ones. The committed BENCH_netsim-event.json records both subbenches,
+// and CI's compare gate fails if the event engine's advantage evaporates.
+func BenchmarkEngineScale(b *testing.B) {
+	spec := benchSpec(b, 31, 4096, "hamiltonian")
+	for _, engine := range []Engine{EngineCycle, EngineEvent} {
+		b.Run("q=31/engine="+engine.String(), func(b *testing.B) {
+			cfg := Config{LinkLatency: 10, VCDepth: 16, Engine: engine}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := newSim(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				var now int
+				if engine == EngineEvent {
+					now, err = s.eventLoop()
+				} else {
+					now, err = s.cycleLoop()
+				}
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.finalize(now)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Cycles), "simcycles")
 				b.StartTimer()
 			}
 		})

@@ -1,0 +1,253 @@
+package netsim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"polarfly/internal/faults"
+)
+
+// runCapture executes one simulation under the given engine with full
+// trace and telemetry capture, returning everything an engine can
+// observably produce: the Result, the error, the complete trace stream,
+// and deep copies of every sample frame.
+type engineRun struct {
+	res    *Result
+	err    error
+	events []TraceEvent
+	frames []SampleFrame
+}
+
+func runCapture(spec Spec, cfg Config, engine Engine) engineRun {
+	var r engineRun
+	cfg.Engine = engine
+	cfg.Trace = func(ev TraceEvent) { r.events = append(r.events, ev) }
+	cfg.SampleEvery = 16
+	cfg.Sample = func(f *SampleFrame) {
+		cp := *f
+		cp.Links = append([]LinkCounters(nil), f.Links...)
+		r.frames = append(r.frames, cp)
+	}
+	r.res, r.err = Run(spec, cfg)
+	return r
+}
+
+// firstTreeEdge returns the first (child, parent) edge of tree 0 — the
+// deterministic fault target shared by the faulted scenarios.
+func firstTreeEdge(spec Spec) (int, int) {
+	for w, p := range spec.Forest[0].Parent {
+		if p >= 0 {
+			return w, p
+		}
+	}
+	panic("tree 0 has no edges")
+}
+
+// diffPlans builds the fault scenarios of the equivalence matrix. All
+// activation cycles land mid-reduction for the small vectors used here.
+func diffPlans(spec Spec) []struct {
+	name string
+	plan *faults.Plan
+} {
+	u, v := firstTreeEdge(spec)
+	node := u // a non-root router on tree 0
+	return []struct {
+		name string
+		plan *faults.Plan
+	}{
+		{"fault-free", nil},
+		{"link-down", &faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.LinkDown, U: u, V: v, At: 120},
+		}}},
+		{"router-down", &faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.RouterDown, Node: node, At: 90},
+		}}},
+		{"storm", &faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.LinkStorm, U: u, V: v, At: 80, Until: 110, Period: 100, Repeat: 3},
+			{Kind: faults.LinkDegraded, U: v, V: u, At: 60, Until: 400, Bandwidth: 0.5},
+			{Kind: faults.EngineStall, Node: v, At: 70, Until: 200},
+		}}},
+	}
+}
+
+// compareRuns asserts byte-identity between the cycle-engine reference
+// run and the event-engine run: identical error, identical JSON-encoded
+// Result, identical trace event sequence, identical telemetry frames.
+func compareRuns(t *testing.T, ref, got engineRun) {
+	t.Helper()
+	if (ref.err == nil) != (got.err == nil) {
+		t.Fatalf("error divergence: cycle=%v event=%v", ref.err, got.err)
+	}
+	if ref.err != nil {
+		if ref.err.Error() != got.err.Error() {
+			t.Fatalf("error text divergence:\n cycle: %v\n event: %v", ref.err, got.err)
+		}
+		var rp, gp *ProgressError
+		if errors.As(ref.err, &rp) != errors.As(got.err, &gp) {
+			t.Fatalf("error type divergence: cycle=%T event=%T", ref.err, got.err)
+		}
+	} else {
+		// Arena.EventBytes sizes machinery only the event engine allocates —
+		// the one documented engine-dependent Result field. Check it obeys
+		// its contract, then normalise it out of the byte comparison.
+		ra, ga := ref.res.Arena, got.res.Arena
+		if ra.EventBytes != 0 {
+			t.Fatalf("cycle engine reported EventBytes=%d, want 0", ra.EventBytes)
+		}
+		if ga.EventBytes <= 0 {
+			t.Fatalf("event engine reported EventBytes=%d, want > 0", ga.EventBytes)
+		}
+		if ga.TotalBytes-ga.EventBytes != ra.TotalBytes {
+			t.Fatalf("arena totals disagree beyond EventBytes: cycle %+v event %+v", ra, ga)
+		}
+		got.res.Arena = ra
+		defer func() { got.res.Arena = ga }()
+		rb, err := json.Marshal(ref.res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := json.Marshal(got.res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(rb) != string(gb) {
+			t.Errorf("Result bytes diverge:\n cycle: %.2000s\n event: %.2000s", rb, gb)
+		}
+	}
+	if len(ref.events) != len(got.events) {
+		t.Fatalf("trace length divergence: cycle=%d event=%d (first divergence: %s)",
+			len(ref.events), len(got.events), firstEventDiff(ref.events, got.events))
+	}
+	for i := range ref.events {
+		if ref.events[i] != got.events[i] {
+			t.Fatalf("trace event %d diverges:\n cycle: %+v\n event: %+v", i, ref.events[i], got.events[i])
+		}
+	}
+	if len(ref.frames) != len(got.frames) {
+		t.Fatalf("frame count divergence: cycle=%d event=%d", len(ref.frames), len(got.frames))
+	}
+	for i := range ref.frames {
+		rf, gf := ref.frames[i], got.frames[i]
+		if rf.Cycle != gf.Cycle || rf.Final != gf.Final || rf.Run != gf.Run {
+			t.Fatalf("frame %d header/run diverges:\n cycle: %+v\n event: %+v", i, rf, gf)
+		}
+		for j := range rf.Links {
+			if rf.Links[j] != gf.Links[j] {
+				t.Fatalf("frame %d (cycle %d) link %d diverges:\n cycle: %+v\n event: %+v",
+					i, rf.Cycle, j, rf.Links[j], gf.Links[j])
+			}
+		}
+	}
+}
+
+func firstEventDiff(a, b []TraceEvent) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("index %d: cycle %+v vs event %+v", i, a[i], b[i])
+		}
+	}
+	return fmt.Sprintf("common prefix of %d events identical", n)
+}
+
+// TestEngineEquivalence is the differential harness of DESIGN.md §7h:
+// for every swept q × embedding × fault scenario, the event engine must
+// reproduce the cycle engine byte for byte — Result (JSON), trace stream,
+// and telemetry frames — including identical classified errors where the
+// scenario kills every tree.
+func TestEngineEquivalence(t *testing.T) {
+	cfg := Config{LinkLatency: 3, VCDepth: 2}
+	for _, q := range []int{3, 5, 7, 11} {
+		m := 384
+		if q >= 7 {
+			m = 768
+		}
+		for _, kind := range []string{"single", "lowdepth", "hamiltonian"} {
+			if kind == "lowdepth" && q%2 == 0 {
+				continue
+			}
+			spec := benchSpec(t, q, m, kind)
+			for _, sc := range diffPlans(spec) {
+				sc := sc
+				name := fmt.Sprintf("q=%d/%s/%s", q, kind, sc.name)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					c := cfg
+					c.Faults = sc.plan
+					ref := runCapture(spec, c, EngineCycle)
+					got := runCapture(spec, c, EngineEvent)
+					compareRuns(t, ref, got)
+				})
+			}
+		}
+	}
+}
+
+// TestEngineEquivalenceVariants covers the configuration axes the main
+// matrix holds fixed: deep pipelines, trunked links, a rate-limited
+// reduction engine, reduce/broadcast-only collectives, and the
+// no-recovery abort path (both engines must emit the same ProgressError
+// at the same cycle).
+func TestEngineEquivalenceVariants(t *testing.T) {
+	spec := benchSpec(t, 5, 512, "lowdepth")
+	u, v := firstTreeEdge(spec)
+
+	variants := []struct {
+		name string
+		cfg  Config
+		op   Op
+	}{
+		{"deep-latency", Config{LinkLatency: 10, VCDepth: 16}, OpAllreduce},
+		{"latency-bound", Config{LinkLatency: 8, VCDepth: 3}, OpAllreduce},
+		{"trunked", Config{LinkLatency: 2, VCDepth: 6, LinkBandwidth: 3}, OpAllreduce},
+		{"engine-rate", Config{LinkLatency: 2, VCDepth: 4, EngineRate: 1}, OpAllreduce},
+		{"reduce-only", Config{LinkLatency: 3, VCDepth: 2}, OpReduce},
+		{"bcast-only", Config{LinkLatency: 3, VCDepth: 2}, OpBroadcast},
+	}
+	for _, vt := range variants {
+		vt := vt
+		t.Run(vt.name, func(t *testing.T) {
+			t.Parallel()
+			sp := spec
+			sp.Op = vt.op
+			ref := runCapture(sp, vt.cfg, EngineCycle)
+			got := runCapture(sp, vt.cfg, EngineEvent)
+			compareRuns(t, ref, got)
+		})
+	}
+
+	t.Run("no-recovery-stall", func(t *testing.T) {
+		t.Parallel()
+		c := Config{LinkLatency: 3, VCDepth: 2, ProgressTimeout: 200, DisableRecovery: true,
+			Faults: &faults.Plan{Faults: []faults.Fault{
+				{Kind: faults.LinkDown, U: u, V: v, At: 50},
+			}}}
+		ref := runCapture(spec, c, EngineCycle)
+		got := runCapture(spec, c, EngineEvent)
+		if ref.err == nil || got.err == nil {
+			t.Fatalf("expected both engines to abort: cycle=%v event=%v", ref.err, got.err)
+		}
+		compareRuns(t, ref, got)
+	})
+
+	t.Run("single-tree-all-lost", func(t *testing.T) {
+		t.Parallel()
+		sp := benchSpec(t, 5, 256, "single")
+		su, sv := firstTreeEdge(sp)
+		c := Config{LinkLatency: 3, VCDepth: 2,
+			Faults: &faults.Plan{Faults: []faults.Fault{
+				{Kind: faults.LinkDown, U: su, V: sv, At: 40},
+			}}}
+		ref := runCapture(sp, c, EngineCycle)
+		got := runCapture(sp, c, EngineEvent)
+		if !errors.Is(ref.err, ErrAllTreesLost) || !errors.Is(got.err, ErrAllTreesLost) {
+			t.Fatalf("expected ErrAllTreesLost from both: cycle=%v event=%v", ref.err, got.err)
+		}
+		compareRuns(t, ref, got)
+	})
+}

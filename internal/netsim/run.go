@@ -29,16 +29,23 @@ type sim struct {
 	offsets []int // segment offset per tree
 
 	// linkMap resolves directed (from,to) → link during construction only;
-	// it is released at freeze time in favour of the dense linkIdx table,
-	// so the cycle loop and recovery path never touch a map.
+	// it is released at freeze time in favour of the CSR row index, so the
+	// cycle loop and recovery path never touch a map.
 	linkMap map[[2]int]*link
 	links   []*link // links in deterministic (from, to) order
-	// linkIdx[from*n+to] is the index into links, −1 when the directed
-	// pair carries no flow. Built once at freeze time.
-	linkIdx []int32
-	frozen  bool   // link set frozen; recovery may not add links
-	jobs    []*job // initial jobs (one per tree) + recovery re-issues
-	pending int    // flit deliveries still outstanding (all jobs, all nodes)
+	// rowStart[v] is the index of node v's first outgoing link in links
+	// (rowStart[n] == len(links)); links within a row are sorted by
+	// destination, so linkAt is a binary search over the row. A CSR index
+	// instead of a dense n×n table: at q=127 (N=16 257) the dense table
+	// alone would cost a gigabyte for a fabric whose links number ~2M.
+	rowStart []int32
+	frozen   bool   // link set frozen; recovery may not add links
+	jobs     []*job // initial jobs (one per tree) + recovery re-issues
+	pending  int    // flit deliveries still outstanding (all jobs, all nodes)
+
+	// ev is the event-engine state (wake sets, timing wheel, retirement
+	// queues); nil under EngineCycle.
+	ev *evState
 
 	// traced is cfg.Trace != nil, hoisted so hot-loop emit sites skip
 	// building TraceEvent values on untraced runs. lint:cold
@@ -80,14 +87,23 @@ type sim struct {
 	result Result
 }
 
-// linkAt resolves a directed link through the dense index table; nil when
-// the pair carries no flow. Valid only after freeze.
+// linkAt resolves a directed link through the CSR row index; nil when the
+// pair carries no flow. Valid only after freeze. O(log degree), used by
+// the fault/recovery paths only — never by the advance loops.
 func (s *sim) linkAt(from, to int) *link {
-	id := s.linkIdx[from*s.n+to]
-	if id < 0 {
-		return nil
+	lo, hi := int(s.rowStart[from]), int(s.rowStart[from+1])
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.links[mid].to < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	return s.links[id]
+	if lo < int(s.rowStart[from+1]) && s.links[lo].to == to {
+		return s.links[lo]
+	}
+	return nil
 }
 
 func newSim(spec Spec, cfg Config) (*sim, error) {
@@ -183,25 +199,31 @@ func newSim(spec Spec, cfg Config) (*sim, error) {
 	}
 	s.linkMap = nil
 
-	// Replace the construction map with the dense (from,to) → link id
-	// table the cycle loop and recovery re-issues resolve through, and
-	// give every link a pipeline sized for its maximum in-flight load
-	// (LinkBandwidth injections per cycle, each airborne LinkLatency
-	// cycles) so injection never grows the backing array.
-	s.linkIdx = make([]int32, n*n)
-	for i := range s.linkIdx {
-		s.linkIdx[i] = -1
+	// Replace the construction map with the CSR row index the recovery
+	// re-issues resolve through, and give every link a pipeline sized for
+	// its maximum in-flight load (LinkBandwidth injections per cycle, each
+	// airborne LinkLatency cycles) so injection never grows the backing
+	// array.
+	s.rowStart = make([]int32, n+1)
+	for _, l := range s.links {
+		s.rowStart[l.from+1]++
+	}
+	for v := 0; v < n; v++ {
+		s.rowStart[v+1] += s.rowStart[v]
 	}
 	bw := cfg.LinkBandwidth
 	if bw == 0 {
 		bw = 1
 	}
 	for id, l := range s.links {
-		s.linkIdx[l.from*n+l.to] = int32(id)
+		l.id = int32(id)
 		l.pipeline = make([]inflight, 0, bw*cfg.LinkLatency)
 	}
 	s.frozen = true
 	s.initSampling()
+	if cfg.Engine == EngineEvent {
+		s.initEvent()
+	}
 	return s, nil
 }
 
@@ -226,6 +248,7 @@ func (s *sim) addFlow(f *flow) *flow {
 		}
 	}
 	l.flows = append(l.flows, f)
+	f.ln = l
 	return f
 }
 
@@ -306,6 +329,20 @@ func (s *sim) addStream(ti, goff, mt int) *job {
 		}
 		s.pending += nt.target - nt.delivered
 		j.remaining += nt.target - nt.delivered
+	}
+	// Seed the event engine's incremental minima (see nodeTree): every
+	// in-stream starts at arrived == 0 and every out-stream at sent == 0,
+	// so the census is len at minimum 0; empty sets take the sentinel the
+	// fast paths expect. Harmless under EngineCycle, which never reads
+	// these fields, and recovery re-issues pass through here too.
+	for v := 0; v < s.n; v++ {
+		nt := &j.nodes[v]
+		nt.redMinCnt = len(nt.redIn)
+		if len(nt.bcastOut) == 0 {
+			nt.bcastMin = evInf
+		} else {
+			nt.bcastMinCnt = len(nt.bcastOut)
+		}
 	}
 	s.jobs = append(s.jobs, j)
 	return j
@@ -494,7 +531,13 @@ func (s *sim) checkJobDone(j *job, now int) {
 }
 
 func (s *sim) run() (*Result, error) {
-	now, err := s.cycleLoop()
+	var now int
+	var err error
+	if s.cfg.Engine == EngineEvent {
+		now, err = s.eventLoop()
+	} else {
+		now, err = s.cycleLoop()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -766,6 +809,7 @@ func (s *sim) finalize(now int) (*Result, error) {
 	}
 
 	s.result.Outputs = s.outputs
+	s.result.Arena = s.arenaFootprint()
 
 	// Post-recovery bandwidth: the work outstanding at the last recovery
 	// over the cycles the survivors took to finish it.

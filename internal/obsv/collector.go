@@ -23,9 +23,20 @@ type Collector struct {
 	// the link latency; 1 if never set. The stall-run histogram is not
 	// affected: it always uses strictly consecutive cycles.
 	SpanMergeGap int
+	// DisableSpans turns off transmit/stall span accumulation. Spans
+	// feed only the Chrome trace exporter, but they are O(bursts) —
+	// under multi-tree round-robin interleaving effectively O(flits) —
+	// which at §7.3 scale (q=31, m≈2·10⁵) is tens of gigabytes. The
+	// perf gates never export Chrome traces, so they set this; the
+	// Metrics report is byte-identical either way (it reads none of the
+	// span state). The stall-run histogram still accumulates.
+	DisableSpans bool
 
 	cycles   int // highest cycle observed; override with SetCycles
 	setCycle bool
+
+	arena    netsim.ArenaFootprint // simulator memory footprint; see SetArena
+	setArena bool
 
 	links map[[2]int]*linkTelemetry
 	trees map[int]*treeTelemetry
@@ -177,7 +188,9 @@ func (c *Collector) Observe(ev netsim.TraceEvent) {
 			tt.bcastFlits++
 		}
 		c.totalFlits++
-		c.extendBurst(c.bursts, streamKey{ev.From, ev.To, ev.Tree, ev.Phase}, ev.Cycle, true)
+		if !c.DisableSpans {
+			c.extendBurst(c.bursts, streamKey{ev.From, ev.To, ev.Tree, ev.Phase}, ev.Cycle, true)
+		}
 	case netsim.TraceStall:
 		lt := c.link(ev.From, ev.To)
 		if lt.lastStall != ev.Cycle {
@@ -185,7 +198,9 @@ func (c *Collector) Observe(ev netsim.TraceEvent) {
 			lt.stallCycles++
 		}
 		key := streamKey{ev.From, ev.To, ev.Tree, ev.Phase}
-		c.extendBurst(c.stallOpen, key, ev.Cycle, false)
+		if !c.DisableSpans {
+			c.extendBurst(c.stallOpen, key, ev.Cycle, false)
+		}
 		c.extendRun(key, ev.Cycle)
 	case netsim.TraceBufferOccupancy:
 		lt := c.link(ev.From, ev.To)
@@ -298,6 +313,15 @@ func (c *Collector) closeBurst(key streamKey, b *burst, xmit bool) {
 func (c *Collector) SetCycles(cycles int) {
 	c.cycles = cycles
 	c.setCycle = true
+}
+
+// SetArena records the simulator's construction-time memory footprint
+// (Result.Arena) so Metrics can export it; the trace stream itself
+// carries no sizing information. Exported only when set, keeping metric
+// exports byte-identical for callers that never call it.
+func (c *Collector) SetArena(a netsim.ArenaFootprint) {
+	c.arena = a
+	c.setArena = true
 }
 
 // SpanKind distinguishes Chrome-trace span flavours.
@@ -656,6 +680,15 @@ func (c *Collector) Metrics(reg *Registry) *Report {
 	reg.Gauge("sim.shared_directed_links").Set(float64(rep.SharedDirectedLinks))
 	reg.Gauge("sim.reduce_phase_cycles").Set(float64(rep.ReducePhaseCycles))
 	reg.Gauge("sim.bcast_phase_cycles").Set(float64(rep.BcastPhaseCycles))
+	if c.setArena {
+		reg.Gauge("sim.arena_bytes").Set(float64(c.arena.TotalBytes))
+		reg.Gauge("sim.arena.node_tree_bytes").Set(float64(c.arena.NodeTreeBytes))
+		reg.Gauge("sim.arena.flow_bytes").Set(float64(c.arena.FlowBytes))
+		reg.Gauge("sim.arena.vc_buffer_bytes").Set(float64(c.arena.VCBufferBytes))
+		reg.Gauge("sim.arena.link_bytes").Set(float64(c.arena.LinkBytes + c.arena.PipelineBytes))
+		reg.Gauge("sim.arena.output_bytes").Set(float64(c.arena.OutputBytes))
+		reg.Gauge("sim.arena.event_bytes").Set(float64(c.arena.EventBytes))
+	}
 	if len(rep.Faults) > 0 || rep.DroppedFlits > 0 {
 		reg.Counter("sim.faults").Add(int64(len(rep.Faults)))
 		reg.Counter("sim.recoveries").Add(int64(len(rep.Recoveries)))

@@ -153,6 +153,48 @@ func TestCollectorAgreesWithLinkStats(t *testing.T) {
 	}
 }
 
+// TestDisableSpansMetricsIdentical pins the DisableSpans contract: span
+// accumulation feeds only the Chrome trace exporter, so turning it off
+// (as the perf gates do at q=31 scale, where spans are O(flits)) must
+// leave the Metrics registry export and the Report byte-identical —
+// including the stall-run histogram, which stays on.
+func TestDisableSpansMetricsIdentical(t *testing.T) {
+	// VCDepth 2 under latency 6 forces credit stalls, so the stall-run
+	// histogram and the stall telemetry paths are exercised on both sides.
+	run := func(disable bool) ([]byte, []byte) {
+		spec, cfg := lineSpec(5, 32), netsim.Config{LinkLatency: 6, VCDepth: 2}
+		c := obsv.NewCollector()
+		c.DisableSpans = disable
+		c.Attach(&cfg)
+		res, err := netsim.Run(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetCycles(res.Cycles)
+		reg := obsv.NewRegistry()
+		rep := c.Metrics(reg)
+		if rep.StallRuns.Count == 0 {
+			t.Fatal("no stall runs recorded under VCDepth 2, latency 6")
+		}
+		var mbuf, rbuf bytes.Buffer
+		if err := reg.Snapshot().WriteJSON(&mbuf); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewEncoder(&rbuf).Encode(rep); err != nil {
+			t.Fatal(err)
+		}
+		return mbuf.Bytes(), rbuf.Bytes()
+	}
+	withMetrics, withReport := run(false)
+	withoutMetrics, withoutReport := run(true)
+	if !bytes.Equal(withMetrics, withoutMetrics) {
+		t.Error("DisableSpans changed the metrics export")
+	}
+	if !bytes.Equal(withReport, withoutReport) {
+		t.Error("DisableSpans changed the report")
+	}
+}
+
 func TestMetricsExport(t *testing.T) {
 	c, rep, _ := collectRun(t, 3, 16, core.Hamiltonian, netsim.Config{LinkLatency: 2, VCDepth: 4})
 	reg := obsv.NewRegistry()

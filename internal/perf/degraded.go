@@ -40,6 +40,9 @@ type DegradedConfig struct {
 	// the returned points identical either way; the field is excluded
 	// from snapshots so BENCH_*.json stays byte-identical across runners.
 	Parallel int `json:"-"`
+	// Engine selects the netsim advance strategy; engines are
+	// byte-identical, so it is excluded from snapshots.
+	Engine netsim.Engine `json:"-"`
 }
 
 // DefaultDegradedConfig is calibrated like DefaultScorecardConfig:
@@ -136,7 +139,7 @@ func degradedPoint(cfg DegradedConfig, kind core.EmbeddingKind) (DegradedPoint, 
 	plan := &faults.Plan{Faults: []faults.Fault{
 		{Kind: faults.LinkDown, U: link[0], V: link[1], At: cfg.FailAt},
 	}}
-	runCfg := netsim.Config{LinkLatency: cfg.LinkLatency, VCDepth: cfg.VCDepth, Faults: plan}
+	runCfg := netsim.Config{LinkLatency: cfg.LinkLatency, VCDepth: cfg.VCDepth, Faults: plan, Engine: cfg.Engine}
 	pt := DegradedPoint{
 		Q: cfg.Q, Embedding: kind.String(), Trees: len(e.Forest),
 		M: cfg.M, FailedLink: link, FailAt: cfg.FailAt,

@@ -36,6 +36,11 @@ type ScorecardConfig struct {
 	// either way, so the value never changes the output — it is excluded
 	// from snapshots so BENCH_*.json stays byte-identical across runners.
 	Parallel int `json:"-"`
+	// Engine selects the netsim advance strategy (cycle-accurate loop or
+	// the event-driven cycle-skipping engine). The engines are
+	// differentially tested byte-identical, so the choice never changes a
+	// point and is excluded from snapshots.
+	Engine netsim.Engine `json:"-"`
 }
 
 // DefaultScorecardConfig is calibrated so every point lands well inside
@@ -164,8 +169,9 @@ func scorePoint(cfg ScorecardConfig, q int, kind core.EmbeddingKind) (ScorePoint
 	if err != nil {
 		return ScorePoint{}, err
 	}
-	runCfg := netsim.Config{LinkLatency: cfg.LinkLatency, VCDepth: cfg.VCDepth}
+	runCfg := netsim.Config{LinkLatency: cfg.LinkLatency, VCDepth: cfg.VCDepth, Engine: cfg.Engine}
 	col := obsv.NewCollector()
+	col.DisableSpans = true // Metrics-only; Chrome spans are O(flits) at q=31 scale
 	col.Attach(&runCfg)
 	res, err := inst.Allreduce(e, inputs, runCfg)
 	if err != nil {

@@ -50,6 +50,9 @@ type TimelineConfig struct {
 	// Parallel is the parrun pool size; excluded from snapshots because
 	// the ordered commit makes output independent of it.
 	Parallel int `json:"-"`
+	// Engine selects the netsim advance strategy; engines are
+	// byte-identical, so it is excluded from snapshots.
+	Engine netsim.Engine `json:"-"`
 }
 
 // DefaultTimelineConfig mirrors the scorecard calibration: latency-1
@@ -123,7 +126,7 @@ func timelineRun(cfg TimelineConfig, kind core.EmbeddingKind) (*tsdb.Snapshot, e
 		Predicted: core.ModelLinkLoads(e),
 	})
 	runCfg := netsim.Config{LinkLatency: cfg.LinkLatency, VCDepth: cfg.VCDepth,
-		SampleEvery: cfg.SampleEvery, Sample: sampler.Sample}
+		SampleEvery: cfg.SampleEvery, Sample: sampler.Sample, Engine: cfg.Engine}
 	var col *obsv.Collector
 	if faulted {
 		var u, v int
@@ -139,6 +142,7 @@ func timelineRun(cfg TimelineConfig, kind core.EmbeddingKind) (*tsdb.Snapshot, e
 		// The trace collector supplies the ground truth the analyzer's
 		// telemetry-only detection is checked against.
 		col = obsv.NewCollector()
+		col.DisableSpans = true // Metrics-only; Chrome spans are O(flits) at q=31 scale
 		col.Attach(&runCfg)
 	}
 	inputs := workload.Vectors(inst.N(), cfg.M, 1000, cfg.Seed)
